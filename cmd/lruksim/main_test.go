@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func TestRunGeneratedWorkload(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, "twopool", "", "lru-1,lru-2,a0", "60,100", 20000, 4000, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"LRU-1", "LRU-2", "A0", "60", "100"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	refs := make([]policy.PageID, 5000)
+	for i := range refs {
+		refs[i] = policy.PageID(i % 37)
+	}
+	path := filepath.Join(t.TempDir(), "t.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, refs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run(&out, "", path, "lru-2,opt", "40", 0, 1000, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// With 37 pages cycling, 40 frames, and the cold start excluded by the
+	// warm-up, every measured reference hits.
+	if !strings.Contains(out.String(), "1.000") {
+		t.Errorf("cyclic trace with ample buffer should hit 1.000:\n%s", out.String())
+	}
+}
+
+func TestRunCRPOptionsApply(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "twopool", "", "lru-2", "100", 10000, 2000, 1, 4, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LRU-2") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "lru-1", "10", 100, 0, 1, 0, 0); err == nil {
+		t.Error("neither workload nor trace rejected... accepted")
+	}
+	if err := run(&out, "twopool", "x.trc", "lru-1", "10", 100, 0, 1, 0, 0); err == nil {
+		t.Error("both workload and trace accepted")
+	}
+	if err := run(&out, "bogus", "", "lru-1", "10", 100, 0, 1, 0, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run(&out, "twopool", "", "nosuch", "10", 100, 0, 1, 0, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run(&out, "twopool", "", "lru-1", "ten", 100, 0, 1, 0, 0); err == nil {
+		t.Error("garbage buffers accepted")
+	}
+	if err := run(&out, "twopool", "", "lru-1", "-5", 100, 0, 1, 0, 0); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	if err := run(&out, "", "/does/not/exist.trc", "lru-1", "10", 100, 0, 1, 0, 0); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestFactoryFor(t *testing.T) {
+	if _, err := factoryFor("lru-0", core.Options{}); err == nil {
+		t.Error("lru-0 accepted")
+	}
+	for _, name := range []string{"lru", "lru-1", "lru-4", "lfu", "arc"} {
+		if _, err := factoryFor(name, core.Options{}); err != nil {
+			t.Errorf("factoryFor(%q): %v", name, err)
+		}
+	}
+}

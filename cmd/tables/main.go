@@ -1,0 +1,96 @@
+// Command tables regenerates the evaluation tables of the LRU-K paper
+// (O'Neil, O'Neil & Weikum, SIGMOD 1993) and this repository's ablation
+// tables.
+//
+// Usage:
+//
+//	tables -table 4.1            # two-pool experiment (Table 4.1)
+//	tables -table 4.2            # Zipfian experiment (Table 4.2)
+//	tables -table 4.3            # synthetic OLTP trace experiment (Table 4.3)
+//	tables -table all            # everything, including ablations
+//	tables -table ksweep         # LRU-K vs A0 as K grows
+//	tables -table adaptivity     # moving hot spot: LRU-2 vs LRU-3 vs LFU
+//	tables -table scan           # Example 1.2 scan resistance
+//	tables -table crp            # Correlated Reference Period sweep
+//	tables -table rip            # Retained Information Period sweep
+//
+// Flags -seed and -repeats control determinism and smoothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which table to produce: 4.1, 4.2, 4.3, ksweep, adaptivity, scan, crp, rip, all")
+		seed    = flag.Uint64("seed", 0, "base RNG seed (0 = per-table default)")
+		repeats = flag.Int("repeats", 0, "independent runs averaged per cell (0 = default)")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *table, *seed, *repeats, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(2)
+	}
+}
+
+// run produces the named table (or every table for "all") on w.
+func run(w io.Writer, table string, seed uint64, repeats int, format string) error {
+	emit := func(t *sim.Table) error {
+		switch format {
+		case "text":
+			fmt.Fprintln(w, t.Render())
+		case "csv":
+			fmt.Fprint(w, t.CSV())
+		default:
+			return fmt.Errorf("unknown format %q (want text or csv)", format)
+		}
+		return nil
+	}
+	one := func(name string) error {
+		switch name {
+		case "4.1":
+			return emit(sim.RunTable41(sim.Table41Config{Seed: seed, Repeats: repeats}))
+		case "4.2":
+			return emit(sim.RunTable42(sim.Table42Config{Seed: seed, Repeats: repeats}))
+		case "4.3":
+			return emit(sim.RunTable43(sim.Table43Config{Seed: seed}))
+		case "ksweep":
+			return emit(sim.RunKSweep(100, 5, repeats, defaultSeed(seed, 7)))
+		case "adaptivity":
+			return emit(sim.RunAdaptivity(250, 20000, defaultSeed(seed, 11)))
+		case "scan":
+			return emit(sim.RunScanResistance(600, defaultSeed(seed, 13)))
+		case "crp":
+			return emit(sim.RunCRPSweep(120, []policy.Tick{0, 1, 2, 4, 8, 16}, defaultSeed(seed, 17)))
+		case "rip":
+			return emit(sim.RunRIPSweep(120, []policy.Tick{100, 200, 400, 800, 1600, 0}, defaultSeed(seed, 19)))
+		default:
+			return fmt.Errorf("unknown table %q", name)
+		}
+	}
+	names := []string{table}
+	if table == "all" {
+		names = []string{"4.1", "4.2", "4.3", "ksweep", "adaptivity", "scan", "crp", "rip"}
+	}
+	for _, name := range names {
+		if err := one(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func defaultSeed(seed, fallback uint64) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	return fallback
+}

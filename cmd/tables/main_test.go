@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunKSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "ksweep", 7, 1, "text"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"K-sweep", "LRU-5", "A0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCRPAndRIP(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "crp", 17, 1, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CRP=16") {
+		t.Errorf("crp output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(&out, "rip", 19, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "RIP=1600") {
+		t.Errorf("rip output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B,RIP=100") {
+		t.Errorf("csv output missing header:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(&out, "crp", 17, 1, "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "9.9", 1, 1, "text"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestDefaultSeed(t *testing.T) {
+	if got := defaultSeed(0, 7); got != 7 {
+		t.Errorf("defaultSeed(0,7) = %d", got)
+	}
+	if got := defaultSeed(5, 7); got != 5 {
+		t.Errorf("defaultSeed(5,7) = %d", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Command tracegen generates page reference traces from the repository's
+// workload generators and writes them as trace files (binary by default,
+// text with -format text).
+//
+// Usage:
+//
+//	tracegen -workload twopool -refs 100000 -o twopool.trc
+//	tracegen -workload zipf -pages 1000 -refs 470000 -format text -o zipf.txt
+//	tracegen -workload oltp -refs 470000 -o oltp.trc
+//	tracegen -workload scan | traceinfo          # stdout when -o is absent
+//
+// Workloads: twopool, zipf, oltp, scan, hotspot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "twopool", "workload: twopool, zipf, oltp, scan, hotspot")
+		refs    = flag.Int("refs", 100000, "number of references to generate")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "binary", "trace format: binary or text")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		pages   = flag.Int("pages", 0, "page population (workload-specific default)")
+		n1      = flag.Int("n1", 100, "twopool: hot pool size")
+		n2      = flag.Int("n2", 10000, "twopool: cold pool size")
+		alpha   = flag.Float64("alpha", 0.8, "zipf: skew α")
+		beta    = flag.Float64("beta", 0.2, "zipf: skew β")
+		correl  = flag.Float64("correlated", 0, "wrap with correlated bursts at this probability")
+	)
+	flag.Parse()
+	if err := run(*name, *refs, *out, *format, *seed, *pages, *n1, *n2, *alpha, *beta, *correl); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, refs int, out, format string, seed uint64, pages, n1, n2 int, alpha, beta, correl float64) error {
+	if refs <= 0 {
+		return fmt.Errorf("refs must be positive, got %d", refs)
+	}
+	g, err := makeGenerator(name, seed, pages, n1, n2, alpha, beta)
+	if err != nil {
+		return err
+	}
+	if correl > 0 {
+		g = workload.NewCorrelated(g, correl, 4, seed+1)
+	}
+	refsSlice := workload.Generate(g, refs)
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "binary":
+		return trace.WriteBinary(w, refsSlice)
+	case "text":
+		return trace.WriteText(w, refsSlice)
+	default:
+		return fmt.Errorf("unknown format %q (want binary or text)", format)
+	}
+}
+
+func makeGenerator(name string, seed uint64, pages, n1, n2 int, alpha, beta float64) (workload.Generator, error) {
+	switch name {
+	case "twopool":
+		return workload.NewTwoPool(n1, n2, seed), nil
+	case "zipf":
+		if pages == 0 {
+			pages = 1000
+		}
+		return workload.NewZipfian(pages, alpha, beta, seed), nil
+	case "oltp":
+		cfg := workload.OLTPConfig{DBPages: pages} // 0 selects the default
+		return workload.NewOLTP(cfg, seed)
+	case "scan":
+		if pages == 0 {
+			pages = 50000
+		}
+		return workload.NewScanInterference(pages, pages/125, 0.95, 2000, 5000, seed), nil
+	case "hotspot":
+		if pages == 0 {
+			pages = 10000
+		}
+		return workload.NewMovingHotSpot(pages, pages/50, 0.9, 20000, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunGeneratesBinaryTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trc")
+	if err := run("twopool", 5000, out, "binary", 1, 0, 100, 10000, 0.8, 0.2, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	refs, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 5000 {
+		t.Fatalf("trace length %d, want 5000", len(refs))
+	}
+}
+
+func TestRunGeneratesTextTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.txt")
+	if err := run("zipf", 1000, out, "text", 2, 500, 0, 0, 0.8, 0.2, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	refs, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1000 {
+		t.Fatalf("trace length %d, want 1000", len(refs))
+	}
+	for _, p := range refs {
+		if p < 0 || p >= 500 {
+			t.Fatalf("page %d outside zipf population", p)
+		}
+	}
+}
+
+func TestRunCorrelatedWrapper(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.trc")
+	if err := run("zipf", 5000, out, "binary", 3, 200, 0, 0, 0.8, 0.2, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	refs, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeats := 0
+	for i := 1; i < len(refs); i++ {
+		if refs[i] == refs[i-1] {
+			repeats++
+		}
+	}
+	if float64(repeats)/float64(len(refs)) < 0.2 {
+		t.Errorf("correlated wrapper produced only %d repeats in %d refs", repeats, len(refs))
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	for _, wl := range []string{"twopool", "zipf", "oltp", "scan", "hotspot"} {
+		out := filepath.Join(t.TempDir(), wl+".trc")
+		if err := run(wl, 2000, out, "binary", 1, 0, 100, 10000, 0.8, 0.2, 0); err != nil {
+			t.Errorf("workload %s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", 100, filepath.Join(dir, "x"), "binary", 1, 0, 100, 10000, 0.8, 0.2, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("zipf", 0, filepath.Join(dir, "x"), "binary", 1, 0, 100, 10000, 0.8, 0.2, 0); err == nil {
+		t.Error("zero refs accepted")
+	}
+	if err := run("zipf", 100, filepath.Join(dir, "x"), "yaml", 1, 0, 100, 10000, 0.8, 0.2, 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// Command traceinfo analyses a page reference trace the way §4.3 of the
+// paper characterises the bank OLTP trace: reference counts, distinct
+// pages, skew quantiles ("40% of the references access only 3% of the
+// pages"), and the Five-Minute-Rule hot-set size.
+//
+// Usage:
+//
+//	traceinfo trace.trc
+//	tracegen -workload oltp -refs 470000 | traceinfo -format binary -window 13000
+//
+// With no file argument the trace is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "binary", "trace format: binary or text")
+		window = flag.Float64("window", 13000, "hot-set interarrival window in references (the Five Minute Rule analogue)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, flag.Args(), *format, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string, format string, window float64) error {
+	var r io.Reader = os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one trace file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	refs, err := read(r, format)
+	if err != nil {
+		return err
+	}
+	s := trace.Analyze(refs)
+	fmt.Fprintf(w, "references:         %d\n", s.Refs)
+	fmt.Fprintf(w, "distinct pages:     %d\n", s.Distinct)
+	fmt.Fprintf(w, "top-10 page counts: %v\n", s.TopPageCounts(10))
+	for _, frac := range []float64{0.01, 0.03, 0.10, 0.30, 0.65} {
+		fmt.Fprintf(w, "hottest %4.0f%% of pages take %5.1f%% of references\n",
+			frac*100, 100*s.RefFractionOfHottestPages(frac))
+	}
+	for _, share := range []float64{0.40, 0.50, 0.90} {
+		fmt.Fprintf(w, "%3.0f%% of references fall on the hottest %5.1f%% of pages\n",
+			share*100, 100*s.PageFractionForRefShare(share))
+	}
+	fmt.Fprintf(w, "hot set (mean interarrival <= %.0f refs): %d pages\n", window, s.HotSetSize(window))
+	return nil
+}
+
+func read(r io.Reader, format string) ([]policy.PageID, error) {
+	switch format {
+	case "binary":
+		return trace.ReadBinary(r)
+	case "text":
+		return trace.ReadText(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}

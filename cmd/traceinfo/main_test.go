@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func writeTrace(t *testing.T, refs []policy.PageID) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, refs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsProfile(t *testing.T) {
+	refs := []policy.PageID{1, 1, 1, 1, 2, 2, 3, 4}
+	path := writeTrace(t, refs)
+	var out bytes.Buffer
+	if err := run(&out, []string{path}, "binary", 3); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"references:         8",
+		"distinct pages:     4",
+		"hot set",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.txt")
+	if err := os.WriteFile(path, []byte("1\n2\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, []string{path}, "text", 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "references:         3") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"a", "b"}, "binary", 10); err == nil {
+		t.Error("two file args accepted")
+	}
+	if err := run(&out, []string{"/does/not/exist"}, "binary", 10); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTrace(t, []policy.PageID{1})
+	if err := run(&out, []string{path}, "yaml", 10); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

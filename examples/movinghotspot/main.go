@@ -1,0 +1,47 @@
+// Movinghotspot demonstrates adaptivity under evolving access patterns —
+// the property that separates LRU-K from LFU (§1.2, §4.3) and makes the
+// paper advocate K=2 over larger K (§4.1: "LRU-3 is less responsive than
+// LRU-2 ... it needs more references to adapt itself to dynamic changes of
+// reference frequencies").
+//
+// The workload's hot set rotates to a fresh page region every epoch. LFU's
+// counts never age, so it clings to dead pages; LRU-3 needs three spaced
+// references before it trusts a new page; LRU-2 adapts fastest among the
+// frequency-aware policies.
+//
+//	go run ./examples/movinghotspot
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		dbPages  = 10000
+		hotPages = 200
+		buffer   = 250
+	)
+	fmt.Printf("Moving hot spot: %d of %d pages take 90%% of refs, window shifts per epoch, B=%d\n\n",
+		hotPages, dbPages, buffer)
+	fmt.Printf("%-7s", "epoch")
+	names := []string{"LRU-1", "LRU-2", "LRU-3", "LFU"}
+	for _, n := range names {
+		fmt.Printf("  %8s", n)
+	}
+	fmt.Println()
+	for _, epoch := range []int{5000, 20000, 80000} {
+		g := workload.NewMovingHotSpot(dbPages, hotPages, 0.9, epoch, 11)
+		e := sim.NewExperiment("hotspot", g, 5*epoch, 20*epoch)
+		fmt.Printf("%-7d", epoch)
+		for _, f := range []sim.Factory{sim.LRUK(1), sim.LRUK(2), sim.LRUK(3), sim.LFU()} {
+			fmt.Printf("  %8.3f", e.HitRatio(f, buffer))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nShort epochs (fast-moving hot spots) punish LFU hardest and favour")
+	fmt.Println("LRU-2 over LRU-3; with long epochs (stable patterns) the ordering relaxes.")
+}

@@ -1,0 +1,52 @@
+// Scanresistance demonstrates the paper's Example 1.2: an interactive
+// workload with strong locality shares the buffer pool with batch
+// sequential scans. Under LRU the scan pages flush the hot set ("cache
+// swamping"), degrading interactive hit ratios; LRU-2 is immune because a
+// page read once by a scan has an infinite Backward 2-distance and is the
+// first to go.
+//
+//	go run ./examples/scanresistance
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		dbPages  = 50000
+		hotPages = 400
+		buffer   = 600
+	)
+	fmt.Printf("Example 1.2: %d-page DB, %d-page hot set (95%% of interactive refs),\n", dbPages, hotPages)
+	fmt.Printf("periodic 5000-page sequential scans, B=%d frames\n\n", buffer)
+
+	g := workload.NewScanInterference(dbPages, hotPages, 0.95, 2000, 5000, 7)
+	e := sim.NewExperiment("example-1.2", g, 50000, 200000)
+
+	rows := []struct {
+		name string
+		f    sim.Factory
+	}{
+		{"LRU-1", sim.LRUK(1)},
+		{"LRU-2", sim.LRUK(2)},
+		{"LRU-3", sim.LRUK(3)},
+		{"LFU", sim.LFU()},
+		{"2Q", sim.TwoQ()},
+		{"ARC", sim.ARC()},
+		{"CLOCK", sim.Clock()},
+		{"FIFO", sim.FIFO()},
+	}
+	fmt.Printf("%-7s  %9s\n", "policy", "hit ratio")
+	for _, row := range rows {
+		fmt.Printf("%-7s  %9.3f\n", row.name, e.HitRatio(row.f, buffer))
+	}
+	fmt.Println("\nThe frequency-aware policies (LRU-2/3, LFU, ARC) hold the hot set;")
+	fmt.Println("recency-only policies (LRU-1, CLOCK, FIFO) are swamped by scan pages.")
+	fmt.Println("2Q with its default Kout tuning degrades too: the scan flood churns its")
+	fmt.Println("ghost list faster than hot pages re-reference — exactly the kind of")
+	fmt.Println("workload-dependent parameter sensitivity the paper's §1.2 warns about.")
+}

@@ -1,0 +1,151 @@
+// Package analysis implements the mathematical machinery of Section 3 of
+// the paper: the Bayesian a-posteriori estimates of page reference
+// probability given Backward K-distance observations (Lemmas 3.3-3.5), the
+// monotonicity that makes LRU-K's ordering optimal (Lemma 3.6), and the
+// expected-cost model of Definition 3.7 / Theorem 3.8.
+//
+// Computations run in log space so that large backward distances (k in the
+// tens of thousands) do not underflow.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// validateBeta checks a reference probability vector: entries in (0, 1),
+// summing to at most 1 (slack allows vectors over a page subset).
+func validateBeta(beta []float64) error {
+	if len(beta) == 0 {
+		return fmt.Errorf("analysis: empty probability vector")
+	}
+	sum := 0.0
+	for i, b := range beta {
+		if b <= 0 || b >= 1 || math.IsNaN(b) {
+			return fmt.Errorf("analysis: β[%d] = %v outside (0, 1)", i, b)
+		}
+		sum += b
+	}
+	if sum > 1+1e-9 {
+		return fmt.Errorf("analysis: probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// logWeight returns log(β^K · (1-β)^(k-K+1)), the unnormalised posterior
+// mass of Lemma 3.4 for one β component.
+func logWeight(beta float64, k, bigK int) float64 {
+	return float64(bigK)*math.Log(beta) + float64(k-bigK+1)*math.Log(1-beta)
+}
+
+// PosteriorPermutation evaluates Eq. 3.6 (Lemma 3.4): the probability that
+// page i's true reference probability is β[v], for each v, given that its
+// Backward K-distance b_t(i,K) equals k. K >= 1 and k >= K are required
+// (the K-th most recent reference lies at least K steps back).
+func PosteriorPermutation(beta []float64, bigK, k int) ([]float64, error) {
+	if err := validateBeta(beta); err != nil {
+		return nil, err
+	}
+	if bigK < 1 {
+		return nil, fmt.Errorf("analysis: K must be at least 1, got %d", bigK)
+	}
+	if k < bigK {
+		return nil, fmt.Errorf("analysis: backward distance k=%d below K=%d", k, bigK)
+	}
+	logs := make([]float64, len(beta))
+	maxLog := math.Inf(-1)
+	for v, b := range beta {
+		logs[v] = logWeight(b, k, bigK)
+		if logs[v] > maxLog {
+			maxLog = logs[v]
+		}
+	}
+	out := make([]float64, len(beta))
+	sum := 0.0
+	for v := range logs {
+		out[v] = math.Exp(logs[v] - maxLog)
+		sum += out[v]
+	}
+	for v := range out {
+		out[v] /= sum
+	}
+	return out, nil
+}
+
+// ExpectedProbability evaluates Eq. 3.7 (Lemma 3.5): the a-posteriori
+// expected reference probability E_t(P(i)) of a page whose Backward
+// K-distance is k, under reference probability vector beta.
+func ExpectedProbability(beta []float64, bigK, k int) (float64, error) {
+	post, err := PosteriorPermutation(beta, bigK, k)
+	if err != nil {
+		return 0, err
+	}
+	e := 0.0
+	for v, p := range post {
+		e += beta[v] * p
+	}
+	return e, nil
+}
+
+// ExpectedCost evaluates Definition 3.7: the probability that the next
+// reference misses the buffer, 1 - Σ_{i ∈ resident} P(i), where probs[i]
+// is page i's (estimated or true) reference probability.
+func ExpectedCost(probs []float64) float64 {
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	cost := 1 - sum
+	if cost < 0 {
+		return 0
+	}
+	return cost
+}
+
+// PageState describes one page's observed history for cost comparisons: its
+// Backward K-distance at the decision instant.
+type PageState struct {
+	Page int
+	// BackwardK is b_t(p,K); Infinite marks pages with fewer than K
+	// references on record.
+	BackwardK int
+	Infinite  bool
+}
+
+// RankByEstimate orders pages by descending E_t(P(i)) under beta, i.e. by
+// ascending Backward K-distance (Lemma 3.6), with infinite distances last.
+// It returns the page indices in retention-priority order.
+func RankByEstimate(states []PageState) []int {
+	idx := make([]int, len(states))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		sa, sb := states[idx[a]], states[idx[b]]
+		if sa.Infinite != sb.Infinite {
+			return !sa.Infinite
+		}
+		return sa.BackwardK < sb.BackwardK
+	})
+	pages := make([]int, len(idx))
+	for i, j := range idx {
+		pages[i] = states[j].Page
+	}
+	return pages
+}
+
+// OptimalRetainedCost returns the minimal expected cost (Definition 3.7)
+// achievable by retaining m of the given pages, where estimates[i] is page
+// i's estimated reference probability: it keeps the m largest estimates.
+// This is the quantity Theorem 3.8 shows LRU-K achieves on m-1 of its m
+// frames.
+func OptimalRetainedCost(estimates []float64, m int) float64 {
+	if m >= len(estimates) {
+		return ExpectedCost(estimates)
+	}
+	sorted := make([]float64, len(estimates))
+	copy(sorted, estimates)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return ExpectedCost(sorted[:m])
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func twoPoolBeta() []float64 {
+	// The Table 4.1 workload: 100 pages at 1/200, 10000 pages at 1/20000.
+	beta := make([]float64, 0, 10100)
+	for i := 0; i < 100; i++ {
+		beta = append(beta, 1.0/200)
+	}
+	for i := 0; i < 10000; i++ {
+		beta = append(beta, 1.0/20000)
+	}
+	return beta
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := PosteriorPermutation(nil, 2, 5); err == nil {
+		t.Error("empty beta accepted")
+	}
+	if _, err := PosteriorPermutation([]float64{0.5, 0.7}, 2, 5); err == nil {
+		t.Error("beta summing above 1 accepted")
+	}
+	if _, err := PosteriorPermutation([]float64{0, 0.5}, 2, 5); err == nil {
+		t.Error("zero probability accepted")
+	}
+	if _, err := PosteriorPermutation([]float64{0.1, 0.2}, 0, 5); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := PosteriorPermutation([]float64{0.1, 0.2}, 3, 2); err == nil {
+		t.Error("k < K accepted")
+	}
+}
+
+func TestPosteriorIsDistribution(t *testing.T) {
+	beta := []float64{0.4, 0.3, 0.2, 0.1}
+	for _, k := range []int{2, 5, 50, 5000} {
+		post, err := PosteriorPermutation(beta, 2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for v, p := range post {
+			if p < 0 || p > 1 {
+				t.Fatalf("k=%d: posterior[%d] = %v", k, v, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("k=%d: posterior sums to %v", k, sum)
+		}
+	}
+}
+
+// TestPosteriorSmallDistanceFavorsHotPages: a small backward distance must
+// make the hot component most likely; a huge one makes the cold component
+// most likely (the heart of Lemma 3.4).
+func TestPosteriorShifts(t *testing.T) {
+	beta := []float64{0.2, 0.001}
+	small, err := PosteriorPermutation(beta, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[0] <= small[1] {
+		t.Errorf("k=2: hot posterior %v not above cold %v", small[0], small[1])
+	}
+	large, err := PosteriorPermutation(beta, 2, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large[0] >= large[1] {
+		t.Errorf("k=5000: hot posterior %v not below cold %v", large[0], large[1])
+	}
+}
+
+// TestLemma33MatchesMonteCarlo validates Eq. 3.2 against simulation: draw a
+// random permutation assignment, generate a reference string, observe
+// b_t(i,2)=k events, and compare empirical posterior to the formula.
+func TestLemma33MatchesMonteCarlo(t *testing.T) {
+	// Two pages with distinct probabilities; the rest of the mass goes to
+	// a third "background" page so the string is well defined.
+	beta := []float64{0.30, 0.10}
+	const bgProb = 0.60
+	r := stats.NewRNG(2718)
+	const trials = 200000
+	const k = 4 // condition on b_t(i,2) = 4
+	// For each trial: assign page "i" either beta[0] or beta[1] with equal
+	// prior, run a string, and record whether b_t(i,2)=k at a fixed t.
+	counts := [2]int{}
+	for trial := 0; trial < trials; trial++ {
+		which := r.Intn(2)
+		p := beta[which]
+		// Generate 40 references; page i is referenced with prob p at each
+		// position (independent reference model vs background mass).
+		const T = 40
+		positions := []int{}
+		for pos := 1; pos <= T; pos++ {
+			if r.Float64() < p {
+				positions = append(positions, pos)
+			}
+		}
+		// b_T(i,2) = T - (second most recent reference position).
+		if len(positions) >= 2 {
+			second := positions[len(positions)-2]
+			if T-second == k {
+				counts[which]++
+			}
+		}
+	}
+	_ = bgProb
+	total := counts[0] + counts[1]
+	if total < 1000 {
+		t.Fatalf("too few conditioning events: %d", total)
+	}
+	empirical := float64(counts[0]) / float64(total)
+	post, err := PosteriorPermutation(beta, 2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: Eq. 3.2 with n=2 components and equal priors.
+	if math.Abs(empirical-post[0]) > 0.02 {
+		t.Errorf("empirical posterior %.4f vs Lemma 3.3 %.4f", empirical, post[0])
+	}
+}
+
+// TestLemma36Monotonicity: E_t(P(i)) strictly decreases in k for any beta
+// with at least two distinct values.
+func TestLemma36Monotonicity(t *testing.T) {
+	vectors := [][]float64{
+		{0.4, 0.3, 0.2, 0.05},
+		twoPoolBeta(),
+	}
+	for vi, beta := range vectors {
+		coldest := beta[0]
+		for _, b := range beta {
+			if b < coldest {
+				coldest = b
+			}
+		}
+		prev := math.Inf(1)
+		for _, k := range []int{2, 3, 5, 10, 50, 200, 1000, 20000} {
+			e, err := ExpectedProbability(beta, 2, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e > prev {
+				t.Errorf("vector %d: E(P | k=%d) = %v above previous %v", vi, k, e, prev)
+			}
+			// Strict decrease is required until the estimate has numerically
+			// saturated at the coldest component (its k→∞ limit).
+			if e == prev && prev-coldest > 1e-9 {
+				t.Errorf("vector %d: E(P | k=%d) = %v not strictly below previous", vi, k, e)
+			}
+			if e <= 0 {
+				t.Errorf("vector %d: E(P | k=%d) = %v not positive", vi, k, e)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestLemma36ConstantBeta: with all beta equal the estimate is flat — the
+// "at least two unequal values" condition is necessary.
+func TestLemma36ConstantBeta(t *testing.T) {
+	beta := []float64{0.1, 0.1, 0.1}
+	e1, _ := ExpectedProbability(beta, 2, 2)
+	e2, _ := ExpectedProbability(beta, 2, 500)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("constant beta gave varying estimate: %v vs %v", e1, e2)
+	}
+	if math.Abs(e1-0.1) > 1e-12 {
+		t.Errorf("constant beta estimate %v, want 0.1", e1)
+	}
+}
+
+// TestEstimateConvergesToBounds: as k→K the estimate approaches the hot
+// end; as k→∞ it approaches the coldest component.
+func TestEstimateConvergesToBounds(t *testing.T) {
+	beta := []float64{0.3, 0.001}
+	hot, _ := ExpectedProbability(beta, 2, 2)
+	if hot < 0.29 {
+		t.Errorf("estimate at k=K %v, want near 0.3", hot)
+	}
+	cold, _ := ExpectedProbability(beta, 2, 50000)
+	if cold > 0.0011 {
+		t.Errorf("estimate at huge k %v, want near 0.001", cold)
+	}
+}
+
+func TestExpectedCost(t *testing.T) {
+	if got := ExpectedCost([]float64{0.2, 0.3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ExpectedCost = %v, want 0.5", got)
+	}
+	if got := ExpectedCost(nil); got != 1 {
+		t.Errorf("empty ExpectedCost = %v, want 1", got)
+	}
+	// Numeric slack must clamp at 0.
+	if got := ExpectedCost([]float64{0.6, 0.4000000001}); got != 0 {
+		t.Errorf("over-full ExpectedCost = %v, want 0", got)
+	}
+}
+
+// TestRankByEstimateMatchesBackwardK: retention priority is ascending
+// backward distance with infinite distances last (Lemma 3.6 as LRU-K uses
+// it).
+func TestRankByEstimateMatchesBackwardK(t *testing.T) {
+	states := []PageState{
+		{Page: 1, BackwardK: 100},
+		{Page: 2, Infinite: true},
+		{Page: 3, BackwardK: 5},
+		{Page: 4, BackwardK: 50},
+		{Page: 5, Infinite: true},
+	}
+	got := RankByEstimate(states)
+	want := []int{3, 4, 1, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTheorem38CostDominance: for sampled page histories, the set of m-1
+// pages with minimal backward distances has expected cost no greater than
+// any other (m-1)-subset, using the Lemma 3.5 estimates.
+func TestTheorem38CostDominance(t *testing.T) {
+	beta := []float64{0.25, 0.15, 0.1, 0.05, 0.02, 0.01}
+	r := stats.NewRNG(31)
+	for trial := 0; trial < 200; trial++ {
+		// Sample backward distances for 6 pages.
+		ks := make([]int, len(beta))
+		estimates := make([]float64, len(beta))
+		for i := range ks {
+			ks[i] = 2 + r.Intn(500)
+			e, err := ExpectedProbability(beta, 2, ks[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			estimates[i] = e
+		}
+		const m = 3
+		// LRU-K keeps the m pages with smallest k — by Lemma 3.6 those have
+		// the largest estimates, so their cost equals the optimum.
+		type pk struct {
+			k int
+			e float64
+		}
+		byK := make([]pk, len(ks))
+		for i := range ks {
+			byK[i] = pk{ks[i], estimates[i]}
+		}
+		// Select m smallest-k estimates.
+		chosen := []float64{}
+		for sel := 0; sel < m; sel++ {
+			best := -1
+			for i := range byK {
+				if byK[i].k >= 0 && (best == -1 || byK[i].k < byK[best].k) {
+					best = i
+				}
+			}
+			chosen = append(chosen, byK[best].e)
+			byK[best].k = -1
+		}
+		lrukCost := ExpectedCost(chosen)
+		optCost := OptimalRetainedCost(estimates, m)
+		if lrukCost > optCost+1e-12 {
+			t.Fatalf("trial %d: LRU-K cost %v above optimal %v (ks=%v)", trial, lrukCost, optCost, ks)
+		}
+	}
+}
+
+func TestOptimalRetainedCostKeepsAll(t *testing.T) {
+	est := []float64{0.1, 0.2}
+	if got := OptimalRetainedCost(est, 5); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("m beyond population: %v, want 0.7", got)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestCheValidation(t *testing.T) {
+	if _, err := CheLRUHitRatio(nil, 10); err == nil {
+		t.Error("empty beta accepted")
+	}
+	if _, err := CheLRUHitRatio([]float64{0.1, 0.2}, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if got, err := CheLRUHitRatio([]float64{0.5, 0.5}, 5); err != nil || got != 1 {
+		t.Errorf("all-fit case = %v, %v; want 1", got, err)
+	}
+}
+
+// TestCheMatchesTwoPoolSimulation: the Che approximation must track the
+// simulated LRU-1 column of Table 4.1.
+func TestCheMatchesTwoPoolSimulation(t *testing.T) {
+	beta := twoPoolBeta()
+	tb := sim.RunTable41(sim.Table41Config{Buffers: []int{60, 100, 200, 400}, Repeats: 3})
+	for _, row := range tb.Rows {
+		che, err := CheLRUHitRatio(beta, row.Buffer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := row.Ratios[0] // LRU-1 column
+		if math.Abs(che-simulated) > 0.03 {
+			t.Errorf("B=%d: Che %.3f vs simulated LRU-1 %.3f", row.Buffer, che, simulated)
+		}
+	}
+}
+
+// TestCheMatchesZipfianSimulation: same cross-check on the Table 4.2
+// workload.
+func TestCheMatchesZipfianSimulation(t *testing.T) {
+	g := workload.NewZipfian(1000, 0.8, 0.2, 1)
+	probs := g.Probabilities()
+	beta := make([]float64, 1000)
+	for p, v := range probs {
+		beta[p] = v
+	}
+	tb := sim.RunTable42(sim.Table42Config{Buffers: []int{40, 100, 300}, Repeats: 3})
+	for _, row := range tb.Rows {
+		che, err := CheLRUHitRatio(beta, row.Buffer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := row.Ratios[0]
+		if math.Abs(che-simulated) > 0.03 {
+			t.Errorf("B=%d: Che %.3f vs simulated LRU-1 %.3f", row.Buffer, che, simulated)
+		}
+	}
+}
+
+func TestCheMonotoneInBuffer(t *testing.T) {
+	beta := twoPoolBeta()
+	prev := 0.0
+	for _, b := range []int{10, 50, 100, 500, 2000, 8000} {
+		got, err := CheLRUHitRatio(beta, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Errorf("Che hit ratio decreased at B=%d: %v < %v", b, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestA0HitRatio(t *testing.T) {
+	beta := []float64{0.1, 0.4, 0.2, 0.3}
+	cases := []struct {
+		b    int
+		want float64
+	}{
+		{1, 0.4}, {2, 0.7}, {3, 0.9}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		got, err := A0HitRatio(beta, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("A0HitRatio(B=%d) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	if _, err := A0HitRatio(beta, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+}
+
+// TestA0MatchesTable41Column: the analytic A0 equals the simulated A0
+// column (which is the paper's optimum).
+func TestA0MatchesTable41Column(t *testing.T) {
+	beta := twoPoolBeta()
+	tb := sim.RunTable41(sim.Table41Config{Buffers: []int{60, 100}, Repeats: 3})
+	for _, row := range tb.Rows {
+		want, err := A0HitRatio(beta, row.Buffer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated := row.Ratios[len(row.Ratios)-1] // A0 column
+		if math.Abs(want-simulated) > 0.02 {
+			t.Errorf("B=%d: analytic A0 %.3f vs simulated %.3f", row.Buffer, want, simulated)
+		}
+	}
+}

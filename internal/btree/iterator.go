@@ -1,0 +1,85 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/heapfile"
+	"repro/internal/policy"
+)
+
+// Entry is one key/value pair yielded by an Iterator.
+type Entry struct {
+	Key int64
+	RID heapfile.RID
+}
+
+// Iterator walks the leaf chain in ascending key order. It buffers one
+// leaf at a time: each leaf is pinned only while being copied out, so an
+// iterator can be held across other tree operations (entries reflect the
+// leaf's state at the moment it was read — snapshot-per-leaf semantics).
+type Iterator struct {
+	tree    *Tree
+	buffer  []Entry
+	pos     int
+	next    policy.PageID // next leaf to load, -1 at the end
+	started bool
+	from    int64
+}
+
+// Iterate returns an iterator positioned at the first key >= from.
+func (t *Tree) Iterate(from int64) (*Iterator, error) {
+	id := t.root
+	for {
+		pg, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, fmt.Errorf("btree seek: %w", err)
+		}
+		data := pg.Data()
+		if isLeaf(data) {
+			pg.Unpin(false)
+			return &Iterator{tree: t, next: id, from: from}, nil
+		}
+		nxt := childFor(data, from)
+		pg.Unpin(false)
+		id = nxt
+	}
+}
+
+// Next returns the next entry in key order; ok is false when the iterator
+// is exhausted.
+func (it *Iterator) Next() (Entry, bool, error) {
+	for it.pos >= len(it.buffer) {
+		if it.next < 0 {
+			return Entry{}, false, nil
+		}
+		if err := it.loadLeaf(); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	e := it.buffer[it.pos]
+	it.pos++
+	return e, true, nil
+}
+
+// loadLeaf copies the next leaf's qualifying entries into the buffer.
+func (it *Iterator) loadLeaf() error {
+	pg, err := it.tree.pool.Fetch(it.next)
+	if err != nil {
+		return fmt.Errorf("btree iterator: %w", err)
+	}
+	data := pg.Data()
+	n := numKeys(data)
+	start := 0
+	if !it.started {
+		start = leafSearch(data, it.from)
+		it.started = true
+	}
+	it.buffer = it.buffer[:0]
+	for i := start; i < n; i++ {
+		it.buffer = append(it.buffer, Entry{Key: leafKey(data, i), RID: leafRID(data, i)})
+	}
+	it.pos = 0
+	it.next = policy.PageID(extra(data))
+	pg.Unpin(false)
+	return nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestResizeShrinkEvicts(t *testing.T) {
+	c := NewLRUK(10, 2)
+	for p := policy.PageID(0); p < 10; p++ {
+		c.Reference(p)
+	}
+	c.Resize(4)
+	if c.Len() != 4 {
+		t.Fatalf("Len after shrink = %d, want 4", c.Len())
+	}
+	if c.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", c.Capacity())
+	}
+	// The survivors must be the four most recent (all infinite distance,
+	// subsidiary LRU evicts oldest first).
+	for p := policy.PageID(6); p < 10; p++ {
+		if !c.Resident(p) {
+			t.Errorf("page %d should have survived the shrink", p)
+		}
+	}
+}
+
+func TestResizeGrow(t *testing.T) {
+	c := NewLRUK(2, 2)
+	c.Reference(1)
+	c.Reference(2)
+	c.Resize(4)
+	c.Reference(3)
+	c.Reference(4)
+	if c.Len() != 4 {
+		t.Fatalf("Len after grow = %d, want 4", c.Len())
+	}
+	for p := policy.PageID(1); p <= 4; p++ {
+		if !c.Resident(p) {
+			t.Errorf("page %d missing after grow", p)
+		}
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resize(0) did not panic")
+		}
+	}()
+	NewLRUK(2, 2).Resize(0)
+}
+
+func TestBudgetedValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBudgetedLRUK(1, 2, 100, Options{}) },
+		func() { NewBudgetedLRUK(10, 2, 0, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid budget args accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBudgetedTradesFramesForHistory: scanning a huge universe of distinct
+// pages grows retained history, which must eat into the page capacity; the
+// total budget is never exceeded.
+func TestBudgetedTradesFramesForHistory(t *testing.T) {
+	const budget, histPerFrame = 32, 4
+	b := NewBudgetedLRUK(budget, 2, histPerFrame, Options{
+		RetainedInformationPeriod: 512,
+	})
+	if b.Name() != "LRU-2/budget" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	sawReduced := false
+	for i := 0; i < 5000; i++ {
+		b.Reference(policy.PageID(i)) // all distinct: pure history pressure
+		pages, history, _ := b.MemoryFrames()
+		// One frame of slack: the budget check runs before the reference
+		// that may add one more retained block.
+		if pages+history > budget+1 {
+			t.Fatalf("ref %d: pages %d + history %d exceeds budget %d", i, pages, history, budget)
+		}
+		if history > 0 && b.EffectiveCapacity() < budget {
+			sawReduced = true
+		}
+	}
+	if !sawReduced {
+		t.Error("capacity never shrank despite history pressure")
+	}
+	if b.FrameBudget() != budget {
+		t.Errorf("FrameBudget = %d", b.FrameBudget())
+	}
+}
+
+// TestBudgetedRecoversCapacity: once the workload narrows to a small hot
+// set, the retention demon purges stale history and capacity recovers.
+func TestBudgetedRecoversCapacity(t *testing.T) {
+	const budget = 32
+	b := NewBudgetedLRUK(budget, 2, 4, Options{
+		RetainedInformationPeriod: 256,
+	})
+	// Phase 1: history pressure.
+	for i := 0; i < 4000; i++ {
+		b.Reference(policy.PageID(i))
+	}
+	squeezed := b.EffectiveCapacity()
+	if squeezed >= budget {
+		t.Fatalf("phase 1 did not squeeze capacity (%d)", squeezed)
+	}
+	// Phase 2: small hot set; stale history ages out past the RIP.
+	for i := 0; i < 4000; i++ {
+		b.Reference(policy.PageID(100000 + i%8))
+	}
+	recovered := b.EffectiveCapacity()
+	if recovered <= squeezed {
+		t.Errorf("capacity did not recover: %d -> %d", squeezed, recovered)
+	}
+}
+
+// TestBudgetedStillBeatsLRU1: under the budget tax, LRU-2 keeps its
+// two-pool advantage over plain LRU-1 given the same total memory.
+func TestBudgetedStillBeatsLRU1(t *testing.T) {
+	r := stats.NewRNG(9)
+	refs := make([]policy.PageID, 60000)
+	for i := range refs {
+		if i%2 == 0 {
+			refs[i] = policy.PageID(r.Intn(50)) // hot pool
+		} else {
+			refs[i] = policy.PageID(50 + r.Intn(5000)) // cold pool
+		}
+	}
+	const budget = 60
+	budgeted := NewBudgetedLRUK(budget, 2, 100, Options{})
+	lru := policy.NewLRU(budget)
+	var hitsB, hitsL int
+	for i, p := range refs {
+		hb, hl := budgeted.Reference(p), lru.Reference(p)
+		if i >= 20000 {
+			if hb {
+				hitsB++
+			}
+			if hl {
+				hitsL++
+			}
+		}
+	}
+	if hitsB <= hitsL {
+		t.Errorf("budgeted LRU-2 hits %d not above LRU-1 hits %d at equal memory", hitsB, hitsL)
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func newTestCache(t *testing.T, capacity int, opts CacheOptions) *Cache[string, int] {
+	t.Helper()
+	c, err := NewStringCache[int](capacity, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheValidation(t *testing.T) {
+	if _, err := NewCache[string, int](8, nil, CacheOptions{}); err == nil {
+		t.Error("nil hash accepted")
+	}
+	if _, err := NewStringCache[int](8, CacheOptions{Shards: 3}); err == nil {
+		t.Error("non-power-of-two shard count accepted")
+	}
+	if _, err := NewStringCache[int](8, CacheOptions{Shards: 16}); err == nil {
+		t.Error("capacity below shard count accepted")
+	}
+	if _, err := NewStringCache[int](8, CacheOptions{K: -1, Shards: 1}); err == nil {
+		t.Error("negative K accepted")
+	}
+	if _, err := NewStringCache[int](64, CacheOptions{}); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
+
+func TestCacheBasicOps(t *testing.T) {
+	c := newTestCache(t, 8, CacheOptions{Shards: 1})
+	if _, ok := c.Get("a"); ok {
+		t.Error("Get on empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d,%v, want 1,true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	if !c.Contains("b") || c.Contains("zzz") {
+		t.Error("Contains wrong")
+	}
+	c.Put("a", 10) // overwrite
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("overwritten value = %d, want 10", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len after overwrite = %d, want 2", c.Len())
+	}
+	if !c.Delete("a") {
+		t.Error("Delete(a) = false")
+	}
+	if c.Delete("a") {
+		t.Error("double Delete = true")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("deleted key still readable")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len after delete = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := newTestCache(t, 8, CacheOptions{Shards: 1})
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("miss")
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("Stats = %+v, want 2 hits 1 miss", s)
+	}
+	if got := s.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Errorf("HitRatio = %v, want 2/3", got)
+	}
+	if (CacheStats{}).HitRatio() != 0 {
+		t.Error("empty HitRatio not 0")
+	}
+}
+
+func TestCacheEvictionIsLRUK(t *testing.T) {
+	// Single shard, capacity 2, K=2: a twice-referenced key survives a
+	// parade of one-shot keys (the cache-library form of Example 1.2).
+	c := newTestCache(t, 2, CacheOptions{Shards: 1})
+	c.Put("hot", 1)
+	c.Get("hot")
+	for i := 0; i < 50; i++ {
+		c.Put(fmt.Sprintf("scan-%d", i), i)
+	}
+	if _, ok := c.Get("hot"); !ok {
+		t.Error("LRU-K cache evicted the only key with known frequency")
+	}
+	if evs := c.Stats().Evictions; evs < 48 {
+		t.Errorf("Evictions = %d, want >= 48", evs)
+	}
+}
+
+func TestCacheRetainedHistoryOnReadmission(t *testing.T) {
+	// Capacity 1 forces eviction of every put; the recurring key must still
+	// accumulate history and eventually win residency contests.
+	c := newTestCache(t, 1, CacheOptions{Shards: 1})
+	c.Put("recurring", 1) // t=1
+	c.Put("x", 2)         // evicts recurring, history retained
+	c.Put("recurring", 3) // readmitted: 2nd uncorrelated reference on record
+	if _, ok := c.Get("recurring"); !ok {
+		t.Fatal("readmitted key unreadable")
+	}
+	if v, _ := c.Get("recurring"); v != 3 {
+		t.Error("readmitted key has stale value")
+	}
+}
+
+func TestCacheDeleteRetainsHistory(t *testing.T) {
+	c := newTestCache(t, 2, CacheOptions{Shards: 1})
+	c.Put("k", 1)
+	c.Delete("k")
+	c.Put("k", 2) // same identity: two uncorrelated references on record
+	c.Put("once", 3)
+	c.Put("evictor", 4) // one of the three must go; "k" has finite distance
+	if _, ok := c.Get("k"); !ok {
+		t.Error("history did not survive Delete: frequent key evicted")
+	}
+}
+
+func TestCacheWallClock(t *testing.T) {
+	now := policy.Tick(1000)
+	c, err := NewStringCache[int](4, CacheOptions{
+		Shards:                    1,
+		Clock:                     func() policy.Tick { return now },
+		CorrelatedReferencePeriod: 10,
+		RetainedInformationPeriod: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", 1)
+	now += 5
+	c.Get("a") // correlated (within 10 units)
+	now += 50
+	c.Get("a") // uncorrelated
+	if _, ok := c.Get("a"); !ok {
+		t.Error("key lost under wall clock")
+	}
+	// Clock going backwards must not corrupt anything.
+	now -= 500
+	c.Put("b", 2)
+	if _, ok := c.Get("b"); !ok {
+		t.Error("put under backwards clock lost")
+	}
+}
+
+func TestCacheZeroValueStored(t *testing.T) {
+	c := newTestCache(t, 4, CacheOptions{Shards: 1})
+	c.Put("zero", 0)
+	if v, ok := c.Get("zero"); !ok || v != 0 {
+		t.Errorf("Get(zero) = %d,%v, want 0,true", v, ok)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := NewIntCache[int64](1024, CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := stats.NewRNG(seed)
+			for i := 0; i < 20000; i++ {
+				k := int64(r.Intn(4000))
+				if r.Float64() < 0.7 {
+					if _, ok := c.Get(k); !ok {
+						c.Put(k, k*2)
+					}
+				} else if r.Float64() < 0.9 {
+					c.Put(k, k*2)
+				} else {
+					c.Delete(k)
+				}
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	if c.Len() > 1024 {
+		t.Errorf("Len = %d exceeds capacity after concurrent load", c.Len())
+	}
+	// Every readable value must be consistent (k*2).
+	for k := int64(0); k < 4000; k++ {
+		if v, ok := c.Get(k); ok && v != k*2 {
+			t.Fatalf("corrupt value for %d: %d", k, v)
+		}
+	}
+}
+
+func TestCacheCapacityAcrossShards(t *testing.T) {
+	c, err := NewIntCache[int](64, CacheOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10000; i++ {
+		c.Put(i, int(i))
+	}
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity 64", c.Len())
+	}
+	if c.Len() < 32 {
+		t.Errorf("Len = %d suspiciously low; shards should fill", c.Len())
+	}
+}
+
+func TestCacheHistoryPurgeReleasesBindings(t *testing.T) {
+	// With a tight RIP, key bindings for long-gone keys must be released,
+	// or the byKey map would grow with every distinct key ever seen.
+	c, err := NewStringCache[int](4, CacheOptions{
+		Shards:                    1,
+		RetainedInformationPeriod: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	s := &c.shards[0]
+	s.mu.Lock()
+	bindings := len(s.byKey)
+	s.mu.Unlock()
+	// Bound: resident (4) + retained within RIP window (16) + slack.
+	if bindings > 4+16+4 {
+		t.Errorf("byKey holds %d bindings; purge is not releasing them", bindings)
+	}
+}
+
+func TestCacheStringAndIntHashes(t *testing.T) {
+	if hashString("a") == hashString("b") {
+		t.Error("hashString collision on trivial inputs")
+	}
+	if hashInt64(1) == hashInt64(2) {
+		t.Error("hashInt64 collision on trivial inputs")
+	}
+	if hashString("") == 0 {
+		t.Log("empty string hashes to FNV offset basis; fine")
+	}
+}
+
+func TestJanitorRequiresWallClock(t *testing.T) {
+	c := newTestCache(t, 8, CacheOptions{Shards: 1})
+	if _, err := c.StartJanitor(time.Millisecond); err != ErrNoClock {
+		t.Errorf("logical-clock janitor error = %v, want ErrNoClock", err)
+	}
+	wall, err := NewStringCache[int](8, CacheOptions{
+		Shards: 1,
+		Clock:  func() policy.Tick { return policy.Tick(time.Now().UnixMilli()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wall.StartJanitor(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	stop, err := wall.StartJanitor(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+}
+
+// TestJanitorPurgesIdleHistory: with a wall clock and a short RIP, retained
+// history of an idle cache must disappear without any traffic.
+func TestJanitorPurgesIdleHistory(t *testing.T) {
+	var now atomic.Int64
+	c, err := NewStringCache[int](2, CacheOptions{
+		Shards:                    1,
+		Clock:                     func() policy.Tick { return policy.Tick(now.Load()) },
+		RetainedInformationPeriod: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create retained history: insert three keys into a 2-entry cache.
+	now.Store(1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts one; its history is retained
+	s := &c.shards[0]
+	s.mu.Lock()
+	before := len(s.byKey)
+	s.mu.Unlock()
+	if before != 3 {
+		t.Fatalf("expected 3 key bindings before purge, got %d", before)
+	}
+	// Jump time past the RIP and let the janitor sweep.
+	now.Store(100)
+	stop, err := c.StartJanitor(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		bindings := len(s.byKey)
+		s.mu.Unlock()
+		if bindings == 2 {
+			return // the evicted key's history was purged while idle
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor did not purge idle history; %d bindings remain", bindings)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

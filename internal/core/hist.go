@@ -1,0 +1,286 @@
+// Package core implements the LRU-K page replacement algorithm of
+// O'Neil, O'Neil & Weikum (SIGMOD 1993) — the primary contribution of the
+// paper this repository reproduces.
+//
+// Three public faces share one implementation of the paper's bookkeeping:
+//
+//   - LRUK: a fixed-capacity page cache implementing the policy.Cache
+//     interface, used by the trace-driven simulator (Section 4).
+//   - Replacer: a pin-aware victim selector for the buffer-pool manager in
+//     internal/bufferpool.
+//   - Cache: a sharded, concurrent, generic in-memory cache with LRU-K
+//     eviction — the artifact a downstream user would adopt.
+//
+// The bookkeeping follows Figure 2.1 of the paper: per-page HIST blocks
+// with the times of the K most recent uncorrelated references, a LAST
+// timestamp for correlated-reference detection (§2.1.1), retained history
+// for non-resident pages (§2.1.2), and a search-tree victim index ordered
+// by Backward K-distance (§2.1.3).
+package core
+
+import (
+	"repro/internal/ordmap"
+	"repro/internal/policy"
+)
+
+// hist is the history control block HIST(p) plus LAST(p) of Figure 2.1.
+type hist struct {
+	// times holds the K most recent uncorrelated reference times:
+	// times[0] is HIST(p,1) (most recent), times[K-1] is HIST(p,K).
+	// A zero entry means "no such reference yet" (backward distance ∞),
+	// matching the pseudo-code's initialisation HIST(p,i) := 0.
+	times []policy.Tick
+	// last is LAST(p): the most recent reference of any kind, correlated
+	// or not.
+	last policy.Tick
+	// resident reports whether the page currently occupies a buffer frame.
+	resident bool
+}
+
+// kth returns HIST(p,K), the time of the K-th most recent uncorrelated
+// reference; zero encodes an infinite Backward K-distance.
+func (h *hist) kth() policy.Tick { return h.times[len(h.times)-1] }
+
+// vkey is the victim-index key. Ascending order is eviction order: the
+// smallest HIST(p,K) is the maximal Backward K-distance (Definition 2.2),
+// zero (∞ distance) sorts first, and HIST(p,1) implements the subsidiary
+// LRU rule among pages tied at infinite distance.
+type vkey struct {
+	kth  policy.Tick
+	hist1 policy.Tick
+	page policy.PageID
+}
+
+func vkeyLess(a, b vkey) bool {
+	if a.kth != b.kth {
+		return a.kth < b.kth
+	}
+	if a.hist1 != b.hist1 {
+		return a.hist1 < b.hist1
+	}
+	return a.page < b.page
+}
+
+func (h *hist) key(p policy.PageID) vkey {
+	return vkey{kth: h.kth(), hist1: h.times[0], page: p}
+}
+
+// retired records a page that left residency at a given LAST time; the
+// retention queue purges history blocks lazily once their age exceeds the
+// Retained Information Period.
+type retired struct {
+	page policy.PageID
+	last policy.Tick
+}
+
+// histTable is the shared engine: history blocks for resident and retained
+// pages, the victim index over the evictable subset, and the retention
+// queue. LRUK, Replacer and the cache shards all embed one.
+type histTable struct {
+	k     int
+	crp   policy.Tick // Correlated Reference Period (§2.1.1); 0 disables
+	rip   policy.Tick // Retained Information Period (§2.1.2); 0 retains forever
+	clock policy.Tick
+
+	pages map[policy.PageID]*hist
+	// index orders the evictable resident pages by Backward K-distance.
+	index *ordmap.Map[vkey, struct{}]
+	// retire is the lazily-validated retention queue, ordered by the LAST
+	// value the page had when it left residency.
+	retire []retired
+	// onPurge, when set, is called for each history block the retention
+	// demon drops; the generic cache uses it to release key bindings.
+	onPurge func(policy.PageID)
+}
+
+func newHistTable(k int, crp, rip policy.Tick) *histTable {
+	return &histTable{
+		k:     k,
+		crp:   crp,
+		rip:   rip,
+		pages: make(map[policy.PageID]*hist),
+		index: ordmap.New[vkey, struct{}](vkeyLess),
+	}
+}
+
+func (t *histTable) reset() {
+	t.clock = 0
+	t.pages = make(map[policy.PageID]*hist)
+	t.index.Clear()
+	t.retire = t.retire[:0]
+}
+
+// tick advances the logical clock by one reference and runs the retention
+// purge. It returns the new time.
+func (t *histTable) tick() policy.Tick {
+	t.clock++
+	t.purge()
+	return t.clock
+}
+
+// advanceTo moves the clock forward to now (never backward, so a
+// non-monotonic external clock cannot corrupt history ordering), runs the
+// retention purge, and returns the effective time.
+func (t *histTable) advanceTo(now policy.Tick) policy.Tick {
+	if now > t.clock {
+		t.clock = now
+	}
+	t.purge()
+	return t.clock
+}
+
+// touchResident processes a reference at time now to a page already in
+// buffer, per the top branch of Figure 2.1. indexed reports whether the
+// page is currently in the victim index (evictable); if so its key is
+// refreshed on an uncorrelated reference.
+func (t *histTable) touchResident(p policy.PageID, h *hist, now policy.Tick, indexed bool) {
+	if t.crp > 0 && now-h.last <= t.crp {
+		// A correlated reference: only LAST moves (§2.1.1).
+		h.last = now
+		return
+	}
+	// A new, uncorrelated reference: close the correlated period by
+	// crediting its span to the older history entries, collapsing the burst
+	// to a zero-width interval, exactly as Figure 2.1 does.
+	if indexed {
+		t.index.Delete(h.key(p))
+	}
+	span := h.last - h.times[0]
+	for i := t.k - 1; i >= 1; i-- {
+		if h.times[i-1] != 0 {
+			h.times[i] = h.times[i-1] + span
+		}
+	}
+	h.times[0] = now
+	h.last = now
+	if indexed {
+		t.index.Set(h.key(p), struct{}{})
+	}
+}
+
+// admit installs page p as resident at time now, creating or shifting its
+// history control block per the bottom branch of Figure 2.1, and returns
+// its block. indexed controls whether the page enters the victim index
+// immediately (the Replacer defers that to SetEvictable).
+func (t *histTable) admit(p policy.PageID, now policy.Tick, indexed bool) *hist {
+	h, ok := t.pages[p]
+	if !ok {
+		// "allocate HIST(p); for i := 2 to K do HIST(p,i) := 0"
+		h = &hist{times: make([]policy.Tick, t.k)}
+		t.pages[p] = h
+	} else {
+		// History survives from a previous residency (§2.1.2): shift it so
+		// the new reference becomes HIST(p,1).
+		for i := t.k - 1; i >= 1; i-- {
+			h.times[i] = h.times[i-1]
+		}
+	}
+	h.times[0] = now
+	h.last = now
+	h.resident = true
+	if indexed {
+		t.index.Set(h.key(p), struct{}{})
+	}
+	return h
+}
+
+// evictResident removes p from residency, retiring its history block into
+// the retention queue. The caller must already have removed it from the
+// victim index (or know it was never indexed).
+func (t *histTable) evictResident(p policy.PageID, h *hist) {
+	h.resident = false
+	if t.rip > 0 {
+		t.retire = append(t.retire, retired{page: p, last: h.last})
+	}
+}
+
+// selectVictim returns the evictable page with the maximal Backward
+// K-distance whose correlated reference period has expired
+// ("t - LAST(q) > Correlated Reference Period" in Figure 2.1). If every
+// indexed page is still inside its correlated period, the overall maximum
+// is returned anyway — the paper leaves this case open, and starving
+// admission would deadlock a real buffer pool. ok is false when the index
+// is empty.
+func (t *histTable) selectVictim(now policy.Tick) (victim policy.PageID, ok bool) {
+	if t.crp == 0 {
+		k, _, found := t.index.Min()
+		return k.page, found
+	}
+	found := false
+	t.index.Ascend(func(k vkey, _ struct{}) bool {
+		h := t.pages[k.page]
+		if now-h.last > t.crp {
+			victim, found = k.page, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return victim, true
+	}
+	k, _, fallback := t.index.Min()
+	return k.page, fallback
+}
+
+// purge is the paper's "asynchronous demon process" (§2.1.3) run inline:
+// it drops history control blocks of non-resident pages whose most recent
+// reference is more than the Retained Information Period in the past.
+// Queue entries are validated lazily, so the amortised cost is O(1) per
+// reference.
+func (t *histTable) purge() {
+	if t.rip == 0 {
+		return
+	}
+	for len(t.retire) > 0 {
+		head := t.retire[0]
+		if t.clock-head.last <= t.rip {
+			return
+		}
+		t.retire = t.retire[1:]
+		h, ok := t.pages[head.page]
+		if !ok || h.resident || h.last != head.last {
+			// The page was readmitted (and possibly re-retired) since this
+			// entry was queued; a fresher entry governs it.
+			continue
+		}
+		delete(t.pages, head.page)
+		if t.onPurge != nil {
+			t.onPurge(head.page)
+		}
+	}
+}
+
+// historyLen returns the number of history control blocks held, resident
+// or retained. Exposed for tests of the retention demon.
+func (t *histTable) historyLen() int { return len(t.pages) }
+
+// dropOldestRetained purges the oldest retained (non-resident) history
+// block regardless of the Retained Information Period, reporting whether
+// one was dropped. The budgeted policy uses it to convert history memory
+// back into buffer frames when the history share outgrows its budget.
+func (t *histTable) dropOldestRetained() bool {
+	for len(t.retire) > 0 {
+		head := t.retire[0]
+		t.retire = t.retire[1:]
+		h, ok := t.pages[head.page]
+		if !ok || h.resident || h.last != head.last {
+			continue // stale queue entry; a fresher one governs the page
+		}
+		delete(t.pages, head.page)
+		if t.onPurge != nil {
+			t.onPurge(head.page)
+		}
+		return true
+	}
+	return false
+}
+
+// backwardKDistance returns b_t(p,K) per Definition 2.1, with ok=false
+// encoding an infinite distance (no K-th reference on record).
+func (t *histTable) backwardKDistance(p policy.PageID) (policy.Tick, bool) {
+	h, found := t.pages[p]
+	if !found || h.kth() == 0 {
+		return 0, false
+	}
+	return t.clock - h.kth(), true
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// bruteLRUK is a literal transcription of the Figure 2.1 pseudo-code with
+// an O(n) victim scan, used as the reference model for cross-validation.
+// Tie-breaking matches the documented production rule: among eligible
+// pages, the minimal (HIST(p,K), HIST(p,1), page id) triple wins.
+type bruteLRUK struct {
+	k, capacity int
+	crp         policy.Tick
+	clock       policy.Tick
+	hist        map[policy.PageID][]policy.Tick
+	last        map[policy.PageID]policy.Tick
+	resident    map[policy.PageID]bool
+}
+
+func newBrute(capacity, k int, crp policy.Tick) *bruteLRUK {
+	return &bruteLRUK{
+		k: k, capacity: capacity, crp: crp,
+		hist:     make(map[policy.PageID][]policy.Tick),
+		last:     make(map[policy.PageID]policy.Tick),
+		resident: make(map[policy.PageID]bool),
+	}
+}
+
+func (b *bruteLRUK) reference(p policy.PageID) bool {
+	b.clock++
+	t := b.clock
+	if b.resident[p] {
+		if b.crp == 0 || t-b.last[p] > b.crp {
+			span := b.last[p] - b.hist[p][0]
+			for i := b.k - 1; i >= 1; i-- {
+				if b.hist[p][i-1] != 0 {
+					b.hist[p][i] = b.hist[p][i-1] + span
+				}
+			}
+			b.hist[p][0] = t
+		}
+		b.last[p] = t
+		return true
+	}
+	if len(b.residentSet()) >= b.capacity {
+		victim := b.selectVictim(t)
+		delete(b.resident, victim)
+	}
+	if _, ok := b.hist[p]; !ok {
+		b.hist[p] = make([]policy.Tick, b.k)
+	} else {
+		for i := b.k - 1; i >= 1; i-- {
+			b.hist[p][i] = b.hist[p][i-1]
+		}
+	}
+	b.hist[p][0] = t
+	b.last[p] = t
+	b.resident[p] = true
+	return false
+}
+
+func (b *bruteLRUK) residentSet() []policy.PageID {
+	out := make([]policy.PageID, 0, len(b.resident))
+	for p := range b.resident {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (b *bruteLRUK) better(p, q policy.PageID) bool {
+	hp, hq := b.hist[p], b.hist[q]
+	if hp[b.k-1] != hq[b.k-1] {
+		return hp[b.k-1] < hq[b.k-1]
+	}
+	if hp[0] != hq[0] {
+		return hp[0] < hq[0]
+	}
+	return p < q
+}
+
+func (b *bruteLRUK) selectVictim(t policy.Tick) policy.PageID {
+	var victim policy.PageID = policy.InvalidPage
+	eligible := false
+	for q := range b.resident {
+		if b.crp > 0 && t-b.last[q] <= b.crp {
+			continue
+		}
+		if victim == policy.InvalidPage || b.better(q, victim) {
+			victim = q
+		}
+		eligible = true
+	}
+	if eligible {
+		return victim
+	}
+	// Fallback: all pages inside their correlated period.
+	for q := range b.resident {
+		if victim == policy.InvalidPage || b.better(q, victim) {
+			victim = q
+		}
+	}
+	return victim
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLRUK(0, 2) },
+		func() { NewLRUK(-3, 2) },
+		func() { NewLRUK(10, 0) },
+		func() { NewReplacer(0, Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNameFollowsTaxonomy(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7} {
+		c := NewLRUK(4, k)
+		want := map[int]string{1: "LRU-1", 2: "LRU-2", 3: "LRU-3", 7: "LRU-7"}[k]
+		if c.Name() != want {
+			t.Errorf("Name() = %q, want %q", c.Name(), want)
+		}
+		if c.K() != k {
+			t.Errorf("K() = %d, want %d", c.K(), k)
+		}
+	}
+}
+
+// TestLRU1MatchesClassicalLRU: the paper states "LRU-1 corresponds to the
+// classical LRU algorithm". With CRP=0 the two must agree reference by
+// reference on any trace.
+func TestLRU1MatchesClassicalLRU(t *testing.T) {
+	r := stats.NewRNG(101)
+	for round := 0; round < 5; round++ {
+		trace := make([]policy.PageID, 5000)
+		for i := range trace {
+			trace[i] = policy.PageID(r.Intn(100))
+		}
+		for _, capacity := range []int{1, 7, 50} {
+			lruk := NewLRUK(capacity, 1)
+			lru := policy.NewLRU(capacity)
+			for i, p := range trace {
+				h1, h2 := lruk.Reference(p), lru.Reference(p)
+				if h1 != h2 {
+					t.Fatalf("round %d cap %d ref %d: LRU-1 hit=%v, classical LRU hit=%v",
+						round, capacity, i, h1, h2)
+				}
+			}
+		}
+	}
+}
+
+// TestBackwardKDistanceDefinition exercises Definition 2.1 directly on a
+// handcrafted reference string.
+func TestBackwardKDistanceDefinition(t *testing.T) {
+	c := NewLRUK(10, 2)
+	// Reference string: p at t=1, q at t=2, p at t=3, q at t=4, r at t=5.
+	for _, p := range []policy.PageID{1, 2, 1, 2, 3} {
+		c.Reference(p)
+	}
+	// b_5(1,2): second most recent reference to page 1 is at t=1 → 5-1=4.
+	if d, ok := c.BackwardKDistance(1); !ok || d != 4 {
+		t.Errorf("b(1,2) = %d,%v, want 4,true", d, ok)
+	}
+	// b_5(2,2): second most recent reference to page 2 is at t=2 → 3.
+	if d, ok := c.BackwardKDistance(2); !ok || d != 3 {
+		t.Errorf("b(2,2) = %d,%v, want 3,true", d, ok)
+	}
+	// Page 3 has one reference: infinite.
+	if _, ok := c.BackwardKDistance(3); ok {
+		t.Error("b(3,2) should be infinite")
+	}
+	// Unknown page: infinite.
+	if _, ok := c.BackwardKDistance(99); ok {
+		t.Error("b(unknown,2) should be infinite")
+	}
+}
+
+// TestInfiniteDistanceEvictedFirst: pages with fewer than K references are
+// the first victims, and among them the subsidiary policy is classical LRU
+// (Definition 2.2).
+func TestInfiniteDistanceEvictedFirst(t *testing.T) {
+	c := NewLRUK(3, 2)
+	c.Reference(1)
+	c.Reference(1) // page 1 has two refs: finite distance
+	c.Reference(2) // one ref: infinite
+	c.Reference(3) // one ref: infinite, more recent than 2
+	c.Reference(4) // miss: must evict 2 (infinite, least recently used)
+	if c.Resident(2) {
+		t.Error("subsidiary LRU should have evicted page 2 first")
+	}
+	for _, p := range []policy.PageID{1, 3, 4} {
+		if !c.Resident(p) {
+			t.Errorf("page %d should be resident", p)
+		}
+	}
+}
+
+// TestFrequentPageSurvives is Example 1.1 in miniature: a page with proven
+// short interarrival time outlives a parade of once-referenced pages.
+func TestFrequentPageSurvives(t *testing.T) {
+	c := NewLRUK(2, 2)
+	c.Reference(100)
+	c.Reference(100) // hot page, b finite and small
+	for p := policy.PageID(0); p < 50; p++ {
+		c.Reference(p)
+	}
+	if !c.Resident(100) {
+		t.Error("LRU-2 evicted the only page with known frequency")
+	}
+	// Classical LRU, by contrast, loses it immediately.
+	lru := policy.NewLRU(2)
+	lru.Reference(100)
+	lru.Reference(100)
+	for p := policy.PageID(0); p < 50; p++ {
+		lru.Reference(p)
+	}
+	if lru.Resident(100) {
+		t.Error("expected classical LRU to lose the hot page (contrast check)")
+	}
+}
+
+// TestCorrelatedBurstCollapses verifies §2.1.1: a burst of references
+// within the CRP counts as a single uncorrelated reference, and the span
+// of the closing correlated period is credited to older history entries.
+func TestCorrelatedBurstCollapses(t *testing.T) {
+	c := NewLRUKWithOptions(10, 2, Options{CorrelatedReferencePeriod: 5})
+	// t=1: first reference to page 1; t=2,3: correlated follow-ups.
+	c.Reference(1)
+	c.Reference(1)
+	c.Reference(1)
+	times, last, ok := c.HistTimes(1)
+	if !ok {
+		t.Fatal("no history for page 1")
+	}
+	if times[0] != 1 || times[1] != 0 || last != 3 {
+		t.Fatalf("after burst: HIST=%v LAST=%d, want HIST[0]=1 HIST[1]=0 LAST=3", times, last)
+	}
+	// Advance time past the CRP with other pages (t=4..9), then re-reference
+	// page 1 at t=10: uncorrelated. The correlated span (3-1=2) is credited:
+	// HIST(1,2) = HIST(1,1) + span = 1 + 2 = 3; HIST(1,1) = 10.
+	for i := 0; i < 6; i++ {
+		c.Reference(policy.PageID(50 + i))
+	}
+	c.Reference(1)
+	times, last, _ = c.HistTimes(1)
+	if times[0] != 10 || times[1] != 3 || last != 10 {
+		t.Fatalf("after uncorrelated ref: HIST=%v LAST=%d, want [10 3] 10", times, last)
+	}
+	// Backward 2-distance is therefore 10-3=7, not 10-2=8: the burst
+	// collapsed to a zero-width interval.
+	if d, ok := c.BackwardKDistance(1); !ok || d != 7 {
+		t.Errorf("b(1,2) = %d,%v, want 7,true", d, ok)
+	}
+}
+
+// TestCRPGuardsFreshPages: a page inside its correlated period is not
+// eligible for replacement (Figure 2.1's eligibility test), protecting
+// just-read pages from instant eviction.
+func TestCRPGuardsFreshPages(t *testing.T) {
+	c := NewLRUKWithOptions(2, 2, Options{CorrelatedReferencePeriod: 100})
+	c.Reference(1) // t=1
+	c.Reference(2) // t=2; both pages inside CRP
+	c.Reference(3) // t=3: no eligible victim; fallback evicts max-distance page 1
+	if c.Resident(1) || !c.Resident(2) || !c.Resident(3) {
+		t.Errorf("fallback eviction wrong: 1=%v 2=%v 3=%v",
+			c.Resident(1), c.Resident(2), c.Resident(3))
+	}
+}
+
+// TestCRPEligibilitySkipsRecent: with CRP set, an old enough page is evicted
+// in preference to a more-distant page still inside its correlated period.
+func TestCRPEligibilitySkipsRecent(t *testing.T) {
+	c := NewLRUKWithOptions(2, 2, Options{CorrelatedReferencePeriod: 2})
+	c.Reference(1) // t=1, infinite distance
+	c.Reference(2) // t=2, infinite distance
+	c.Reference(2) // t=3 correlated touch on 2 (within CRP)
+	c.Reference(2) // t=4 keeps LAST(2)=4 fresh
+	// t=5: page 1 (LAST=1) is eligible (5-1>2); page 2 (LAST=4) is not
+	// (5-4<=2). Both have infinite distance; without CRP the subsidiary LRU
+	// would pick 1 anyway, so make page 1 the *less* attractive victim by
+	// giving it a second uncorrelated reference... instead verify page 2
+	// survives despite being the subsidiary-LRU victim candidate order.
+	c.Reference(3)
+	if c.Resident(2) == false {
+		t.Error("page inside its correlated period was evicted while an eligible page existed")
+	}
+	if c.Resident(1) {
+		t.Error("eligible page 1 should have been the victim")
+	}
+}
+
+// TestRetainedInformation verifies §2.1.2: history survives eviction, so a
+// page re-referenced after being dropped is recognised as frequent.
+func TestRetainedInformation(t *testing.T) {
+	c := NewLRUK(1, 2) // single frame forces constant eviction
+	c.Reference(1)     // t=1
+	c.Reference(2)     // t=2, evicts 1 but retains HIST(1)
+	c.Reference(1)     // t=3, readmits 1; HIST shifts: times=[3,1]
+	if d, ok := c.BackwardKDistance(1); !ok || d != 2 {
+		t.Errorf("b(1,2) = %d,%v, want 2,true — retained history must count", d, ok)
+	}
+}
+
+// TestRetainedInformationPurge verifies the retention demon: blocks for
+// non-resident pages older than the RIP are dropped, and the page loses its
+// standing.
+func TestRetainedInformationPurge(t *testing.T) {
+	c := NewLRUKWithOptions(1, 2, Options{RetainedInformationPeriod: 5})
+	c.Reference(1) // t=1
+	c.Reference(2) // t=2: 1 evicted, history retained
+	if c.HistorySize() != 2 {
+		t.Fatalf("HistorySize = %d, want 2", c.HistorySize())
+	}
+	// References to other pages push the clock past 1's RIP (last=1, purge
+	// once clock-1 > 5, i.e. clock >= 7). 8 distinct pages are referenced
+	// in total; only those whose last reference is within the RIP may keep
+	// a history block.
+	for i := 0; i < 6; i++ {
+		c.Reference(policy.PageID(10 + i))
+	}
+	if c.HistorySize() >= 8 {
+		t.Errorf("HistorySize = %d of 8 referenced pages; retention demon not purging", c.HistorySize())
+	}
+	if c.HistorySize() > 1+5+1 { // resident + one per tick of the RIP window
+		t.Errorf("HistorySize = %d exceeds the RIP retention bound", c.HistorySize())
+	}
+	// Page 1's block (last=1, now 6+ ticks stale) must be gone, so the page
+	// has lost its standing entirely.
+	c.Reference(1)
+	times, _, _ := c.HistTimes(1)
+	if times[1] != 0 {
+		t.Errorf("HIST(1) = %v after purge+readmit; want empty older slot", times)
+	}
+}
+
+// TestHistoryBoundedByRIP: with a retention period set, the history table
+// cannot grow without bound on a scan of distinct pages.
+func TestHistoryBoundedByRIP(t *testing.T) {
+	const rip = 64
+	c := NewLRUKWithOptions(8, 2, Options{RetainedInformationPeriod: rip})
+	for i := 0; i < 100000; i++ {
+		c.Reference(policy.PageID(i)) // pure sequential scan, all distinct
+	}
+	// Bound: resident pages + pages referenced in the last RIP ticks.
+	if max := 8 + rip + 1; c.HistorySize() > max {
+		t.Errorf("HistorySize = %d, want <= %d under RIP", c.HistorySize(), max)
+	}
+}
+
+// TestScanResistance is Example 1.2 in miniature: LRU-2 retains a hot set
+// across a long sequential scan far better than LRU-1.
+func TestScanResistance(t *testing.T) {
+	run := func(c policy.Cache) float64 {
+		r := stats.NewRNG(7)
+		hot := 20
+		// Phase 1: establish the hot set.
+		for i := 0; i < 2000; i++ {
+			c.Reference(policy.PageID(r.Intn(hot)))
+		}
+		// Phase 2: sequential scan of 1000 cold pages interleaved with hot refs.
+		for i := 0; i < 1000; i++ {
+			c.Reference(policy.PageID(1000 + i))
+			c.Reference(policy.PageID(r.Intn(hot)))
+		}
+		// Phase 3: measure hot-set hit ratio.
+		hits := 0
+		const probes = 2000
+		for i := 0; i < probes; i++ {
+			if c.Reference(policy.PageID(r.Intn(hot))) {
+				hits++
+			}
+		}
+		return float64(hits) / probes
+	}
+	lru2 := run(NewLRUK(25, 2))
+	lru1 := run(policy.NewLRU(25))
+	if lru2 < 0.95 {
+		t.Errorf("LRU-2 hot hit ratio %.3f under scan, want >= 0.95", lru2)
+	}
+	if lru2 <= lru1 {
+		t.Errorf("LRU-2 (%.3f) not better than LRU-1 (%.3f) under scan interference", lru2, lru1)
+	}
+}
+
+// TestCrossValidateAgainstFigure21 replays random traces through LRUK and
+// the literal pseudo-code transcription, comparing hit patterns and
+// resident sets at every step.
+func TestCrossValidateAgainstFigure21(t *testing.T) {
+	r := stats.NewRNG(31337)
+	configs := []struct {
+		capacity, k int
+		crp         policy.Tick
+		pages       int
+	}{
+		{5, 2, 0, 20},
+		{10, 2, 0, 40},
+		{10, 3, 0, 40},
+		{4, 1, 0, 15},
+		{8, 2, 3, 30},
+		{8, 4, 5, 25},
+		{1, 2, 0, 10},
+		{16, 5, 2, 60},
+	}
+	for _, cfg := range configs {
+		c := NewLRUKWithOptions(cfg.capacity, cfg.k, Options{CorrelatedReferencePeriod: cfg.crp})
+		b := newBrute(cfg.capacity, cfg.k, cfg.crp)
+		for i := 0; i < 6000; i++ {
+			p := policy.PageID(r.Intn(cfg.pages))
+			h1, h2 := c.Reference(p), b.reference(p)
+			if h1 != h2 {
+				t.Fatalf("cfg %+v ref %d page %d: LRUK hit=%v, Figure 2.1 hit=%v", cfg, i, p, h1, h2)
+			}
+			if c.Len() != len(b.resident) {
+				t.Fatalf("cfg %+v ref %d: Len %d vs brute %d", cfg, i, c.Len(), len(b.resident))
+			}
+			for q := range b.resident {
+				if !c.Resident(q) {
+					t.Fatalf("cfg %+v ref %d: page %d resident in brute force only", cfg, i, q)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickResidencyInvariants is a property test over arbitrary short
+// traces: capacity respected, referenced page resident, hit implies prior
+// residency.
+func TestQuickResidencyInvariants(t *testing.T) {
+	f := func(raw []uint8, kRaw, capRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		capacity := int(capRaw%8) + 1
+		c := NewLRUK(capacity, k)
+		for _, x := range raw {
+			p := policy.PageID(x % 24)
+			wasResident := c.Resident(p)
+			hit := c.Reference(p)
+			if hit != wasResident {
+				return false
+			}
+			if !c.Resident(p) || c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLRUKMatchesBrute is the property-test form of the
+// cross-validation, over quick-generated traces.
+func TestQuickLRUKMatchesBrute(t *testing.T) {
+	f := func(raw []uint8, kRaw, capRaw, crpRaw uint8) bool {
+		k := int(kRaw%3) + 1
+		capacity := int(capRaw%6) + 1
+		crp := policy.Tick(crpRaw % 4)
+		c := NewLRUKWithOptions(capacity, k, Options{CorrelatedReferencePeriod: crp})
+		b := newBrute(capacity, k, crp)
+		for _, x := range raw {
+			p := policy.PageID(x % 16)
+			if c.Reference(p) != b.reference(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetRestoresEmptyState(t *testing.T) {
+	c := NewLRUK(4, 2)
+	for i := 0; i < 100; i++ {
+		c.Reference(policy.PageID(i % 10))
+	}
+	c.Reset()
+	if c.Len() != 0 || c.HistorySize() != 0 || c.Clock() != 0 {
+		t.Errorf("Reset left state: Len=%d HistorySize=%d Clock=%d", c.Len(), c.HistorySize(), c.Clock())
+	}
+	if c.Reference(1) {
+		t.Error("hit on a fresh cache")
+	}
+}
+
+func TestDefaultRIP(t *testing.T) {
+	if got := DefaultRIP(100, 2); got != 400 {
+		t.Errorf("DefaultRIP(100,2) = %d, want 400", got)
+	}
+}

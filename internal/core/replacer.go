@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Replacer is the buffer-pool-facing form of LRU-K: a victim selector over
+// pages whose residency, pinning and eviction are controlled externally by
+// a buffer-pool manager. Pinned pages (evictable=false) never appear in
+// the victim index; the pool marks a page evictable once its pin count
+// drops to zero.
+//
+// This is the shape a real database engine embeds (the paper's prototype
+// inside the Amdahl Huron buffer manager); the trace simulator uses the
+// simpler LRUK type instead.
+//
+// Replacer is not safe for concurrent use; the buffer pool serialises
+// access under its own latch.
+type Replacer struct {
+	k     int
+	table *histTable
+	// evictable tracks which resident pages are currently in the index.
+	evictable map[policy.PageID]bool
+}
+
+// NewReplacer returns an LRU-K replacer for a pool with the given history
+// depth and §2.1 periods.
+func NewReplacer(k int, opts Options) *Replacer {
+	if k < 1 {
+		panic(fmt.Sprintf("core: K must be at least 1, got %d", k))
+	}
+	return &Replacer{
+		k:         k,
+		table:     newHistTable(k, opts.CorrelatedReferencePeriod, opts.RetainedInformationPeriod),
+		evictable: make(map[policy.PageID]bool),
+	}
+}
+
+// RecordAccess notes a reference to page p, which the pool has made (or is
+// about to make) resident. It advances the logical clock by one reference.
+func (r *Replacer) RecordAccess(p policy.PageID) {
+	now := r.table.tick()
+	if h, ok := r.table.pages[p]; ok && h.resident {
+		r.table.touchResident(p, h, now, r.evictable[p])
+		return
+	}
+	// New residency; pages enter pinned, so not indexed yet.
+	r.table.admit(p, now, false)
+}
+
+// SetEvictable marks page p as evictable (pin count zero) or not. Calls
+// for pages the replacer has never seen are ignored, matching the
+// tolerance a pool needs during recovery paths.
+func (r *Replacer) SetEvictable(p policy.PageID, evictable bool) {
+	h, ok := r.table.pages[p]
+	if !ok || !h.resident {
+		return
+	}
+	if r.evictable[p] == evictable {
+		return
+	}
+	if evictable {
+		r.evictable[p] = true
+		r.table.index.Set(h.key(p), struct{}{})
+	} else {
+		delete(r.evictable, p)
+		r.table.index.Delete(h.key(p))
+	}
+}
+
+// Evict selects, removes and returns the victim page: the evictable page
+// with the maximal Backward K-distance, honouring the Correlated Reference
+// Period eligibility rule. ok is false when nothing is evictable.
+func (r *Replacer) Evict() (policy.PageID, bool) {
+	victim, ok := r.table.selectVictim(r.table.clock)
+	if !ok {
+		return policy.InvalidPage, false
+	}
+	h := r.table.pages[victim]
+	r.table.index.Delete(h.key(victim))
+	delete(r.evictable, victim)
+	r.table.evictResident(victim, h)
+	return victim, true
+}
+
+// Remove drops page p from the replacer entirely (page deallocated rather
+// than evicted); its history is retired as on eviction, since a reallocated
+// page id may recur.
+func (r *Replacer) Remove(p policy.PageID) {
+	h, ok := r.table.pages[p]
+	if !ok || !h.resident {
+		return
+	}
+	if r.evictable[p] {
+		r.table.index.Delete(h.key(p))
+		delete(r.evictable, p)
+	}
+	r.table.evictResident(p, h)
+}
+
+// Size returns the number of evictable pages.
+func (r *Replacer) Size() int { return len(r.evictable) }
+
+// HistorySize returns the number of retained history control blocks.
+func (r *Replacer) HistorySize() int { return r.table.historyLen() }

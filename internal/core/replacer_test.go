@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestReplacerPinSemantics(t *testing.T) {
+	r := NewReplacer(2, Options{})
+	r.RecordAccess(1)
+	r.RecordAccess(2)
+	// Nothing evictable yet: pages enter pinned.
+	if _, ok := r.Evict(); ok {
+		t.Fatal("Evict succeeded with all pages pinned")
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", r.Size())
+	}
+	r.SetEvictable(1, true)
+	r.SetEvictable(2, true)
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", r.Size())
+	}
+	// Re-pin 1; only 2 is evictable.
+	r.SetEvictable(1, false)
+	victim, ok := r.Evict()
+	if !ok || victim != 2 {
+		t.Fatalf("Evict = %d,%v, want 2,true", victim, ok)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size after evict = %d, want 0", r.Size())
+	}
+}
+
+func TestReplacerBackwardKOrder(t *testing.T) {
+	r := NewReplacer(2, Options{})
+	// Page 1: two accesses (finite distance). Pages 2, 3: one access each.
+	r.RecordAccess(1) // t=1
+	r.RecordAccess(1) // t=2
+	r.RecordAccess(2) // t=3
+	r.RecordAccess(3) // t=4
+	for _, p := range []policy.PageID{1, 2, 3} {
+		r.SetEvictable(p, true)
+	}
+	// Victims in order: 2 (∞, older), 3 (∞, newer), then 1 (finite).
+	want := []policy.PageID{2, 3, 1}
+	for i, w := range want {
+		got, ok := r.Evict()
+		if !ok || got != w {
+			t.Fatalf("eviction %d = %d,%v, want %d", i, got, ok, w)
+		}
+	}
+}
+
+func TestReplacerAccessRefreshesOrder(t *testing.T) {
+	r := NewReplacer(1, Options{})
+	r.RecordAccess(1)
+	r.RecordAccess(2)
+	r.SetEvictable(1, true)
+	r.SetEvictable(2, true)
+	// Touch 1 again: its last uncorrelated reference is now the most
+	// recent, so 2 becomes the LRU victim among the ∞-distance pages.
+	r.RecordAccess(1)
+	victim, ok := r.Evict()
+	if !ok || victim != 2 {
+		t.Fatalf("Evict = %d,%v, want 2,true", victim, ok)
+	}
+}
+
+func TestReplacerSetEvictableIdempotent(t *testing.T) {
+	r := NewReplacer(2, Options{})
+	r.RecordAccess(1)
+	r.SetEvictable(1, true)
+	r.SetEvictable(1, true)
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d after double SetEvictable(true)", r.Size())
+	}
+	r.SetEvictable(1, false)
+	r.SetEvictable(1, false)
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d after double SetEvictable(false)", r.Size())
+	}
+	// Unknown pages are tolerated.
+	r.SetEvictable(99, true)
+	if r.Size() != 0 {
+		t.Fatal("SetEvictable admitted an unknown page")
+	}
+}
+
+func TestReplacerRemove(t *testing.T) {
+	r := NewReplacer(2, Options{})
+	r.RecordAccess(1)
+	r.RecordAccess(2)
+	r.SetEvictable(1, true)
+	r.SetEvictable(2, true)
+	r.Remove(1)
+	if r.Size() != 1 {
+		t.Fatalf("Size after Remove = %d, want 1", r.Size())
+	}
+	victim, ok := r.Evict()
+	if !ok || victim != 2 {
+		t.Fatalf("Evict = %d,%v, want 2,true", victim, ok)
+	}
+	// Remove of unknown or already-removed pages is a no-op.
+	r.Remove(1)
+	r.Remove(42)
+}
+
+func TestReplacerHistorySurvivesEviction(t *testing.T) {
+	r := NewReplacer(2, Options{})
+	r.RecordAccess(1) // t=1
+	r.SetEvictable(1, true)
+	if v, _ := r.Evict(); v != 1 {
+		t.Fatal("setup eviction failed")
+	}
+	r.RecordAccess(2) // t=2
+	r.RecordAccess(1) // t=3: readmitted; HIST shifts to [3,1]
+	if r.HistorySize() < 2 {
+		t.Fatalf("HistorySize = %d, want >= 2", r.HistorySize())
+	}
+	r.SetEvictable(1, true)
+	r.SetEvictable(2, true)
+	// Page 1 now has a finite backward 2-distance; page 2 is infinite, so 2
+	// must be the victim even though 1 was referenced longer ago first.
+	victim, ok := r.Evict()
+	if !ok || victim != 2 {
+		t.Fatalf("Evict = %d,%v, want 2,true (retained history must count)", victim, ok)
+	}
+}
+
+func TestReplacerCRP(t *testing.T) {
+	r := NewReplacer(2, Options{CorrelatedReferencePeriod: 3})
+	r.RecordAccess(1) // t=1
+	r.RecordAccess(2) // t=2
+	r.RecordAccess(3) // t=3
+	r.RecordAccess(4) // t=4
+	for _, p := range []policy.PageID{1, 2, 3, 4} {
+		r.SetEvictable(p, true)
+	}
+	// At clock 4, pages 2,3,4 are inside the CRP (4-last <= 3); only page 1
+	// (4-1 > 3) is eligible.
+	victim, ok := r.Evict()
+	if !ok || victim != 1 {
+		t.Fatalf("Evict = %d,%v, want 1,true (only eligible page)", victim, ok)
+	}
+}

@@ -1,0 +1,237 @@
+// Package db assembles the storage substrates — simulated disk, buffer
+// pool, heap file, B-tree — into the miniature database of the paper's
+// Example 1.1: customer records referenced through a clustered B-tree
+// index on CUST-ID. A lookup touches index pages root-to-leaf and then the
+// record's data page, producing exactly the alternating I1, R1, I2, R2,
+// ... reference pattern whose buffering behaviour motivates LRU-K.
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bufferpool"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/heapfile"
+	"repro/internal/stats"
+)
+
+// Config sizes the database instance.
+type Config struct {
+	// Frames is the buffer pool size in pages. The paper's Example 1.1
+	// discussion centres on 101 frames (root + all leaf pages + 1).
+	Frames int
+	// K is the LRU-K history depth of the pool's replacer (1 = classical
+	// LRU). Default 2.
+	K int
+	// ReplacerOptions are the §2.1 periods for the replacer.
+	ReplacerOptions core.Options
+	// RecordSize is the customer record size in bytes; the paper uses
+	// 2000, packing two records per 4 KByte page. Default 2000.
+	RecordSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 2
+	}
+	if c.RecordSize == 0 {
+		c.RecordSize = 2000
+	}
+	return c
+}
+
+// DB is the miniature customer database.
+type DB struct {
+	cfg       Config
+	disk      *disk.Manager
+	pool      *bufferpool.Pool
+	customers *heapfile.File
+	index     *btree.Tree
+	rids      map[int64]heapfile.RID // loader's check table, not an access path
+}
+
+// Open creates an empty database.
+func Open(cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Frames <= 0 {
+		return nil, fmt.Errorf("db: frame count must be positive, got %d", cfg.Frames)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("db: K must be at least 1, got %d", cfg.K)
+	}
+	if cfg.RecordSize <= 8 || cfg.RecordSize > heapfile.MaxRecord {
+		return nil, fmt.Errorf("db: record size %d outside (8, %d]", cfg.RecordSize, heapfile.MaxRecord)
+	}
+	d := disk.NewManager(disk.ServiceModel{})
+	pool := bufferpool.New(d, cfg.Frames, core.NewReplacer(cfg.K, cfg.ReplacerOptions))
+	file := heapfile.New(pool)
+	idx, err := btree.New(pool)
+	if err != nil {
+		return nil, fmt.Errorf("db: creating index: %w", err)
+	}
+	return &DB{
+		cfg:       cfg,
+		disk:      d,
+		pool:      pool,
+		customers: file,
+		index:     idx,
+		rids:      make(map[int64]heapfile.RID),
+	}, nil
+}
+
+// LoadCustomers bulk-loads n customer records keyed 0..n-1. Each record
+// begins with its CUST-ID (8 bytes little-endian) followed by filler.
+func (db *DB) LoadCustomers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("db: customer count must be positive, got %d", n)
+	}
+	rec := make([]byte, db.cfg.RecordSize)
+	for id := int64(0); id < int64(n); id++ {
+		binary.LittleEndian.PutUint64(rec, uint64(id))
+		rid, err := db.customers.Insert(rec)
+		if err != nil {
+			return fmt.Errorf("db: loading customer %d: %w", id, err)
+		}
+		if err := db.index.Insert(id, rid); err != nil {
+			return fmt.Errorf("db: indexing customer %d: %w", id, err)
+		}
+		db.rids[id] = rid
+	}
+	return nil
+}
+
+// Lookup retrieves the customer record through the index — the I, R
+// reference pair of Example 1.1.
+func (db *DB) Lookup(custID int64) ([]byte, error) {
+	rid, ok, err := db.index.Get(custID)
+	if err != nil {
+		return nil, fmt.Errorf("db: lookup %d: %w", custID, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("db: customer %d not found", custID)
+	}
+	return db.customers.Get(rid)
+}
+
+// UpdateCustomer overwrites the filler of a customer record in place (a
+// TPC-A-style read-modify-write), producing the intra-transaction
+// correlated reference pair of §2.1.1: the record page is referenced once
+// by Lookup and again by the write.
+func (db *DB) UpdateCustomer(custID int64, fill byte) error {
+	rid, ok, err := db.index.Get(custID)
+	if err != nil {
+		return fmt.Errorf("db: update %d: %w", custID, err)
+	}
+	if !ok {
+		return fmt.Errorf("db: customer %d not found", custID)
+	}
+	rec, err := db.customers.Get(rid)
+	if err != nil {
+		return err
+	}
+	for i := 8; i < len(rec); i++ {
+		rec[i] = fill
+	}
+	return db.customers.Update(rid, rec)
+}
+
+// ScanCustomers sequentially scans the whole customer file (Example 1.2's
+// batch scan) and returns the number of records seen.
+func (db *DB) ScanCustomers() (int, error) {
+	n := 0
+	err := db.customers.Scan(func(heapfile.RID, []byte) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// PoolStats returns the buffer-pool counters.
+func (db *DB) PoolStats() bufferpool.Stats { return db.pool.Stats() }
+
+// DiskStats returns the simulated-disk counters.
+func (db *DB) DiskStats() disk.Stats { return db.disk.Stats() }
+
+// IndexPages returns the number of index node pages.
+func (db *DB) IndexPages() int { return len(db.index.Pages()) }
+
+// DataPages returns the number of heap-file data pages.
+func (db *DB) DataPages() int { return len(db.customers.Pages()) }
+
+// IndexHeight returns the B-tree height.
+func (db *DB) IndexHeight() (int, error) { return db.index.Height() }
+
+// ResidentByClass counts resident pages per class, the quantity Example
+// 1.1 reasons about ("50 B-tree leaf pages and 50 record pages" under
+// LRU).
+func (db *DB) ResidentByClass() (index, data int) {
+	for _, p := range db.index.Pages() {
+		if db.pool.Resident(p) {
+			index++
+		}
+	}
+	for _, p := range db.customers.Pages() {
+		if db.pool.Resident(p) {
+			data++
+		}
+	}
+	return index, data
+}
+
+// Example11Result reports one run of the Example 1.1 workload.
+type Example11Result struct {
+	K             int
+	Frames        int
+	Lookups       int
+	HitRatio      float64
+	ResidentIndex int
+	ResidentData  int
+	DiskReads     uint64
+	ServiceMicros int64
+}
+
+// RunExample11 executes the paper's Example 1.1 end to end: load
+// customers, then perform random lookups through the index, and report
+// how the pool's residency split between index and data pages. With K=1
+// roughly half the frames end up holding data pages; with K=2 the index
+// pages (each 100x more frequently referenced than any data page) win the
+// frames.
+func RunExample11(cfg Config, customers, lookups int, seed uint64) (Example11Result, error) {
+	db, err := Open(cfg)
+	if err != nil {
+		return Example11Result{}, err
+	}
+	if err := db.LoadCustomers(customers); err != nil {
+		return Example11Result{}, err
+	}
+	// Measure from a cold-ish start: count only the lookup phase.
+	preHits := db.PoolStats().Hits
+	preMisses := db.PoolStats().Misses
+	r := stats.NewRNG(seed)
+	for i := 0; i < lookups; i++ {
+		id := int64(r.Intn(customers))
+		if _, err := db.Lookup(id); err != nil {
+			return Example11Result{}, err
+		}
+	}
+	s := db.PoolStats()
+	hits := s.Hits - preHits
+	misses := s.Misses - preMisses
+	ri, rd := db.ResidentByClass()
+	res := Example11Result{
+		K:             db.cfg.K,
+		Frames:        cfg.Frames,
+		Lookups:       lookups,
+		ResidentIndex: ri,
+		ResidentData:  rd,
+		DiskReads:     db.DiskStats().Reads,
+		ServiceMicros: db.DiskStats().ServiceMicros,
+	}
+	if total := hits + misses; total > 0 {
+		res.HitRatio = float64(hits) / float64(total)
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package db
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestOpenValidation(t *testing.T) {
+	cases := []Config{
+		{Frames: 0},
+		{Frames: -1},
+		{Frames: 10, K: -2},
+		{Frames: 10, RecordSize: 4},
+		{Frames: 10, RecordSize: 1 << 20},
+	}
+	for i, cfg := range cases {
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Open(Config{Frames: 10}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestLoadAndLookup(t *testing.T) {
+	db, err := Open(Config{Frames: 50, RecordSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	if err := db.LoadCustomers(n); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{0, 1, 250, 499} {
+		rec, err := db.Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", id, err)
+		}
+		if got := int64(binary.LittleEndian.Uint64(rec)); got != id {
+			t.Errorf("Lookup(%d) returned record for %d", id, got)
+		}
+		if len(rec) != 100 {
+			t.Errorf("record size %d, want 100", len(rec))
+		}
+	}
+	if _, err := db.Lookup(n + 5); err == nil {
+		t.Error("lookup of missing customer succeeded")
+	}
+	if err := db.LoadCustomers(0); err == nil {
+		t.Error("zero-customer load accepted")
+	}
+}
+
+func TestPageGeometryMatchesPaper(t *testing.T) {
+	// 2000-byte records pack two per 4 KByte page; 20-byte index entries
+	// pack ~200 per leaf. With 2000 customers: ~1000 data pages, ~5+ index
+	// pages in a shallow tree. (The paper's full scale is 20000 customers
+	// → 10000 data pages and 100 leaf pages; tests scale down 10x.)
+	db, err := Open(Config{Frames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	if err := db.LoadCustomers(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.DataPages(); got != n/2 {
+		t.Errorf("DataPages = %d, want %d (two 2000-byte records per page)", got, n/2)
+	}
+	if got := db.IndexPages(); got < n/204 || got > n/100 {
+		t.Errorf("IndexPages = %d, outside plausible leaf-count range", got)
+	}
+	h, err := db.IndexHeight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 {
+		t.Errorf("index height = %d, want 2 (root over leaves)", h)
+	}
+}
+
+func TestUpdateCustomer(t *testing.T) {
+	db, err := Open(Config{Frames: 32, RecordSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCustomers(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.UpdateCustomer(42, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := db.Lookup(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[8] != 0xAB || rec[63] != 0xAB {
+		t.Errorf("update not applied: % x", rec[8:12])
+	}
+	if got := int64(binary.LittleEndian.Uint64(rec)); got != 42 {
+		t.Error("update clobbered the key prefix")
+	}
+	if err := db.UpdateCustomer(9999, 1); err == nil {
+		t.Error("update of missing customer succeeded")
+	}
+}
+
+func TestScanCustomers(t *testing.T) {
+	db, err := Open(Config{Frames: 16, RecordSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCustomers(300); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.ScanCustomers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("scan saw %d records, want 300", n)
+	}
+}
+
+// TestExample11Discrimination is the paper's Example 1.1 run end to end
+// through the real B-tree and heap file: with the pool sized to hold about
+// the index, LRU-2 retains far more index pages (and achieves a higher hit
+// ratio) than LRU-1, which splits its frames between index and data pages.
+func TestExample11Discrimination(t *testing.T) {
+	// 2000 customers → 1000 data pages, ~10 leaf pages + root. Pool of 16
+	// frames comfortably fits the index but a vanishing fraction of data.
+	const customers, lookups, frames = 2000, 20000, 16
+	res2, err := RunExample11(Config{Frames: frames, K: 2}, customers, lookups, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := RunExample11(Config{Frames: frames, K: 1}, customers, lookups, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.HitRatio <= res1.HitRatio {
+		t.Errorf("LRU-2 hit ratio %.3f not above LRU-1 %.3f", res2.HitRatio, res1.HitRatio)
+	}
+	if res2.ResidentIndex <= res1.ResidentIndex {
+		t.Errorf("LRU-2 holds %d index pages, LRU-1 holds %d; expected discrimination",
+			res2.ResidentIndex, res1.ResidentIndex)
+	}
+	// LRU-2 should hold essentially the whole index.
+	if res2.ResidentIndex < 10 {
+		t.Errorf("LRU-2 resident index pages = %d, want ~11", res2.ResidentIndex)
+	}
+	// And it needs fewer disk reads for the same work.
+	if res2.DiskReads >= res1.DiskReads {
+		t.Errorf("LRU-2 disk reads %d not below LRU-1 %d", res2.DiskReads, res1.DiskReads)
+	}
+}

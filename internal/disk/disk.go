@@ -1,0 +1,159 @@
+// Package disk simulates the database disk of the paper's setting: a page
+// store with explicit read/write operations, allocation, and a service-time
+// model (seek + rotational latency + transfer, with cheap sequential
+// access) so experiments can report simulated I/O cost next to hit ratios.
+// The "Five Minute Rule" economics the paper builds on ([GRAYPUT]) are
+// about exactly this trade: memory buffers versus disk arm time.
+//
+// Pages live in memory; durability is out of scope for a buffering study.
+// The manager is safe for concurrent use.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// PageSize is the simulated page size in bytes, the paper's canonical
+// 4 KByte page (§2.1.2).
+const PageSize = 4096
+
+// ErrPageNotAllocated reports access to a page id that was never allocated
+// or has been deallocated.
+var ErrPageNotAllocated = errors.New("disk: page not allocated")
+
+// ServiceModel prices disk operations in simulated microseconds.
+type ServiceModel struct {
+	// SeekMicros is the arm seek plus rotational latency for a random
+	// access. Default 12000 (a circa-1993 disk; the absolute value only
+	// scales reports).
+	SeekMicros int64
+	// TransferMicros is the per-page transfer time. Default 400.
+	TransferMicros int64
+}
+
+func (m ServiceModel) withDefaults() ServiceModel {
+	if m.SeekMicros == 0 {
+		m.SeekMicros = 12000
+	}
+	if m.TransferMicros == 0 {
+		m.TransferMicros = 400
+	}
+	return m
+}
+
+// Stats reports cumulative disk activity.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Allocated   uint64
+	Deallocated uint64
+	// ServiceMicros is the total simulated service time of all operations.
+	ServiceMicros int64
+}
+
+// Manager is the simulated disk.
+type Manager struct {
+	mu      sync.Mutex
+	model   ServiceModel
+	pages   map[policy.PageID][]byte
+	nextID  policy.PageID
+	lastOp  policy.PageID // for sequential-access pricing
+	haveOp  bool
+	stats   Stats
+}
+
+// NewManager returns an empty disk with the given service model (zero
+// value for defaults).
+func NewManager(model ServiceModel) *Manager {
+	return &Manager{
+		model: model.withDefaults(),
+		pages: make(map[policy.PageID][]byte),
+	}
+}
+
+// Allocate reserves a fresh zeroed page and returns its id.
+func (m *Manager) Allocate() policy.PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.pages[id] = make([]byte, PageSize)
+	m.stats.Allocated++
+	return id
+}
+
+// Deallocate releases a page. Further access to it fails.
+func (m *Manager) Deallocate(p policy.PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pages[p]; !ok {
+		return fmt.Errorf("deallocate page %d: %w", p, ErrPageNotAllocated)
+	}
+	delete(m.pages, p)
+	m.stats.Deallocated++
+	return nil
+}
+
+// Read copies page p into buf, which must hold PageSize bytes.
+func (m *Manager) Read(p policy.PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("disk: read buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.pages[p]
+	if !ok {
+		return fmt.Errorf("read page %d: %w", p, ErrPageNotAllocated)
+	}
+	copy(buf, data)
+	m.stats.Reads++
+	m.charge(p)
+	return nil
+}
+
+// Write stores buf as the new contents of page p.
+func (m *Manager) Write(p policy.PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("disk: write buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.pages[p]
+	if !ok {
+		return fmt.Errorf("write page %d: %w", p, ErrPageNotAllocated)
+	}
+	copy(data, buf)
+	m.stats.Writes++
+	m.charge(p)
+	return nil
+}
+
+// charge prices one operation on page p: sequential successors skip the
+// seek. Callers hold m.mu.
+func (m *Manager) charge(p policy.PageID) {
+	cost := m.model.TransferMicros
+	if !m.haveOp || p != m.lastOp+1 {
+		cost += m.model.SeekMicros
+	}
+	m.stats.ServiceMicros += cost
+	m.lastOp = p
+	m.haveOp = true
+}
+
+// Stats returns a snapshot of cumulative activity.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// NumPages returns the number of currently allocated pages.
+func (m *Manager) NumPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pages)
+}

@@ -1,0 +1,173 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestAllocateReadWrite(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	p := m.Allocate()
+	buf := make([]byte, PageSize)
+	if err := m.Read(p, buf); err != nil {
+		t.Fatalf("read fresh page: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Error("fresh page not zeroed")
+	}
+	data := make([]byte, PageSize)
+	copy(data, []byte("hello, buffer manager"))
+	if err := m.Write(p, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := m.Read(p, buf); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("read back differs from write")
+	}
+}
+
+func TestDistinctPages(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	a, b := m.Allocate(), m.Allocate()
+	if a == b {
+		t.Fatal("Allocate returned duplicate ids")
+	}
+	da := make([]byte, PageSize)
+	da[0] = 'a'
+	if err := m.Write(a, da); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := m.Read(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Error("write to one page leaked into another")
+	}
+	if m.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", m.NumPages())
+	}
+}
+
+func TestUnallocatedAccess(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	buf := make([]byte, PageSize)
+	if err := m.Read(999, buf); !errors.Is(err, ErrPageNotAllocated) {
+		t.Errorf("read unallocated: %v", err)
+	}
+	if err := m.Write(999, buf); !errors.Is(err, ErrPageNotAllocated) {
+		t.Errorf("write unallocated: %v", err)
+	}
+	if err := m.Deallocate(999); !errors.Is(err, ErrPageNotAllocated) {
+		t.Errorf("deallocate unallocated: %v", err)
+	}
+}
+
+func TestDeallocate(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	p := m.Allocate()
+	if err := m.Deallocate(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Read(p, make([]byte, PageSize)); !errors.Is(err, ErrPageNotAllocated) {
+		t.Errorf("read after deallocate: %v", err)
+	}
+	s := m.Stats()
+	if s.Allocated != 1 || s.Deallocated != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestBadBufferSize(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	p := m.Allocate()
+	if err := m.Read(p, make([]byte, 10)); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := m.Write(p, make([]byte, PageSize+1)); err == nil {
+		t.Error("long write buffer accepted")
+	}
+}
+
+func TestServiceModelSequentialDiscount(t *testing.T) {
+	m := NewManager(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
+	for i := 0; i < 10; i++ {
+		m.Allocate()
+	}
+	buf := make([]byte, PageSize)
+	// Random-order reads: every op pays the seek.
+	_ = m.Read(5, buf)
+	_ = m.Read(2, buf)
+	_ = m.Read(8, buf)
+	random := m.Stats().ServiceMicros
+	if want := int64(3 * 10100); random != want {
+		t.Errorf("random reads cost %d, want %d", random, want)
+	}
+	// Sequential reads 0..9: only the first pays the seek.
+	m2 := NewManager(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
+	for i := 0; i < 10; i++ {
+		m2.Allocate()
+	}
+	for i := 0; i < 10; i++ {
+		_ = m2.Read(policy.PageID(i), buf)
+	}
+	seq := m2.Stats().ServiceMicros
+	if want := int64(10000 + 10*100); seq != want {
+		t.Errorf("sequential reads cost %d, want %d", seq, want)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	p := m.Allocate()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		_ = m.Read(p, buf)
+	}
+	for i := 0; i < 2; i++ {
+		_ = m.Write(p, buf)
+	}
+	s := m.Stats()
+	if s.Reads != 3 || s.Writes != 2 {
+		t.Errorf("stats %+v, want 3 reads 2 writes", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	const pages = 32
+	for i := 0; i < pages; i++ {
+		m.Allocate()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := 0; i < 1000; i++ {
+				p := policy.PageID((g*7 + i) % pages)
+				if i%3 == 0 {
+					buf[0] = byte(g)
+					if err := m.Write(p, buf); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := m.Read(p, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.Stats().Reads + m.Stats().Writes; got != 8000 {
+		t.Errorf("total ops %d, want 8000", got)
+	}
+}

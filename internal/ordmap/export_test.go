@@ -1,0 +1,7 @@
+package ordmap
+
+// CheckInvariants exposes the red-black invariant checker to tests.
+func (m *Map[K, V]) CheckInvariants() error {
+	_, err := m.checkInvariants()
+	return err
+}

@@ -1,0 +1,337 @@
+// Package ordmap implements an ordered map as a left-leaning red-black tree
+// (Sedgewick 2008, 2-3 variant).
+//
+// The LRU-K policy keeps its resident pages in an ordered map keyed by
+// (HIST(p,K), HIST(p,1), page id); the tree minimum is the eviction
+// candidate with the maximal Backward K-distance. The paper notes that
+// "finding the page with the maximum Backward K-distance would actually be
+// based on a search tree" — this package is that search tree.
+//
+// All operations are O(log n). The map is not safe for concurrent use.
+package ordmap
+
+// Map is an ordered map from K to V with ordering given by a user-supplied
+// less function. Create one with New.
+type Map[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type node[K, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty map ordered by less, which must define a strict weak
+// ordering over keys. Keys comparing neither less nor greater are equal.
+func New[K, V any](less func(a, b K) bool) *Map[K, V] {
+	if less == nil {
+		panic("ordmap: nil less function")
+	}
+	return &Map[K, V]{less: less}
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.size }
+
+// Get returns the value stored under key.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case m.less(key, n.key):
+			n = n.left
+		case m.less(n.key, key):
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (m *Map[K, V]) Contains(key K) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Set inserts key with value val, replacing any existing entry for key.
+func (m *Map[K, V]) Set(key K, val V) {
+	m.root = m.insert(m.root, key, val)
+	m.root.red = false
+}
+
+func isRed[K, V any](n *node[K, V]) bool { return n != nil && n.red }
+
+func rotateLeft[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flipColors[K, V any](h *node[K, V]) {
+	h.red = !h.red
+	h.left.red = !h.left.red
+	h.right.red = !h.right.red
+}
+
+func fixUp[K, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	return h
+}
+
+func (m *Map[K, V]) insert(h *node[K, V], key K, val V) *node[K, V] {
+	if h == nil {
+		m.size++
+		return &node[K, V]{key: key, val: val, red: true}
+	}
+	switch {
+	case m.less(key, h.key):
+		h.left = m.insert(h.left, key, val)
+	case m.less(h.key, key):
+		h.right = m.insert(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h)
+}
+
+// Delete removes key and reports whether it was present.
+func (m *Map[K, V]) Delete(key K) bool {
+	if !m.Contains(key) {
+		return false
+	}
+	m.root = m.delete(m.root, key)
+	if m.root != nil {
+		m.root.red = false
+	}
+	m.size--
+	return true
+}
+
+func moveRedLeft[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[K, V any](h *node[K, V]) *node[K, V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func minNode[K, V any](h *node[K, V]) *node[K, V] {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+func (m *Map[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if m.less(key, h.key) {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = m.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if !m.less(h.key, key) && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if !m.less(h.key, key) && !m.less(key, h.key) {
+			mn := minNode(h.right)
+			h.key, h.val = mn.key, mn.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = m.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+// Min returns the smallest key and its value. ok is false when the map is
+// empty.
+func (m *Map[K, V]) Min() (key K, val V, ok bool) {
+	if m.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := minNode(m.root)
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value. ok is false when the map is
+// empty.
+func (m *Map[K, V]) Max() (key K, val V, ok bool) {
+	if m.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := m.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ascend visits entries in ascending key order, starting with the smallest,
+// until fn returns false or the entries are exhausted.
+func (m *Map[K, V]) Ascend(fn func(key K, val V) bool) {
+	m.ascend(m.root, fn)
+}
+
+func (m *Map[K, V]) ascend(n *node[K, V], fn func(key K, val V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !m.ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return m.ascend(n.right, fn)
+}
+
+// AscendFrom visits entries with key >= from in ascending order until fn
+// returns false or the entries are exhausted.
+func (m *Map[K, V]) AscendFrom(from K, fn func(key K, val V) bool) {
+	m.ascendFrom(m.root, from, fn)
+}
+
+func (m *Map[K, V]) ascendFrom(n *node[K, V], from K, fn func(key K, val V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if m.less(n.key, from) {
+		return m.ascendFrom(n.right, from, fn)
+	}
+	if !m.ascendFrom(n.left, from, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return m.ascendFrom(n.right, from, fn)
+}
+
+// Keys returns all keys in ascending order.
+func (m *Map[K, V]) Keys() []K {
+	out := make([]K, 0, m.size)
+	m.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes all entries.
+func (m *Map[K, V]) Clear() {
+	m.root = nil
+	m.size = 0
+}
+
+// checkInvariants verifies the red-black invariants; tests call it through
+// the export_test shim. It returns the black height.
+func (m *Map[K, V]) checkInvariants() (blackHeight int, err error) {
+	if isRed(m.root) {
+		return 0, errRedRoot
+	}
+	return check(m.root, m.less)
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+const (
+	errRedRoot     = invariantError("ordmap: red root")
+	errRightRed    = invariantError("ordmap: right-leaning red link")
+	errDoubleRed   = invariantError("ordmap: consecutive red links")
+	errBlackHeight = invariantError("ordmap: unbalanced black height")
+	errOrdering    = invariantError("ordmap: BST ordering violated")
+)
+
+func check[K, V any](n *node[K, V], less func(a, b K) bool) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if isRed(n.right) {
+		return 0, errRightRed
+	}
+	if isRed(n) && isRed(n.left) {
+		return 0, errDoubleRed
+	}
+	if n.left != nil && !less(n.left.key, n.key) {
+		return 0, errOrdering
+	}
+	if n.right != nil && !less(n.key, n.right.key) {
+		return 0, errOrdering
+	}
+	lh, err := check(n.left, less)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right, less)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, errBlackHeight
+	}
+	if !isRed(n) {
+		lh++
+	}
+	return lh, nil
+}

@@ -1,0 +1,312 @@
+package ordmap_test
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ordmap"
+	"repro/internal/stats"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestEmptyMap(t *testing.T) {
+	m := ordmap.New[int, string](intLess)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty map returned ok")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Error("Min on empty map returned ok")
+	}
+	if _, _, ok := m.Max(); ok {
+		t.Error("Max on empty map returned ok")
+	}
+	if m.Delete(1) {
+		t.Error("Delete on empty map returned true")
+	}
+}
+
+func TestNilLessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	ordmap.New[int, int](nil)
+}
+
+func TestSetGetDelete(t *testing.T) {
+	m := ordmap.New[int, string](intLess)
+	m.Set(2, "two")
+	m.Set(1, "one")
+	m.Set(3, "three")
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	for k, want := range map[int]string{1: "one", 2: "two", 3: "three"} {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Errorf("Get(%d) = %q,%v, want %q", k, got, ok, want)
+		}
+	}
+	m.Set(2, "TWO") // replace
+	if m.Len() != 3 {
+		t.Fatalf("Len after replace = %d, want 3", m.Len())
+	}
+	if got, _ := m.Get(2); got != "TWO" {
+		t.Errorf("replaced value = %q", got)
+	}
+	if !m.Delete(2) {
+		t.Fatal("Delete(2) = false")
+	}
+	if m.Contains(2) {
+		t.Error("deleted key still present")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", m.Len())
+	}
+}
+
+func TestMinMaxOrdering(t *testing.T) {
+	m := ordmap.New[int, int](intLess)
+	for _, k := range []int{5, 3, 8, 1, 9, 7} {
+		m.Set(k, k*10)
+	}
+	if k, v, _ := m.Min(); k != 1 || v != 10 {
+		t.Errorf("Min = (%d,%d), want (1,10)", k, v)
+	}
+	if k, v, _ := m.Max(); k != 9 || v != 90 {
+		t.Errorf("Max = (%d,%d), want (9,90)", k, v)
+	}
+	keys := m.Keys()
+	want := []int{1, 3, 5, 7, 8, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	m := ordmap.New[int, int](intLess)
+	for i := 0; i < 10; i++ {
+		m.Set(i, i)
+	}
+	var visited []int
+	m.Ascend(func(k, _ int) bool {
+		visited = append(visited, k)
+		return k < 4
+	})
+	if len(visited) != 5 || visited[4] != 4 {
+		t.Fatalf("visited = %v, want [0 1 2 3 4]", visited)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	m := ordmap.New[int, int](intLess)
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		m.Set(k, k)
+	}
+	var got []int
+	m.AscendFrom(25, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("AscendFrom = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendFrom = %v, want %v", got, want)
+		}
+	}
+	// From an existing key includes it.
+	got = got[:0]
+	m.AscendFrom(30, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 30 {
+		t.Fatalf("AscendFrom(30) = %v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := ordmap.New[int, int](intLess)
+	for i := 0; i < 100; i++ {
+		m.Set(i, i)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Error("Min after Clear returned ok")
+	}
+	m.Set(1, 1)
+	if m.Len() != 1 {
+		t.Error("map unusable after Clear")
+	}
+}
+
+// TestAgainstReferenceModel drives the tree and a builtin map with the same
+// random operation stream and cross-checks contents and invariants.
+func TestAgainstReferenceModel(t *testing.T) {
+	r := stats.NewRNG(424242)
+	m := ordmap.New[int, int](intLess)
+	ref := map[int]int{}
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := r.Intn(500)
+		switch r.Intn(3) {
+		case 0, 1: // insert twice as often as delete
+			m.Set(k, i)
+			ref[k] = i
+		case 2:
+			dm := m.Delete(k)
+			_, dr := ref[k]
+			delete(ref, k)
+			if dm != dr {
+				t.Fatalf("op %d: Delete(%d) = %v, reference %v", i, k, dm, dr)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, reference %d", i, m.Len(), len(ref))
+		}
+		if i%500 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full content comparison at the end.
+	var refKeys []int
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Ints(refKeys)
+	keys := m.Keys()
+	if len(keys) != len(refKeys) {
+		t.Fatalf("key count %d, reference %d", len(keys), len(refKeys))
+	}
+	for i, k := range refKeys {
+		if keys[i] != k {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], k)
+		}
+		if v, ok := m.Get(k); !ok || v != ref[k] {
+			t.Fatalf("Get(%d) = %d,%v, want %d", k, v, ok, ref[k])
+		}
+	}
+}
+
+// TestQuickSortedKeys is a property-based check: inserting any key set
+// yields exactly the sorted unique keys.
+func TestQuickSortedKeys(t *testing.T) {
+	f := func(ks []int16) bool {
+		m := ordmap.New[int, bool](intLess)
+		uniq := map[int]bool{}
+		for _, k := range ks {
+			m.Set(int(k), true)
+			uniq[int(k)] = true
+		}
+		if m.Len() != len(uniq) {
+			return false
+		}
+		keys := m.Keys()
+		if !sort.IntsAreSorted(keys) {
+			return false
+		}
+		for _, k := range keys {
+			if !uniq[k] {
+				return false
+			}
+		}
+		return m.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeleteAll inserts then deletes every key, expecting an empty,
+// invariant-respecting tree at each step.
+func TestQuickDeleteAll(t *testing.T) {
+	f := func(ks []uint8) bool {
+		m := ordmap.New[int, int](intLess)
+		uniq := map[int]bool{}
+		for _, k := range ks {
+			m.Set(int(k), 0)
+			uniq[int(k)] = true
+		}
+		for k := range uniq {
+			if !m.Delete(k) {
+				return false
+			}
+			if m.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	type key struct{ a, b int }
+	less := func(x, y key) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	}
+	m := ordmap.New[key, string](less)
+	m.Set(key{1, 2}, "x")
+	m.Set(key{1, 1}, "y")
+	m.Set(key{0, 9}, "z")
+	if k, v, _ := m.Min(); k != (key{0, 9}) || v != "z" {
+		t.Errorf("Min = %v %q", k, v)
+	}
+	if !m.Delete(key{1, 1}) {
+		t.Error("Delete composite key failed")
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func BenchmarkSetDelete(b *testing.B) {
+	m := ordmap.New[int, int](intLess)
+	r := stats.NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := r.Intn(1 << 16)
+		m.Set(k, i)
+		if i%2 == 1 {
+			m.Delete(r.Intn(1 << 16))
+		}
+	}
+}
+
+func BenchmarkMin(b *testing.B) {
+	m := ordmap.New[int, int](intLess)
+	for i := 0; i < 4096; i++ {
+		m.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Min()
+	}
+}

@@ -1,0 +1,90 @@
+package policy
+
+import "repro/internal/ordmap"
+
+// A0 is the optimal statistical policy of Definition 3.1 ([COFFDENN],
+// Theorem 6.3): with the true reference-probability vector β known, it
+// keeps buffer-resident the B referenced pages of highest β. A page whose
+// probability does not exceed the minimum resident probability is used and
+// released without displacing anything (the optimal policy never trades a
+// hotter page for a colder one), so the steady-state hit ratio is the sum
+// of the top-B probabilities.
+//
+// Workload generators publish their true β vector; the simulator installs
+// it through SetProbabilities before the run.
+type A0 struct {
+	capacity int
+	probs    map[PageID]float64
+	resident map[PageID]float64
+	order    *ordmap.Map[a0Key, struct{}] // resident pages by ascending β
+}
+
+type a0Key struct {
+	prob float64
+	page PageID
+}
+
+func a0Less(a, b a0Key) bool {
+	if a.prob != b.prob {
+		return a.prob < b.prob
+	}
+	return a.page < b.page
+}
+
+// NewA0 returns an A0 oracle with the given frame count. Probabilities must
+// be installed with SetProbabilities before the first Reference.
+func NewA0(capacity int) *A0 {
+	c := &A0{capacity: validateCapacity(capacity)}
+	c.Reset()
+	return c
+}
+
+// Name implements Cache.
+func (c *A0) Name() string { return "A0" }
+
+// Capacity implements Cache.
+func (c *A0) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *A0) Len() int { return len(c.resident) }
+
+// Resident implements Cache.
+func (c *A0) Resident(p PageID) bool {
+	_, ok := c.resident[p]
+	return ok
+}
+
+// Reset implements Cache. Installed probabilities are retained.
+func (c *A0) Reset() {
+	c.resident = make(map[PageID]float64)
+	c.order = ordmap.New[a0Key, struct{}](a0Less)
+}
+
+// SetProbabilities implements ProbabilityAware.
+func (c *A0) SetProbabilities(probs map[PageID]float64) {
+	c.probs = probs
+}
+
+// Reference implements Cache.
+func (c *A0) Reference(p PageID) bool {
+	if _, ok := c.resident[p]; ok {
+		return true
+	}
+	prob := c.probs[p] // unknown pages default to probability zero
+	if len(c.resident) < c.capacity {
+		c.admit(p, prob)
+		return false
+	}
+	minKey, _, _ := c.order.Min()
+	if prob > minKey.prob {
+		c.order.Delete(minKey)
+		delete(c.resident, minKey.page)
+		c.admit(p, prob)
+	}
+	return false
+}
+
+func (c *A0) admit(p PageID, prob float64) {
+	c.resident[p] = prob
+	c.order.Set(a0Key{prob: prob, page: p}, struct{}{})
+}

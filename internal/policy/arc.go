@@ -1,0 +1,143 @@
+package policy
+
+// ARC is the Adaptive Replacement Cache (Megiddo & Modha, FAST 2003),
+// included as a lineage baseline: like LRU-K it distinguishes pages seen
+// once from pages seen at least twice, and like LRU-K's retained history it
+// keeps ghost entries for recently evicted pages.
+//
+// T1 holds resident pages referenced exactly once recently, T2 resident
+// pages referenced at least twice; B1 and B2 are their ghost extensions.
+// The target size p of T1 adapts on ghost hits.
+type ARC struct {
+	capacity int
+	p        int // target size of T1
+	t1, t2   *pageList
+	b1, b2   *pageList
+}
+
+// NewARC returns an ARC cache with the given frame count.
+func NewARC(capacity int) *ARC {
+	return &ARC{
+		capacity: validateCapacity(capacity),
+		t1:       newPageList(),
+		t2:       newPageList(),
+		b1:       newPageList(),
+		b2:       newPageList(),
+	}
+}
+
+// Name implements Cache.
+func (c *ARC) Name() string { return "ARC" }
+
+// Capacity implements Cache.
+func (c *ARC) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *ARC) Len() int { return c.t1.Len() + c.t2.Len() }
+
+// Resident implements Cache.
+func (c *ARC) Resident(p PageID) bool {
+	return c.t1.Contains(p) || c.t2.Contains(p)
+}
+
+// Reset implements Cache.
+func (c *ARC) Reset() {
+	c.p = 0
+	c.t1.Clear()
+	c.t2.Clear()
+	c.b1.Clear()
+	c.b2.Clear()
+}
+
+// Target returns the adaptive target size of T1, exported for tests.
+func (c *ARC) Target() int { return c.p }
+
+// Reference implements Cache.
+func (c *ARC) Reference(pg PageID) bool {
+	// Case I: hit in T1 or T2 — promote to MRU of T2.
+	if c.t1.Remove(pg) {
+		c.t2.PushFront(pg)
+		return true
+	}
+	if c.t2.MoveToFront(pg) {
+		return true
+	}
+	// Case II: ghost hit in B1 — favour recency (grow p).
+	if c.b1.Contains(pg) {
+		delta := 1
+		if c.b1.Len() > 0 && c.b2.Len() > c.b1.Len() {
+			delta = c.b2.Len() / c.b1.Len()
+		}
+		c.p = min(c.p+delta, c.capacity)
+		c.replace(pg)
+		c.b1.Remove(pg)
+		c.t2.PushFront(pg)
+		return false
+	}
+	// Case III: ghost hit in B2 — favour frequency (shrink p).
+	if c.b2.Contains(pg) {
+		delta := 1
+		if c.b2.Len() > 0 && c.b1.Len() > c.b2.Len() {
+			delta = c.b1.Len() / c.b2.Len()
+		}
+		c.p = max(c.p-delta, 0)
+		c.replace(pg)
+		c.b2.Remove(pg)
+		c.t2.PushFront(pg)
+		return false
+	}
+	// Case IV: complete miss.
+	l1 := c.t1.Len() + c.b1.Len()
+	if l1 == c.capacity {
+		if c.t1.Len() < c.capacity {
+			c.b1.PopBack()
+			c.replace(pg)
+		} else {
+			c.t1.PopBack() // |T1| == capacity: drop LRU of T1 outright
+		}
+	} else if l1 < c.capacity {
+		total := l1 + c.t2.Len() + c.b2.Len()
+		if total >= c.capacity {
+			if total == 2*c.capacity {
+				c.b2.PopBack()
+			}
+			c.replace(pg)
+		}
+	}
+	c.t1.PushFront(pg)
+	return false
+}
+
+// replace is the ARC REPLACE subroutine: evict the LRU page of T1 or T2
+// into its ghost list, steered by the adaptation target p.
+func (c *ARC) replace(incoming PageID) {
+	if c.t1.Len() > 0 &&
+		(c.t1.Len() > c.p || (c.b2.Contains(incoming) && c.t1.Len() == c.p)) {
+		if victim, ok := c.t1.PopBack(); ok {
+			c.b1.PushFront(victim)
+		}
+		return
+	}
+	if victim, ok := c.t2.PopBack(); ok {
+		c.b2.PushFront(victim)
+		return
+	}
+	// T2 empty: fall back to T1.
+	if victim, ok := c.t1.PopBack(); ok {
+		c.b1.PushFront(victim)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

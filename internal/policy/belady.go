@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/ordmap"
+)
+
+// Belady is Belady's offline optimal algorithm ([BELADY]; B0 in the
+// paper's notation after [ADU]): on a miss with a full cache it evicts the
+// resident page whose next reference lies farthest in the future. It
+// requires the full reference string in advance (an "oracle that can look
+// into the future", §3), so the simulator installs the trace through
+// SetTrace before the replay. The paper argues B0 is unapproachable in
+// practice and uses A0 as the fair optimum; Belady is provided as the
+// absolute upper bound.
+type Belady struct {
+	capacity int
+	trace    []PageID
+	nextUse  []int64 // nextUse[i]: next position of trace[i] after i, or horizon
+	cursor   int64
+	resident map[PageID]int64 // page -> next use position
+	order    *ordmap.Map[beladyKey, struct{}]
+}
+
+type beladyKey struct {
+	next int64
+	page PageID
+}
+
+func beladyLess(a, b beladyKey) bool {
+	if a.next != b.next {
+		return a.next < b.next
+	}
+	return a.page < b.page
+}
+
+// NewBelady returns a Belady/B0 cache. SetTrace must be called before the
+// first Reference.
+func NewBelady(capacity int) *Belady {
+	c := &Belady{capacity: validateCapacity(capacity)}
+	c.Reset()
+	return c
+}
+
+// Name implements Cache.
+func (c *Belady) Name() string { return "B0" }
+
+// Capacity implements Cache.
+func (c *Belady) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *Belady) Len() int { return len(c.resident) }
+
+// Resident implements Cache.
+func (c *Belady) Resident(p PageID) bool {
+	_, ok := c.resident[p]
+	return ok
+}
+
+// Reset implements Cache. The installed trace is retained and the replay
+// cursor rewinds to the beginning.
+func (c *Belady) Reset() {
+	c.cursor = 0
+	c.resident = make(map[PageID]int64)
+	c.order = ordmap.New[beladyKey, struct{}](beladyLess)
+}
+
+// SetTrace implements TraceAware. It precomputes, for every position, the
+// position of the next reference to the same page.
+func (c *Belady) SetTrace(refs []PageID) {
+	c.trace = refs
+	c.nextUse = make([]int64, len(refs))
+	last := make(map[PageID]int64, 1024)
+	horizon := int64(len(refs))
+	for i := int64(len(refs)) - 1; i >= 0; i-- {
+		p := refs[i]
+		if nxt, ok := last[p]; ok {
+			c.nextUse[i] = nxt
+		} else {
+			// No later reference: unique horizon+i keeps keys distinct and
+			// orders never-again pages by staleness.
+			c.nextUse[i] = horizon + (horizon - i)
+		}
+		last[p] = i
+	}
+	c.Reset()
+}
+
+// Reference implements Cache. Calls must replay the installed trace in
+// order; a mismatch panics, as it indicates a simulator bug.
+func (c *Belady) Reference(p PageID) bool {
+	if c.trace == nil {
+		panic("policy: Belady.Reference before SetTrace")
+	}
+	if c.cursor >= int64(len(c.trace)) {
+		panic("policy: Belady.Reference past end of installed trace")
+	}
+	if c.trace[c.cursor] != p {
+		panic(fmt.Sprintf("policy: Belady trace mismatch at %d: replaying %d, installed %d",
+			c.cursor, p, c.trace[c.cursor]))
+	}
+	next := c.nextUse[c.cursor]
+	c.cursor++
+
+	if old, ok := c.resident[p]; ok {
+		c.order.Delete(beladyKey{next: old, page: p})
+		c.resident[p] = next
+		c.order.Set(beladyKey{next: next, page: p}, struct{}{})
+		return true
+	}
+	if len(c.resident) >= c.capacity {
+		victimKey, _, _ := c.order.Max()
+		c.order.Delete(victimKey)
+		delete(c.resident, victimKey.page)
+	}
+	c.resident[p] = next
+	c.order.Set(beladyKey{next: next, page: p}, struct{}{})
+	return false
+}

@@ -1,0 +1,225 @@
+package policy
+
+// FBR is Frequency-Based Replacement (Robinson & Devarakonda, SIGMETRICS
+// 1990) — the paper's [ROBDEV] citation and the source of its "factoring
+// out locality" idea for correlated references (§2.1.1). The cache is an
+// LRU list split into three sections:
+//
+//	new      (most recent): reference counts are NOT incremented here, so
+//	         a burst of correlated re-references counts once;
+//	middle:  counts increment on reference;
+//	old      (least recent): counts increment; victims are chosen here,
+//	         the page with the smallest count (LRU among ties).
+//
+// Periodically, counts are halved ("aging") so stale frequency decays.
+type FBR struct {
+	capacity int
+	newSize  int
+	oldSize  int
+	agingAt  int64 // halve counts each time total references reach a multiple
+	refs     int64
+
+	list  *pageList // front = MRU
+	count map[PageID]int64
+}
+
+// NewFBR returns an FBR cache with the authors' recommended section sizing
+// (new ≈ 25%, old ≈ 50% of capacity) and count-halving every
+// capacity*agingFactor references (agingFactor <= 0 selects 16).
+func NewFBR(capacity int, agingFactor int) *FBR {
+	validateCapacity(capacity)
+	if agingFactor <= 0 {
+		agingFactor = 16
+	}
+	newSize := capacity / 4
+	if newSize < 1 {
+		newSize = 1
+	}
+	oldSize := capacity / 2
+	if oldSize < 1 {
+		oldSize = 1
+	}
+	return &FBR{
+		capacity: capacity,
+		newSize:  newSize,
+		oldSize:  oldSize,
+		agingAt:  int64(capacity * agingFactor),
+		list:     newPageList(),
+		count:    make(map[PageID]int64),
+	}
+}
+
+// Name implements Cache.
+func (c *FBR) Name() string { return "FBR" }
+
+// Capacity implements Cache.
+func (c *FBR) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *FBR) Len() int { return c.list.Len() }
+
+// Resident implements Cache.
+func (c *FBR) Resident(p PageID) bool { return c.list.Contains(p) }
+
+// Reset implements Cache.
+func (c *FBR) Reset() {
+	c.refs = 0
+	c.list.Clear()
+	c.count = make(map[PageID]int64)
+}
+
+// Reference implements Cache.
+func (c *FBR) Reference(p PageID) bool {
+	c.refs++
+	if c.agingAt > 0 && c.refs%c.agingAt == 0 {
+		for q := range c.count {
+			c.count[q] /= 2
+			if c.count[q] < 1 {
+				c.count[q] = 1
+			}
+		}
+	}
+	if c.list.Contains(p) {
+		// Increment only if the page is outside the new section: a
+		// re-reference while still "new" is treated as correlated.
+		if !c.inNewSection(p) {
+			c.count[p]++
+		}
+		c.list.MoveToFront(p)
+		return true
+	}
+	if c.list.Len() >= c.capacity {
+		c.evict()
+	}
+	c.list.PushFront(p)
+	c.count[p] = 1
+	return false
+}
+
+// inNewSection reports whether p is among the newSize most recent pages.
+func (c *FBR) inNewSection(p PageID) bool {
+	i := 0
+	found := false
+	c.list.Each(func(q PageID) bool {
+		if q == p {
+			found = true
+			return false
+		}
+		i++
+		return i < c.newSize
+	})
+	return found
+}
+
+// evict removes the lowest-count page within the old section (LRU-most on
+// ties, since the scan runs from the back of the list... the list Each
+// walks front-to-back, so the last qualifying page seen with count <= best
+// is the least recent).
+func (c *FBR) evict() {
+	// Collect the old section: the oldSize least recent pages.
+	start := c.list.Len() - c.oldSize
+	if start < 0 {
+		start = 0
+	}
+	var victim PageID = InvalidPage
+	var best int64
+	i := 0
+	c.list.Each(func(q PageID) bool {
+		if i >= start {
+			cnt := c.count[q]
+			if victim == InvalidPage || cnt <= best {
+				victim, best = q, cnt
+			}
+		}
+		i++
+		return true
+	})
+	if victim == InvalidPage {
+		victim, _ = c.list.Back()
+	}
+	c.list.Remove(victim)
+	delete(c.count, victim)
+}
+
+// SLRU is Segmented LRU (Karedla, Love & Wherry 1994), another descendant
+// of the same insight: the cache splits into a probationary segment (first
+// hit) and a protected segment (proven re-reference). A page enters
+// probationary; a hit there promotes it to protected; protected overflow
+// demotes its LRU page back to the probationary MRU end. Victims come from
+// the probationary LRU end.
+type SLRU struct {
+	capacity      int
+	protectedSize int
+	probation     *pageList
+	protected     *pageList
+}
+
+// NewSLRU returns an SLRU cache with the protected segment sized to the
+// given fraction of capacity (<=0 selects the common 0.8).
+func NewSLRU(capacity int, protectedFrac float64) *SLRU {
+	validateCapacity(capacity)
+	if protectedFrac <= 0 || protectedFrac >= 1 {
+		protectedFrac = 0.8
+	}
+	ps := int(protectedFrac * float64(capacity))
+	if ps < 1 {
+		ps = 1
+	}
+	if ps >= capacity {
+		ps = capacity - 1
+	}
+	if ps < 1 {
+		ps = 1 // capacity 1: degenerate, probation only
+	}
+	return &SLRU{
+		capacity:      capacity,
+		protectedSize: ps,
+		probation:     newPageList(),
+		protected:     newPageList(),
+	}
+}
+
+// Name implements Cache.
+func (c *SLRU) Name() string { return "SLRU" }
+
+// Capacity implements Cache.
+func (c *SLRU) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *SLRU) Len() int { return c.probation.Len() + c.protected.Len() }
+
+// Resident implements Cache.
+func (c *SLRU) Resident(p PageID) bool {
+	return c.probation.Contains(p) || c.protected.Contains(p)
+}
+
+// Reset implements Cache.
+func (c *SLRU) Reset() {
+	c.probation.Clear()
+	c.protected.Clear()
+}
+
+// Reference implements Cache.
+func (c *SLRU) Reference(p PageID) bool {
+	if c.protected.MoveToFront(p) {
+		return true
+	}
+	if c.probation.Contains(p) {
+		// Promotion to protected; demote protected LRU if over budget.
+		c.probation.Remove(p)
+		c.protected.PushFront(p)
+		if c.protected.Len() > c.protectedSize {
+			demoted, _ := c.protected.PopBack()
+			c.probation.PushFront(demoted)
+		}
+		return true
+	}
+	if c.Len() >= c.capacity {
+		if _, ok := c.probation.PopBack(); !ok {
+			// Probation empty: evict from protected as a fallback.
+			c.protected.PopBack()
+		}
+	}
+	c.probation.PushFront(p)
+	return false
+}

@@ -1,0 +1,162 @@
+package policy
+
+// LFU is the Least Frequently Used policy compared against in Table 4.3.
+// It evicts the resident page with the smallest total reference count; ties
+// are broken by least-recent use within the lowest-frequency class, which is
+// the common textbook refinement.
+//
+// As the paper observes (§4.3), LFU "never forgets any previous references"
+// — counts persist for the lifetime of residency — which is exactly the
+// weakness LRU-K addresses. Counts are dropped when a page is evicted
+// (in-cache LFU, the variant the paper measures against).
+//
+// The implementation is the constant-time frequency-list structure: a
+// doubly-linked list of frequency classes, each holding an LRU-ordered list
+// of its pages.
+type LFU struct {
+	capacity int
+	nodes    map[PageID]*lfuNode
+	freqHead *freqClass // lowest frequency class
+}
+
+type lfuNode struct {
+	page       PageID
+	class      *freqClass
+	prev, next *lfuNode // within the class, front = most recent
+}
+
+type freqClass struct {
+	freq       int64
+	head, tail *lfuNode
+	prev, next *freqClass
+}
+
+// NewLFU returns an LFU cache with the given frame count.
+func NewLFU(capacity int) *LFU {
+	return &LFU{capacity: validateCapacity(capacity), nodes: make(map[PageID]*lfuNode)}
+}
+
+// Name implements Cache.
+func (c *LFU) Name() string { return "LFU" }
+
+// Capacity implements Cache.
+func (c *LFU) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *LFU) Len() int { return len(c.nodes) }
+
+// Resident implements Cache.
+func (c *LFU) Resident(p PageID) bool {
+	_, ok := c.nodes[p]
+	return ok
+}
+
+// Reset implements Cache.
+func (c *LFU) Reset() {
+	c.nodes = make(map[PageID]*lfuNode)
+	c.freqHead = nil
+}
+
+// Reference implements Cache.
+func (c *LFU) Reference(p PageID) bool {
+	if n, ok := c.nodes[p]; ok {
+		c.promote(n)
+		return true
+	}
+	if len(c.nodes) >= c.capacity {
+		c.evict()
+	}
+	c.insert(p)
+	return false
+}
+
+// Freq returns the current reference count of p, or 0 if not resident.
+// It is exported for tests and trace analysis.
+func (c *LFU) Freq(p PageID) int64 {
+	if n, ok := c.nodes[p]; ok {
+		return n.class.freq
+	}
+	return 0
+}
+
+func (c *LFU) insert(p PageID) {
+	cls := c.freqHead
+	if cls == nil || cls.freq != 1 {
+		cls = &freqClass{freq: 1, next: c.freqHead}
+		if c.freqHead != nil {
+			c.freqHead.prev = cls
+		}
+		c.freqHead = cls
+	}
+	n := &lfuNode{page: p, class: cls}
+	cls.pushFront(n)
+	c.nodes[p] = n
+}
+
+// promote moves n to the class with frequency freq+1, creating it if needed.
+func (c *LFU) promote(n *lfuNode) {
+	old := n.class
+	next := old.next
+	if next == nil || next.freq != old.freq+1 {
+		next = &freqClass{freq: old.freq + 1, prev: old, next: old.next}
+		if old.next != nil {
+			old.next.prev = next
+		}
+		old.next = next
+	}
+	old.remove(n)
+	if old.head == nil {
+		c.removeClass(old)
+	}
+	n.class = next
+	next.pushFront(n)
+}
+
+func (c *LFU) evict() {
+	cls := c.freqHead
+	if cls == nil {
+		return
+	}
+	victim := cls.tail // least recently used within the lowest class
+	cls.remove(victim)
+	if cls.head == nil {
+		c.removeClass(cls)
+	}
+	delete(c.nodes, victim.page)
+}
+
+func (c *LFU) removeClass(cls *freqClass) {
+	if cls.prev != nil {
+		cls.prev.next = cls.next
+	} else {
+		c.freqHead = cls.next
+	}
+	if cls.next != nil {
+		cls.next.prev = cls.prev
+	}
+}
+
+func (f *freqClass) pushFront(n *lfuNode) {
+	n.prev, n.next = nil, f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+func (f *freqClass) remove(n *lfuNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,252 @@
+package policy
+
+// LIRS is the Low Inter-reference Recency Set policy (Jiang & Zhang,
+// SIGMETRICS 2002), a direct intellectual descendant of LRU-2: its
+// Inter-Reference Recency (IRR) — the number of distinct pages touched
+// between consecutive references to a page — is the stack-distance form of
+// the paper's Backward 2-distance. Blocks with low IRR ("LIR") own most of
+// the cache; blocks seen once or with high IRR ("HIR") churn through a
+// small queue, giving LRU-2-style scan resistance with O(1) operations.
+//
+// Structures, after the paper:
+//
+//	stack S: recency stack of LIR blocks, resident HIR blocks and
+//	         non-resident HIR ghosts; its bottom is always LIR.
+//	queue Q: resident HIR blocks, FIFO eviction order.
+//
+// The stack is capped at ghostFactor × capacity entries to bound the
+// memory of non-resident ghosts — the same concern the paper's Retained
+// Information Period addresses for LRU-K.
+type LIRS struct {
+	capacity int
+	lirCap   int // target number of LIR blocks (~99% of capacity)
+	hirCap   int // target number of resident HIR blocks
+	ghostCap int // max stack entries
+
+	stack *pageList // front = most recent
+	queue *pageList // front = most recent resident HIR; evict from back
+	// ghosts orders non-resident stack entries by creation (front =
+	// newest); when their count exceeds ghostCap the oldest is forgotten,
+	// bounding memory exactly as the paper's Retained Information Period
+	// bounds LRU-K history.
+	ghosts *pageList
+	state  map[PageID]lirsState
+	nLIR   int
+	nRes   int
+}
+
+type lirsState uint8
+
+const (
+	lirsLIR         lirsState = iota // resident, low IRR
+	lirsHIRResident                  // resident, high IRR
+	lirsHIRGhost                     // non-resident, remembered in the stack
+)
+
+// NewLIRS returns a LIRS cache. hirFraction is the share of capacity given
+// to the resident HIR queue (<=0 selects the authors' 1%, with a minimum
+// of one frame); ghostFactor bounds the stack at that multiple of capacity
+// (<=0 selects 3).
+func NewLIRS(capacity int, hirFraction float64, ghostFactor int) *LIRS {
+	validateCapacity(capacity)
+	if hirFraction <= 0 || hirFraction >= 1 {
+		hirFraction = 0.01
+	}
+	hirCap := int(hirFraction * float64(capacity))
+	if hirCap < 1 {
+		hirCap = 1
+	}
+	lirCap := capacity - hirCap
+	if lirCap < 1 {
+		lirCap = 1
+		hirCap = capacity - 1
+		if hirCap < 1 {
+			hirCap = 1 // capacity 1: degenerate but functional
+			lirCap = 1
+		}
+	}
+	if ghostFactor <= 0 {
+		ghostFactor = 3
+	}
+	return &LIRS{
+		capacity: capacity,
+		lirCap:   lirCap,
+		hirCap:   hirCap,
+		ghostCap: ghostFactor * capacity,
+		stack:    newPageList(),
+		queue:    newPageList(),
+		ghosts:   newPageList(),
+		state:    make(map[PageID]lirsState),
+	}
+}
+
+// Name implements Cache.
+func (c *LIRS) Name() string { return "LIRS" }
+
+// Capacity implements Cache.
+func (c *LIRS) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *LIRS) Len() int { return c.nRes }
+
+// Resident implements Cache.
+func (c *LIRS) Resident(p PageID) bool {
+	s, ok := c.state[p]
+	return ok && s != lirsHIRGhost
+}
+
+// Reset implements Cache.
+func (c *LIRS) Reset() {
+	c.stack.Clear()
+	c.queue.Clear()
+	c.ghosts.Clear()
+	c.state = make(map[PageID]lirsState)
+	c.nLIR = 0
+	c.nRes = 0
+}
+
+// Reference implements Cache.
+func (c *LIRS) Reference(p PageID) bool {
+	st, known := c.state[p]
+	switch {
+	case known && st == lirsLIR:
+		// LIR hit: refresh recency; the bottom may need pruning if p was it.
+		c.stack.MoveToFront(p)
+		c.prune()
+		return true
+
+	case known && st == lirsHIRResident:
+		if c.stack.Contains(p) {
+			// Its new IRR is lower than the oldest LIR's recency: promote.
+			c.stack.MoveToFront(p)
+			c.queue.Remove(p)
+			c.state[p] = lirsLIR
+			c.nLIR++
+			if c.nLIR > c.lirCap {
+				c.demoteBottomLIR()
+			}
+			c.prune()
+		} else {
+			// Not in the stack: stays HIR, refresh both recencies.
+			c.stackPushFront(p)
+			c.queue.MoveToFront(p)
+		}
+		return true
+
+	default:
+		// Miss (unknown page or ghost). Make room among residents first.
+		if c.nRes >= c.capacity {
+			c.evictHIR()
+		}
+		// Re-read the state: the eviction may have demoted and pruned, and
+		// pruning can forget exactly the ghost being referenced.
+		st, known = c.state[p]
+		if known && st == lirsHIRGhost && c.stack.Contains(p) {
+			// A reuse within the stack's reach: the block's IRR beats the
+			// coldest LIR block, so it enters as LIR (the LRU-2 insight).
+			c.stack.MoveToFront(p)
+			c.ghosts.Remove(p)
+			c.state[p] = lirsLIR
+			c.nLIR++
+			c.nRes++
+			if c.nLIR > c.lirCap {
+				c.demoteBottomLIR()
+			}
+			c.prune()
+			return false
+		}
+		// Cold block (or a ghost that lost its stack entry to the eviction
+		// above — recover it as cold). Until the LIR set is full (cold
+		// start), admit straight to LIR; afterwards cold blocks enter as
+		// resident HIR.
+		c.ghosts.Remove(p)
+		c.stackPushFront(p)
+		if c.nLIR < c.lirCap {
+			c.state[p] = lirsLIR
+			c.nLIR++
+		} else {
+			c.queue.PushFront(p)
+			c.state[p] = lirsHIRResident
+		}
+		c.nRes++
+		return false
+	}
+}
+
+// stackPushFront inserts or refreshes p at the stack top.
+func (c *LIRS) stackPushFront(p PageID) {
+	if !c.stack.MoveToFront(p) {
+		c.stack.PushFront(p)
+	}
+}
+
+// boundGhosts forgets the oldest ghosts beyond the configured cap.
+func (c *LIRS) boundGhosts() {
+	for c.ghosts.Len() > c.ghostCap {
+		victim, ok := c.ghosts.PopBack()
+		if !ok {
+			return
+		}
+		if c.state[victim] == lirsHIRGhost {
+			c.stack.Remove(victim)
+			delete(c.state, victim)
+			c.prune()
+		}
+	}
+}
+
+// evictHIR evicts the back of the resident-HIR queue; if the queue is
+// empty (all frames LIR), the bottom LIR block is demoted first.
+func (c *LIRS) evictHIR() {
+	if c.queue.Len() == 0 {
+		c.demoteBottomLIR()
+	}
+	victim, ok := c.queue.PopBack()
+	if !ok {
+		return
+	}
+	c.nRes--
+	if c.stack.Contains(victim) {
+		c.state[victim] = lirsHIRGhost
+		c.ghosts.PushFront(victim)
+		c.boundGhosts()
+	} else {
+		delete(c.state, victim)
+	}
+}
+
+// demoteBottomLIR turns the stack's bottom LIR block into a resident HIR
+// block at the queue front, then prunes.
+func (c *LIRS) demoteBottomLIR() {
+	// Re-establish the invariant first: the bottom must be LIR.
+	c.prune()
+	bottom, ok := c.stack.Back()
+	if !ok || c.state[bottom] != lirsLIR {
+		return
+	}
+	c.stack.Remove(bottom)
+	c.state[bottom] = lirsHIRResident
+	c.queue.PushFront(bottom)
+	c.nLIR--
+	c.prune()
+}
+
+// prune removes non-LIR entries from the stack bottom so the bottom is
+// always a LIR block; evicted ghosts are forgotten entirely.
+func (c *LIRS) prune() {
+	for {
+		bottom, ok := c.stack.Back()
+		if !ok {
+			return
+		}
+		st := c.state[bottom]
+		if st == lirsLIR {
+			return
+		}
+		c.stack.Remove(bottom)
+		if st == lirsHIRGhost {
+			c.ghosts.Remove(bottom)
+			delete(c.state, bottom)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestLIRSBasics(t *testing.T) {
+	c := NewLIRS(10, 0.1, 3)
+	if c.Name() != "LIRS" || c.Capacity() != 10 {
+		t.Fatal("identity wrong")
+	}
+	if c.Reference(1) {
+		t.Error("hit on empty cache")
+	}
+	if !c.Reference(1) {
+		t.Error("miss on resident page")
+	}
+	if !c.Resident(1) || c.Len() != 1 {
+		t.Error("residency wrong")
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Resident(1) {
+		t.Error("Reset incomplete")
+	}
+}
+
+// TestLIRSScanResistance: the defining property — a long scan of one-shot
+// pages cannot displace the LIR working set.
+func TestLIRSScanResistance(t *testing.T) {
+	c := NewLIRS(100, 0.05, 3)
+	r := stats.NewRNG(7)
+	// Establish a working set of 60 pages with repeated references.
+	for i := 0; i < 5000; i++ {
+		c.Reference(PageID(r.Intn(60)))
+	}
+	// Sequential scan of 10000 one-shot pages.
+	for i := 0; i < 10000; i++ {
+		c.Reference(PageID(10000 + i))
+	}
+	kept := 0
+	for p := PageID(0); p < 60; p++ {
+		if c.Resident(p) {
+			kept++
+		}
+	}
+	if kept < 55 {
+		t.Errorf("only %d/60 working-set pages survived the scan", kept)
+	}
+}
+
+// TestLIRSGhostPromotion: a page re-referenced while its ghost is still in
+// the stack enters as LIR (the backward-2-distance insight).
+func TestLIRSGhostPromotion(t *testing.T) {
+	c := NewLIRS(4, 0.25, 4) // lirCap 3, hirCap 1
+	// Fill the LIR set.
+	c.Reference(1)
+	c.Reference(2)
+	c.Reference(3)
+	// 4 and 5 churn through the single HIR frame; 4 becomes a ghost.
+	c.Reference(4)
+	c.Reference(5)
+	if c.Resident(4) {
+		t.Fatal("4 should have been evicted from the HIR queue")
+	}
+	// Re-reference 4: ghost hit → promoted to LIR, demoting a LIR block.
+	if c.Reference(4) {
+		t.Error("ghost re-reference reported as hit")
+	}
+	if !c.Resident(4) {
+		t.Error("ghost re-reference did not readmit")
+	}
+	// A following one-shot page must not displace 4.
+	c.Reference(6)
+	c.Reference(7)
+	if !c.Resident(4) {
+		t.Error("promoted LIR block evicted by one-shot churn")
+	}
+}
+
+func TestLIRSCapacityOne(t *testing.T) {
+	c := NewLIRS(1, 0.5, 2)
+	c.Reference(1)
+	c.Reference(2)
+	if c.Len() > 1 {
+		t.Fatalf("Len = %d over capacity 1", c.Len())
+	}
+}
+
+func TestLIRSGhostBound(t *testing.T) {
+	c := NewLIRS(8, 0.25, 2) // stack capped at 16 entries
+	for i := 0; i < 10000; i++ {
+		c.Reference(PageID(i))
+	}
+	// The stack holds at most the residents plus the bounded ghosts.
+	if got := c.stack.Len(); got > 16+8 {
+		t.Errorf("stack grew to %d entries, bound 24", got)
+	}
+	if got := c.ghosts.Len(); got > 16 {
+		t.Errorf("ghost list grew to %d entries, cap 16", got)
+	}
+	if got := len(c.state); got > 16+8 {
+		t.Errorf("state map holds %d entries; ghosts are not being bounded", got)
+	}
+}
+
+func TestTinyLFUBasics(t *testing.T) {
+	c := NewTinyLFU(100)
+	if c.Name() != "W-TinyLFU" || c.Capacity() != 100 {
+		t.Fatal("identity wrong")
+	}
+	if c.Reference(1) {
+		t.Error("hit on empty")
+	}
+	if !c.Reference(1) {
+		t.Error("miss on resident (window)")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+// TestTinyLFUAdmissionFilter: a one-hit wonder must not displace a page
+// with established frequency.
+func TestTinyLFUAdmissionFilter(t *testing.T) {
+	c := NewTinyLFU(100)
+	r := stats.NewRNG(3)
+	// Build frequency for a 90-page working set, filling the main area.
+	for i := 0; i < 20000; i++ {
+		c.Reference(PageID(r.Intn(90)))
+	}
+	// A flood of one-shot pages interleaved with occasional working-set
+	// references (so the sketch's aging does not simply forget the hot
+	// set): each one-shot page reaches the duel with frequency ~1 and
+	// loses to the established victims.
+	for i := 0; i < 20000; i++ {
+		c.Reference(PageID(100000 + i))
+		if i%4 == 0 {
+			c.Reference(PageID(r.Intn(90)))
+		}
+	}
+	kept := 0
+	for p := PageID(0); p < 90; p++ {
+		if c.Resident(p) {
+			kept++
+		}
+	}
+	if kept < 80 {
+		t.Errorf("only %d/90 working-set pages survived the one-shot flood", kept)
+	}
+}
+
+// TestTinyLFUAgingAdmitsNewHotPages: unlike plain LFU, the sketch ages, so
+// a new hot set eventually displaces the old one.
+func TestTinyLFUAgingAdmitsNewHotPages(t *testing.T) {
+	c := NewTinyLFU(50)
+	r := stats.NewRNG(5)
+	for i := 0; i < 20000; i++ {
+		c.Reference(PageID(r.Intn(40))) // old hot set
+	}
+	hits := 0
+	const probes = 40000
+	for i := 0; i < probes; i++ {
+		if c.Reference(PageID(1000 + r.Intn(40))) { // new hot set
+			hits++
+		}
+	}
+	ratio := float64(hits) / probes
+	if ratio < 0.5 {
+		t.Errorf("new hot set hit ratio %.3f after shift; aging is not working", ratio)
+	}
+}
+
+func TestCMSketch(t *testing.T) {
+	s := newCMSketch(64)
+	for i := 0; i < 10; i++ {
+		s.add(7)
+	}
+	s.add(9)
+	if got := s.estimate(7); got < 8 {
+		t.Errorf("estimate(7) = %d, want ~10", got)
+	}
+	if got := s.estimate(9); got < 1 || got > 3 {
+		t.Errorf("estimate(9) = %d, want ~1", got)
+	}
+	if got := s.estimate(424242); got > 2 {
+		t.Errorf("estimate(unseen) = %d, want ~0", got)
+	}
+	// Counters cap at 15.
+	for i := 0; i < 100; i++ {
+		s.add(7)
+	}
+	if got := s.estimate(7); got > 15 {
+		t.Errorf("estimate above cap: %d", got)
+	}
+	// Reset halves.
+	before := s.estimate(7)
+	s.reset()
+	if got := s.estimate(7); got != before/2 {
+		t.Errorf("after reset: %d, want %d", got, before/2)
+	}
+}
+
+// TestLIRSTinyLFUInvariants runs the generic residency invariants.
+func TestLIRSTinyLFUInvariants(t *testing.T) {
+	r := stats.NewRNG(99)
+	trace := make([]PageID, 8000)
+	for i := range trace {
+		trace[i] = PageID(r.Intn(100))
+	}
+	for _, capacity := range []int{1, 2, 5, 17, 64} {
+		for _, c := range []Cache{NewLIRS(capacity, 0, 0), NewTinyLFU(capacity)} {
+			for i, p := range trace {
+				c.Reference(p)
+				if !c.Resident(p) && c.Name() != "W-TinyLFU" {
+					// TinyLFU's admission filter may legitimately refuse the
+					// referenced page; every other policy must admit it.
+					t.Fatalf("%s cap %d ref %d: referenced page not resident", c.Name(), capacity, i)
+				}
+				if c.Len() > capacity {
+					t.Fatalf("%s cap %d ref %d: Len %d over capacity", c.Name(), capacity, i, c.Len())
+				}
+			}
+		}
+	}
+}

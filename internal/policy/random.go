@@ -1,0 +1,61 @@
+package policy
+
+import "repro/internal/stats"
+
+// Random evicts a uniformly random resident page. It is the classical
+// baseline showing what "no information at all" buys.
+type Random struct {
+	capacity int
+	rng      *stats.RNG
+	seed     uint64
+	slots    []PageID
+	index    map[PageID]int
+}
+
+// NewRandom returns a random-replacement cache seeded deterministically.
+func NewRandom(capacity int, seed uint64) *Random {
+	c := &Random{capacity: validateCapacity(capacity), seed: seed}
+	c.Reset()
+	return c
+}
+
+// Name implements Cache.
+func (c *Random) Name() string { return "RANDOM" }
+
+// Capacity implements Cache.
+func (c *Random) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *Random) Len() int { return len(c.slots) }
+
+// Resident implements Cache.
+func (c *Random) Resident(p PageID) bool {
+	_, ok := c.index[p]
+	return ok
+}
+
+// Reset implements Cache.
+func (c *Random) Reset() {
+	c.rng = stats.NewRNG(c.seed)
+	c.slots = c.slots[:0]
+	c.index = make(map[PageID]int, c.capacity)
+}
+
+// Reference implements Cache.
+func (c *Random) Reference(p PageID) bool {
+	if _, ok := c.index[p]; ok {
+		return true
+	}
+	if len(c.slots) >= c.capacity {
+		i := c.rng.Intn(len(c.slots))
+		victim := c.slots[i]
+		last := len(c.slots) - 1
+		c.slots[i] = c.slots[last]
+		c.index[c.slots[i]] = i
+		c.slots = c.slots[:last]
+		delete(c.index, victim)
+	}
+	c.index[p] = len(c.slots)
+	c.slots = append(c.slots, p)
+	return false
+}

@@ -1,0 +1,214 @@
+package policy
+
+// This file implements W-TinyLFU (Einziger, Friedman & Manes 2017), the
+// modern end of the lineage the paper started: like LRU-K it judges a
+// page by its recent reference frequency rather than pure recency, and
+// like the paper's critique of LFU demands ("the LFU algorithm has no
+// means to discriminate recent versus past reference frequency") it ages
+// its counts — here by periodically halving a Count-Min sketch rather
+// than by truncating history to K references.
+//
+// Structure: a small LRU window absorbs bursts; the main area is an SLRU.
+// On window overflow, the window victim duels the main area's probation
+// victim: the sketch's frequency estimate decides who stays — "admission
+// by frequency", TinyLFU's core idea.
+
+// cmSketch is a 4-row Count-Min sketch with 4-bit counters and periodic
+// halving ("reset"), the aging mechanism.
+type cmSketch struct {
+	rows    [4][]uint8
+	mask    uint64
+	samples int
+	limit   int
+}
+
+func newCMSketch(capacity int) *cmSketch {
+	width := 1
+	for width < capacity*8 {
+		width <<= 1
+	}
+	s := &cmSketch{mask: uint64(width - 1), limit: capacity * 10}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, width)
+	}
+	return s
+}
+
+func cmHash(p PageID, row uint64) uint64 {
+	z := uint64(p)*0x9e3779b97f4a7c15 + row*0xbf58476d1ce4e5b9
+	z ^= z >> 29
+	z *= 0x94d049bb133111eb
+	z ^= z >> 32
+	return z
+}
+
+// add increments p's counters (capped at 15) and runs the reset when the
+// sample limit is reached.
+func (s *cmSketch) add(p PageID) {
+	for i := range s.rows {
+		idx := cmHash(p, uint64(i)) & s.mask
+		if s.rows[i][idx] < 15 {
+			s.rows[i][idx]++
+		}
+	}
+	s.samples++
+	if s.samples >= s.limit {
+		s.reset()
+	}
+}
+
+// estimate returns the minimum counter across rows.
+func (s *cmSketch) estimate(p PageID) uint8 {
+	est := uint8(15)
+	for i := range s.rows {
+		v := s.rows[i][cmHash(p, uint64(i))&s.mask]
+		if v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// reset halves every counter, the TinyLFU aging step.
+func (s *cmSketch) reset() {
+	for i := range s.rows {
+		for j := range s.rows[i] {
+			s.rows[i][j] /= 2
+		}
+	}
+	s.samples /= 2
+}
+
+// TinyLFU is the W-TinyLFU cache.
+type TinyLFU struct {
+	capacity  int
+	windowCap int
+	window    *pageList // LRU window, front = MRU
+	main      *SLRU
+	sketch    *cmSketch
+}
+
+// NewTinyLFU returns a W-TinyLFU cache with the authors' recommended
+// layout: a 1% LRU window (minimum one frame) in front of an SLRU main
+// area with an 80% protected segment.
+func NewTinyLFU(capacity int) *TinyLFU {
+	validateCapacity(capacity)
+	windowCap := capacity / 100
+	if windowCap < 1 {
+		windowCap = 1
+	}
+	mainCap := capacity - windowCap
+	c := &TinyLFU{
+		capacity:  capacity,
+		windowCap: windowCap,
+		window:    newPageList(),
+		sketch:    newCMSketch(capacity),
+	}
+	if mainCap >= 1 {
+		c.main = NewSLRU(mainCap, 0.8)
+	} else {
+		// Degenerate capacity: the window is the whole cache.
+		c.windowCap = capacity
+	}
+	return c
+}
+
+// Name implements Cache.
+func (c *TinyLFU) Name() string { return "W-TinyLFU" }
+
+// Capacity implements Cache.
+func (c *TinyLFU) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *TinyLFU) Len() int {
+	n := c.window.Len()
+	if c.main != nil {
+		n += c.main.Len()
+	}
+	return n
+}
+
+// Resident implements Cache.
+func (c *TinyLFU) Resident(p PageID) bool {
+	if c.window.Contains(p) {
+		return true
+	}
+	return c.main != nil && c.main.Resident(p)
+}
+
+// Reset implements Cache.
+func (c *TinyLFU) Reset() {
+	c.window.Clear()
+	if c.main != nil {
+		c.main.Reset()
+	}
+	c.sketch = newCMSketch(c.capacity)
+}
+
+// Reference implements Cache.
+func (c *TinyLFU) Reference(p PageID) bool {
+	c.sketch.add(p)
+	if c.window.MoveToFront(p) {
+		return true
+	}
+	if c.main != nil && c.main.Resident(p) {
+		c.main.Reference(p) // SLRU-internal promotion
+		return true
+	}
+	// Miss: admit into the window.
+	c.window.PushFront(p)
+	if c.window.Len() <= c.windowCap {
+		return false
+	}
+	// Window overflow: its LRU victim duels the main probation victim.
+	candidate, _ := c.window.PopBack()
+	if c.main == nil {
+		return false // window-only cache: overflow is eviction
+	}
+	if c.main.Len() < c.main.Capacity() {
+		c.main.admit(candidate)
+		return false
+	}
+	victim, ok := c.main.probationVictim()
+	if !ok || c.sketch.estimate(candidate) > c.sketch.estimate(victim) {
+		// The candidate's recent frequency wins (or nothing to duel):
+		// evict the victim and admit the candidate.
+		c.main.evictProbation()
+		c.main.admit(candidate)
+	}
+	// Otherwise the candidate is dropped: TinyLFU refuses admission to
+	// one-hit wonders, the sharpest form of the paper's early page
+	// replacement (§2.1.1).
+	return false
+}
+
+// --- SLRU hooks used by TinyLFU ---
+
+// admit inserts p into the probationary segment without the usual
+// capacity-driven eviction (the caller manages capacity).
+func (s *SLRU) admit(p PageID) {
+	if s.Len() >= s.capacity {
+		// Defensive: never exceed capacity even on misuse.
+		if _, ok := s.probation.PopBack(); !ok {
+			s.protected.PopBack()
+		}
+	}
+	s.probation.PushFront(p)
+}
+
+// probationVictim returns the next eviction candidate without removing it;
+// when the probationary segment is empty, the protected LRU stands in.
+func (s *SLRU) probationVictim() (PageID, bool) {
+	if v, ok := s.probation.Back(); ok {
+		return v, true
+	}
+	return s.protected.Back()
+}
+
+// evictProbation removes the current victim.
+func (s *SLRU) evictProbation() {
+	if _, ok := s.probation.PopBack(); ok {
+		return
+	}
+	s.protected.PopBack()
+}

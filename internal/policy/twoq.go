@@ -1,0 +1,126 @@
+package policy
+
+// TwoQ is the full-version 2Q algorithm (Johnson & Shasha, VLDB 1994), the
+// direct descendant of LRU-2 designed to approximate it with constant-time
+// operations. It is included as a lineage baseline.
+//
+// Structure: A1in is a FIFO of recently admitted pages; A1out is a FIFO of
+// ghost entries (page ids only) for pages evicted from A1in; Am is an LRU of
+// pages re-referenced while remembered in A1out. A hit in A1out signals a
+// genuine (non-correlated) re-reference, so the page is promoted to Am —
+// this mirrors LRU-2's requirement of two spaced references before a page
+// earns long-term residency.
+type TwoQ struct {
+	capacity int
+	kin      int // max size of A1in (resident)
+	kout     int // max size of A1out (ghosts)
+	a1in     *pageList
+	a1out    *pageList
+	am       *pageList
+}
+
+// NewTwoQ returns a 2Q cache with the given frame count, using the authors'
+// recommended tuning: Kin = 25% of the capacity, Kout = 50% of the capacity.
+func NewTwoQ(capacity int) *TwoQ {
+	validateCapacity(capacity)
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	return NewTwoQTuned(capacity, kin, kout)
+}
+
+// NewTwoQTuned returns a 2Q cache with explicit Kin and Kout thresholds.
+func NewTwoQTuned(capacity, kin, kout int) *TwoQ {
+	validateCapacity(capacity)
+	if kin < 1 || kin > capacity {
+		panic("policy: 2Q Kin out of range")
+	}
+	if kout < 1 {
+		panic("policy: 2Q Kout out of range")
+	}
+	return &TwoQ{
+		capacity: capacity,
+		kin:      kin,
+		kout:     kout,
+		a1in:     newPageList(),
+		a1out:    newPageList(),
+		am:       newPageList(),
+	}
+}
+
+// Name implements Cache.
+func (c *TwoQ) Name() string { return "2Q" }
+
+// Capacity implements Cache.
+func (c *TwoQ) Capacity() int { return c.capacity }
+
+// Len implements Cache.
+func (c *TwoQ) Len() int { return c.a1in.Len() + c.am.Len() }
+
+// Resident implements Cache.
+func (c *TwoQ) Resident(p PageID) bool {
+	return c.a1in.Contains(p) || c.am.Contains(p)
+}
+
+// Reset implements Cache.
+func (c *TwoQ) Reset() {
+	c.a1in.Clear()
+	c.a1out.Clear()
+	c.am.Clear()
+}
+
+// Reference implements Cache.
+func (c *TwoQ) Reference(p PageID) bool {
+	switch {
+	case c.am.Contains(p):
+		c.am.MoveToFront(p)
+		return true
+	case c.a1in.Contains(p):
+		// 2Q deliberately does not promote on an A1in hit: a quick second
+		// reference is presumed correlated.
+		return true
+	case c.a1out.Contains(p):
+		// Remembered ghost: the page has proven a spaced re-reference.
+		c.a1out.Remove(p)
+		c.reclaim()
+		c.am.PushFront(p)
+		return false
+	default:
+		c.reclaim()
+		c.a1in.PushFront(p)
+		return false
+	}
+}
+
+// reclaim frees one frame if the cache is full, per the 2Q "reclaimfor"
+// procedure.
+func (c *TwoQ) reclaim() {
+	if c.Len() < c.capacity {
+		return
+	}
+	if c.a1in.Len() > c.kin {
+		// Evict the A1in tail to a ghost entry in A1out.
+		victim, _ := c.a1in.PopBack()
+		c.a1out.PushFront(victim)
+		if c.a1out.Len() > c.kout {
+			c.a1out.PopBack()
+		}
+		return
+	}
+	if _, ok := c.am.PopBack(); ok {
+		// Am evictions are forgotten entirely (no ghost), per the paper.
+		return
+	}
+	// Am empty: fall back to evicting from A1in even below Kin.
+	if victim, ok := c.a1in.PopBack(); ok {
+		c.a1out.PushFront(victim)
+		if c.a1out.Len() > c.kout {
+			c.a1out.PopBack()
+		}
+	}
+}

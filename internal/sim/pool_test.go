@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestPoolMatchesPolicyExactly is the cross-layer consistency check: for
+// the same reference string, the buffer pool driven by a core.Replacer
+// must hit exactly as often as the standalone core.LRUK policy — the two
+// code paths implement one algorithm.
+func TestPoolMatchesPolicyExactly(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		g := workload.NewTwoPool(50, 2000, 77)
+		e := NewExperiment("tp", g, 1000, 9000)
+		poolRes, err := e.RunPool(60, k, core.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policyRes := e.Run(LRUK(k), 60)
+		if poolRes.Hits != policyRes.Hits {
+			t.Errorf("K=%d: pool hits %d, policy hits %d — the two LRU-K code paths diverge",
+				k, poolRes.Hits, policyRes.Hits)
+		}
+	}
+}
+
+// TestPoolDirtyWriteBacks: write traffic must produce write-backs and they
+// must show up in the I/O accounting.
+func TestPoolDirtyWriteBacks(t *testing.T) {
+	g := workload.NewZipfian(2000, 0.8, 0.2, 5)
+	e := NewExperiment("zipf", g, 500, 4500)
+	res, err := e.RunPool(50, 2, core.Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteBacks == 0 {
+		t.Error("no write-backs despite dirty traffic and eviction pressure")
+	}
+	if res.DiskReads == 0 || res.ServiceMicros == 0 {
+		t.Errorf("I/O accounting empty: %+v", res)
+	}
+	clean, err := e.RunPool(50, 2, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.WriteBacks != 0 {
+		t.Errorf("read-only replay produced %d write-backs", clean.WriteBacks)
+	}
+}
+
+// TestPoolHitRatioBeatsLRU1: the pool-level cost/performance story of the
+// paper holds end to end — LRU-2 needs fewer disk reads than LRU-1 at the
+// same frame count.
+func TestPoolHitRatioBeatsLRU1(t *testing.T) {
+	g := workload.NewTwoPool(100, 10000, 3)
+	e := NewExperiment("tp", g, 1000, 12000)
+	res2, err := e.RunPool(100, 2, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := e.RunPool(100, 1, core.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Hits <= res1.Hits {
+		t.Errorf("pool LRU-2 hits %d not above LRU-1 %d", res2.Hits, res1.Hits)
+	}
+	if res2.DiskReads >= res1.DiskReads {
+		t.Errorf("pool LRU-2 disk reads %d not below LRU-1 %d", res2.DiskReads, res1.DiskReads)
+	}
+}

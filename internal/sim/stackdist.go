@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// LRUCurve is the exact LRU (LRU-1) hit-ratio curve of a reference string
+// for every buffer size simultaneously, computed from the stack-distance
+// histogram (Mattson et al. 1970): a reference hits an LRU cache of B
+// frames exactly when its reuse stack distance is at most B. One O(n log n)
+// pass replaces a separate cache simulation per buffer size — this is what
+// makes the B(1)/B(2) equi-effective searches of Tables 4.1-4.3 cheap.
+type LRUCurve struct {
+	// cumulative[b] is the number of measured references an LRU cache of b
+	// frames hits (references with stack distance <= b).
+	cumulative []int64
+	measured   int64
+	// ColdMisses counts measured first references (infinite stack
+	// distance), which no buffer size can serve.
+	ColdMisses int64
+}
+
+// NewLRUCurve analyses refs, counting only references at positions >=
+// warmup (the §4.1 measurement protocol). The curve is exact: for every
+// B, HitRatioAt(B) equals replaying refs through an LRU cache of B frames.
+func NewLRUCurve(refs []policy.PageID, warmup int) *LRUCurve {
+	n := len(refs)
+	// marked positions: 1 at the most recent occurrence of each distinct
+	// page seen so far. The stack distance of a reference to p is the
+	// number of marked positions at or after p's previous occurrence.
+	bit := stats.NewFenwick(n)
+	lastPos := make(map[policy.PageID]int, 1024)
+	hist := make([]int64, 0, 1024)
+	var infinite int64
+	var measured int64
+	for i, p := range refs {
+		prev, seen := lastPos[p]
+		var dist int64
+		if seen {
+			dist = bit.RangeSum(prev, n-1)
+			bit.Add(prev, -1)
+		}
+		if i >= warmup {
+			measured++
+			if !seen {
+				infinite++
+			} else {
+				d := int(dist)
+				for len(hist) <= d {
+					hist = append(hist, 0)
+				}
+				hist[d]++
+			}
+		}
+		bit.Add(i, 1)
+		lastPos[p] = i
+	}
+	cum := make([]int64, len(hist))
+	var run int64
+	for d := 1; d < len(hist); d++ {
+		run += hist[d]
+		cum[d] = run
+	}
+	return &LRUCurve{cumulative: cum, measured: measured, ColdMisses: infinite}
+}
+
+// HitRatioAt returns the LRU hit ratio with b buffer frames.
+func (c *LRUCurve) HitRatioAt(b int) float64 {
+	if c.measured == 0 || b <= 0 {
+		return 0
+	}
+	if b >= len(c.cumulative) {
+		if len(c.cumulative) == 0 {
+			return 0
+		}
+		return float64(c.cumulative[len(c.cumulative)-1]) / float64(c.measured)
+	}
+	return float64(c.cumulative[b]) / float64(c.measured)
+}
+
+// MaxUsefulBuffer returns the smallest buffer size achieving the maximal
+// hit ratio (beyond it more frames buy nothing on this trace).
+func (c *LRUCurve) MaxUsefulBuffer() int {
+	if len(c.cumulative) == 0 {
+		return 0
+	}
+	top := c.cumulative[len(c.cumulative)-1]
+	for b, v := range c.cumulative {
+		if v == top {
+			return b
+		}
+	}
+	return len(c.cumulative) - 1
+}
+
+// lruCurve lazily computes and caches the experiment's LRU curve.
+func (e *Experiment) lruCurve() *LRUCurve {
+	if e.curve == nil {
+		e.curve = NewLRUCurve(e.Trace, e.Warmup)
+	}
+	return e.curve
+}
+
+// LRUHitRatio returns the exact LRU-1 hit ratio at buffer size b using the
+// stack-distance curve — equivalent to e.HitRatio(LRUK(1), b) but O(1)
+// after the first call on the experiment.
+func (e *Experiment) LRUHitRatio(b int) float64 {
+	return e.lruCurve().HitRatioAt(b)
+}

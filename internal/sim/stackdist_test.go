@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestLRUCurveMatchesReplay is the defining property: for every buffer
+// size, the stack-distance curve must equal an actual LRU cache replay of
+// the same trace, hit for hit.
+func TestLRUCurveMatchesReplay(t *testing.T) {
+	r := stats.NewRNG(4242)
+	traces := [][]policy.PageID{
+		{},
+		{1},
+		{1, 1, 1},
+		{1, 2, 3, 1, 2, 3},
+	}
+	long := make([]policy.PageID, 8000)
+	for i := range long {
+		long[i] = policy.PageID(r.Intn(120))
+	}
+	traces = append(traces, long)
+	zipf := workload.Generate(workload.NewZipfian(500, 0.8, 0.2, 3), 10000)
+	traces = append(traces, zipf)
+
+	for ti, trace := range traces {
+		for _, warmup := range []int{0, len(trace) / 3} {
+			if warmup >= len(trace) && len(trace) > 0 {
+				continue
+			}
+			curve := NewLRUCurve(trace, warmup)
+			for _, b := range []int{1, 2, 5, 17, 64, 300} {
+				var exp *Experiment
+				if len(trace) == 0 {
+					continue
+				}
+				exp = &Experiment{Name: "t", Trace: trace, Warmup: warmup}
+				want := exp.HitRatio(LRUK(1), b)
+				got := curve.HitRatioAt(b)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("trace %d warmup %d B=%d: curve %.6f, replay %.6f",
+						ti, warmup, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLRUCurveEdgeCases(t *testing.T) {
+	c := NewLRUCurve(nil, 0)
+	if got := c.HitRatioAt(10); got != 0 {
+		t.Errorf("empty curve ratio = %v", got)
+	}
+	if got := c.MaxUsefulBuffer(); got != 0 {
+		t.Errorf("empty MaxUsefulBuffer = %d", got)
+	}
+	// A trace of all-distinct pages: all cold misses.
+	refs := make([]policy.PageID, 100)
+	for i := range refs {
+		refs[i] = policy.PageID(i)
+	}
+	c = NewLRUCurve(refs, 0)
+	if got := c.HitRatioAt(1000); got != 0 {
+		t.Errorf("all-distinct ratio = %v", got)
+	}
+	if c.ColdMisses != 100 {
+		t.Errorf("ColdMisses = %d, want 100", c.ColdMisses)
+	}
+	if got := c.HitRatioAt(0); got != 0 {
+		t.Errorf("B=0 ratio = %v", got)
+	}
+}
+
+func TestLRUCurveMaxUsefulBuffer(t *testing.T) {
+	// Cyclic references over 5 pages: every reuse distance is exactly 5,
+	// so 5 frames achieve the maximum and more buy nothing.
+	var refs []policy.PageID
+	for i := 0; i < 100; i++ {
+		refs = append(refs, policy.PageID(i%5))
+	}
+	c := NewLRUCurve(refs, 0)
+	if got := c.MaxUsefulBuffer(); got != 5 {
+		t.Errorf("MaxUsefulBuffer = %d, want 5", got)
+	}
+	if r5, r50 := c.HitRatioAt(5), c.HitRatioAt(50); r5 != r50 {
+		t.Errorf("ratio at 5 (%v) differs from at 50 (%v)", r5, r50)
+	}
+}
+
+func TestExperimentLRUHitRatioAgreesAndCaches(t *testing.T) {
+	g := workload.NewTwoPool(50, 2000, 5)
+	e := NewExperiment("tp", g, 500, 4000)
+	for _, b := range []int{10, 60, 200} {
+		fast := e.LRUHitRatio(b)
+		slow := e.HitRatio(LRUK(1), b)
+		if math.Abs(fast-slow) > 1e-12 {
+			t.Errorf("B=%d: curve %.6f vs replay %.6f", b, fast, slow)
+		}
+	}
+	if e.curve == nil {
+		t.Error("curve not cached on the experiment")
+	}
+}

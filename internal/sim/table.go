@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result in the layout of the paper's
+// Tables 4.1-4.3: one row per buffer size, one hit-ratio column per
+// policy, and optionally the equi-effective buffer size ratio B(1)/B(2).
+type Table struct {
+	// Title names the table, e.g. "Table 4.1".
+	Title string
+	// Note carries workload parameters for the caption line.
+	Note string
+	// Policies are the hit-ratio column headers in order.
+	Policies []string
+	// Rows are ordered by buffer size.
+	Rows []TableRow
+	// HasEquiRatio reports whether the B(1)/B(2) column is populated.
+	HasEquiRatio bool
+}
+
+// TableRow is one buffer size's measurements.
+type TableRow struct {
+	Buffer int
+	// Ratios holds one hit ratio per Policies entry.
+	Ratios []float64
+	// EquiRatio is B(1)/B(2) when the table defines it.
+	EquiRatio float64
+}
+
+// Render formats the table as aligned text mirroring the paper's layout.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n\n", t.Title, t.Note)
+	// Header.
+	fmt.Fprintf(&b, "%6s", "B")
+	for _, p := range t.Policies {
+		fmt.Fprintf(&b, "  %8s", p)
+	}
+	if t.HasEquiRatio {
+		fmt.Fprintf(&b, "  %9s", "B(1)/B(2)")
+	}
+	b.WriteByte('\n')
+	width := 6 + 10*len(t.Policies)
+	if t.HasEquiRatio {
+		width += 11
+	}
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%6d", row.Buffer)
+		for _, r := range row.Ratios {
+			fmt.Fprintf(&b, "  %8.3f", r)
+		}
+		if t.HasEquiRatio {
+			fmt.Fprintf(&b, "  %9.2f", row.EquiRatio)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row, for
+// plotting pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("B")
+	for _, p := range t.Policies {
+		b.WriteByte(',')
+		b.WriteString(p)
+	}
+	if t.HasEquiRatio {
+		b.WriteString(",B(1)/B(2)")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%d", row.Buffer)
+		for _, r := range row.Ratios {
+			fmt.Fprintf(&b, ",%.6f", r)
+		}
+		if t.HasEquiRatio {
+			fmt.Fprintf(&b, ",%.4f", row.EquiRatio)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Ratio returns the hit ratio of the named policy at the given buffer
+// size; ok is false when the table has no such cell.
+func (t *Table) Ratio(policyName string, buffer int) (float64, bool) {
+	col := -1
+	for i, p := range t.Policies {
+		if p == policyName {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, row := range t.Rows {
+		if row.Buffer == buffer {
+			return row.Ratios[col], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,49 @@
+package stats
+
+// Fenwick is a binary indexed tree over [0, n) supporting point updates
+// and prefix sums in O(log n). The simulator uses it to compute LRU stack
+// distances in one pass over a reference string.
+type Fenwick struct {
+	tree []int64
+}
+
+// NewFenwick returns a tree over indices [0, n).
+func NewFenwick(n int) *Fenwick {
+	if n < 0 {
+		panic("stats: negative Fenwick size")
+	}
+	return &Fenwick{tree: make([]int64, n+1)}
+}
+
+// Len returns the index capacity n.
+func (f *Fenwick) Len() int { return len(f.tree) - 1 }
+
+// Add adds delta at index i.
+func (f *Fenwick) Add(i int, delta int64) {
+	if i < 0 || i >= f.Len() {
+		panic("stats: Fenwick index out of range")
+	}
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum over [0, i]. A negative i yields 0.
+func (f *Fenwick) PrefixSum(i int) int64 {
+	if i >= f.Len() {
+		i = f.Len() - 1
+	}
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum over [lo, hi].
+func (f *Fenwick) RangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return f.PrefixSum(hi) - f.PrefixSum(lo-1)
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwickBasics(t *testing.T) {
+	f := NewFenwick(10)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Add(0, 5)
+	f.Add(9, 3)
+	f.Add(4, -2)
+	if got := f.PrefixSum(0); got != 5 {
+		t.Errorf("PrefixSum(0) = %d, want 5", got)
+	}
+	if got := f.PrefixSum(9); got != 6 {
+		t.Errorf("PrefixSum(9) = %d, want 6", got)
+	}
+	if got := f.RangeSum(1, 8); got != -2 {
+		t.Errorf("RangeSum(1,8) = %d, want -2", got)
+	}
+	if got := f.RangeSum(5, 3); got != 0 {
+		t.Errorf("inverted RangeSum = %d, want 0", got)
+	}
+	if got := f.PrefixSum(-1); got != 0 {
+		t.Errorf("PrefixSum(-1) = %d, want 0", got)
+	}
+	if got := f.PrefixSum(100); got != 6 {
+		t.Errorf("PrefixSum beyond range = %d, want 6", got)
+	}
+}
+
+func TestFenwickPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFenwick(-1) },
+		func() { NewFenwick(5).Add(5, 1) },
+		func() { NewFenwick(5).Add(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestFenwickAgainstNaive cross-checks against a plain slice.
+func TestFenwickAgainstNaive(t *testing.T) {
+	const n = 200
+	f := NewFenwick(n)
+	naive := make([]int64, n)
+	r := NewRNG(12345)
+	for op := 0; op < 5000; op++ {
+		i := r.Intn(n)
+		delta := int64(r.Intn(21) - 10)
+		f.Add(i, delta)
+		naive[i] += delta
+		lo, hi := r.Intn(n), r.Intn(n)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want int64
+		for j := lo; j <= hi; j++ {
+			want += naive[j]
+		}
+		if got := f.RangeSum(lo, hi); got != want {
+			t.Fatalf("op %d: RangeSum(%d,%d) = %d, want %d", op, lo, hi, got, want)
+		}
+	}
+}
+
+func TestFenwickQuick(t *testing.T) {
+	check := func(adds []uint16, probe uint8) bool {
+		const n = 64
+		f := NewFenwick(n)
+		naive := make([]int64, n)
+		for _, a := range adds {
+			i := int(a) % n
+			f.Add(i, 1)
+			naive[i]++
+		}
+		p := int(probe) % n
+		var want int64
+		for j := 0; j <= p; j++ {
+			want += naive[j]
+		}
+		return f.PrefixSum(p) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

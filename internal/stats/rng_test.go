@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestRNGReseed(t *testing.T) {
+	r := NewRNG(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("reseeded stream differs at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Float64())
+	}
+	if math.Abs(s.Mean()-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", s.Mean())
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUint64nBoundary(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if got := r.Uint64n(1); got != 0 {
+			t.Fatalf("Uint64n(1) = %d, want 0", got)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMul64Quick(t *testing.T) {
+	// Cross-check against 32x32 decomposition done differently.
+	f := func(a, b uint32) bool {
+		hi, lo := mul64(uint64(a), uint64(b))
+		return hi == 0 && lo == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(17)
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		var s Summary
+		for i := 0; i < 100000; i++ {
+			s.Add(float64(r.Geometric(p)))
+		}
+		want := 1 / p
+		if math.Abs(s.Mean()-want)/want > 0.05 {
+			t.Errorf("Geometric(%v) mean %.3f, want ~%.3f", p, s.Mean(), want)
+		}
+	}
+}
+
+func TestGeometricAtOne(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if got := r.Geometric(1); got != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", got)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(19)
+	var s Summary
+	const lambda = 2.0
+	for i := 0; i < 200000; i++ {
+		s.Add(r.ExpFloat64(lambda))
+	}
+	if math.Abs(s.Mean()-1/lambda) > 0.01 {
+		t.Fatalf("exponential mean %.4f, want ~%.4f", s.Mean(), 1/lambda)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(23)
+	child := r.Split()
+	// The child must not replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d/100 times", same)
+	}
+}

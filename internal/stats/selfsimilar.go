@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SelfSimilar samples page numbers 1..N under the self-similar ("Zipfian")
+// skew distribution used in Section 4.2 of the paper:
+//
+//	Pr(page number <= i) = (i/N)^(log α / log β)
+//
+// with constants 0 < α, β < 1. A fraction α of the references targets a
+// fraction β of the pages, and the same 80-20-style relationship holds
+// recursively inside both the hot and the cold fraction.
+//
+// Sampling uses the inverse CDF: for u uniform in [0,1),
+// i = ceil(N · u^(log β / log α)).
+type SelfSimilar struct {
+	n     int
+	alpha float64
+	beta  float64
+	exp   float64 // log β / log α, the inverse-CDF exponent
+}
+
+// NewSelfSimilar returns a sampler over pages 1..n with skew (alpha, beta).
+// The paper's Table 4.2 uses alpha=0.8, beta=0.2 (the "80-20 rule").
+func NewSelfSimilar(n int, alpha, beta float64) (*SelfSimilar, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: self-similar population must be positive, got %d", n)
+	}
+	if alpha <= 0 || alpha >= 1 || beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("stats: self-similar skew constants must lie in (0,1), got α=%g β=%g", alpha, beta)
+	}
+	return &SelfSimilar{
+		n:     n,
+		alpha: alpha,
+		beta:  beta,
+		exp:   math.Log(beta) / math.Log(alpha),
+	}, nil
+}
+
+// N returns the population size.
+func (s *SelfSimilar) N() int { return s.n }
+
+// Sample draws a page number in [1, N]. Page 1 is the hottest.
+func (s *SelfSimilar) Sample(r *RNG) int {
+	u := r.Float64()
+	i := int(math.Ceil(float64(s.n) * math.Pow(u, s.exp)))
+	if i < 1 {
+		i = 1
+	}
+	if i > s.n {
+		i = s.n
+	}
+	return i
+}
+
+// CDF returns Pr(page number <= i), the paper's defining formula.
+func (s *SelfSimilar) CDF(i int) float64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= s.n:
+		return 1
+	}
+	return math.Pow(float64(i)/float64(s.n), math.Log(s.alpha)/math.Log(s.beta))
+}
+
+// Prob returns the reference probability β_i of page i, the probability mass
+// CDF(i) - CDF(i-1). The full vector is what the A0 oracle consumes.
+func (s *SelfSimilar) Prob(i int) float64 {
+	if i < 1 || i > s.n {
+		return 0
+	}
+	return s.CDF(i) - s.CDF(i-1)
+}
+
+// ProbVector returns the reference probabilities of all pages, indexed from
+// 0 (page 1 is element 0). The entries sum to 1 up to rounding.
+func (s *SelfSimilar) ProbVector() []float64 {
+	v := make([]float64, s.n)
+	prev := 0.0
+	for i := 1; i <= s.n; i++ {
+		c := s.CDF(i)
+		v[i-1] = c - prev
+		prev = c
+	}
+	return v
+}

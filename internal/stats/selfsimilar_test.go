@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSelfSimilarValidation(t *testing.T) {
+	cases := []struct {
+		n           int
+		alpha, beta float64
+	}{
+		{0, 0.8, 0.2},
+		{-5, 0.8, 0.2},
+		{10, 0, 0.2},
+		{10, 1, 0.2},
+		{10, 0.8, 0},
+		{10, 0.8, 1},
+		{10, -0.1, 0.2},
+	}
+	for _, c := range cases {
+		if _, err := NewSelfSimilar(c.n, c.alpha, c.beta); err == nil {
+			t.Errorf("NewSelfSimilar(%d, %v, %v): expected error", c.n, c.alpha, c.beta)
+		}
+	}
+	if _, err := NewSelfSimilar(1000, 0.8, 0.2); err != nil {
+		t.Fatalf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestSelfSimilarCDFEndpoints(t *testing.T) {
+	s, err := NewSelfSimilar(1000, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := s.CDF(1000); got != 1 {
+		t.Errorf("CDF(N) = %v, want 1", got)
+	}
+	if got := s.CDF(2000); got != 1 {
+		t.Errorf("CDF(2N) = %v, want 1", got)
+	}
+}
+
+// TestSelfSimilarEightyTwenty checks the defining property of the 80-20
+// distribution: a fraction α of references hits a fraction β of pages,
+// recursively.
+func TestSelfSimilarEightyTwenty(t *testing.T) {
+	s, err := NewSelfSimilar(1000, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CDF(200); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("CDF(0.2N) = %v, want 0.8", got)
+	}
+	// Recursion: inside the hottest 20%, the hottest 20% again gets 80%.
+	if got := s.CDF(40) / s.CDF(200); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("recursive skew = %v, want 0.8", got)
+	}
+}
+
+func TestSelfSimilarSampleMatchesCDF(t *testing.T) {
+	s, err := NewSelfSimilar(1000, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRNG(99)
+	const draws = 500000
+	var le200 int
+	counts := make([]int, s.N()+1)
+	for i := 0; i < draws; i++ {
+		v := s.Sample(r)
+		if v < 1 || v > s.N() {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		counts[v]++
+		if v <= 200 {
+			le200++
+		}
+	}
+	frac := float64(le200) / draws
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("empirical Pr(page <= 0.2N) = %.4f, want ~0.8", frac)
+	}
+	// Hottest page must dominate the coldest.
+	if counts[1] <= counts[1000] {
+		t.Errorf("hot page count %d not above cold page count %d", counts[1], counts[1000])
+	}
+}
+
+func TestSelfSimilarProbVector(t *testing.T) {
+	s, err := NewSelfSimilar(500, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.ProbVector()
+	if len(v) != 500 {
+		t.Fatalf("ProbVector length %d, want 500", len(v))
+	}
+	sum := 0.0
+	for i, p := range v {
+		if p < 0 {
+			t.Fatalf("negative probability at %d: %v", i, p)
+		}
+		if i > 0 && v[i] > v[i-1]+1e-15 {
+			t.Fatalf("probabilities not monotone non-increasing at %d: %v > %v", i, v[i], v[i-1])
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", sum)
+	}
+	if got := s.Prob(0); got != 0 {
+		t.Errorf("Prob(0) = %v, want 0", got)
+	}
+	if got := s.Prob(501); got != 0 {
+		t.Errorf("Prob(N+1) = %v, want 0", got)
+	}
+}
+
+func TestSelfSimilarCDFMonotoneQuick(t *testing.T) {
+	s, err := NewSelfSimilar(10000, 0.8, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		i, j := int(a)%10001, int(b)%10001
+		if i > j {
+			i, j = j, i
+		}
+		return s.CDF(i) <= s.CDF(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

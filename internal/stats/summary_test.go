@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 {
+		t.Fatal("zero Summary not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Var() != 0 || s.StdDev() != 0 {
+		t.Errorf("variance of one observation = %v, want 0", s.Var())
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("min/max = %v/%v, want 3.5/3.5", s.Min(), s.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Must not modify the input.
+	shuffled := []float64{5, 1, 4, 2, 3}
+	Quantile(shuffled, 0.5)
+	if shuffled[0] != 5 {
+		t.Error("Quantile modified its input")
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("Quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{1, 1, 2})
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("Normalize[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestNormalizePanics(t *testing.T) {
+	for _, in := range [][]float64{{0, 0}, {-1, 2}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Normalize(%v) did not panic", in)
+				}
+			}()
+			Normalize(in)
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	if a.N() != 4 {
+		t.Fatalf("N = %d, want 4", a.N())
+	}
+	r := NewRNG(31)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d: count %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	a := NewAlias([]float64{5})
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("singleton alias sampled %d", got)
+		}
+	}
+}
+
+func TestAliasQuickValid(t *testing.T) {
+	// Any positive weight vector must produce samples inside range.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, x := range raw {
+			w[i] = float64(x) + 1
+		}
+		a := NewAlias(w)
+		r := NewRNG(uint64(len(raw)))
+		for i := 0; i < 100; i++ {
+			if s := a.Sample(r); s < 0 || s >= len(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMeanQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				ok = false
+				break
+			}
+			s.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		want := sum / float64(len(xs))
+		return math.Abs(s.Mean()-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

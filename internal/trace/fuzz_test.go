@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// FuzzReadBinary: arbitrary bytes must never panic the reader; valid
+// traces must round-trip.
+func FuzzReadBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	_ = WriteBinary(&seedBuf, []policy.PageID{1, 2, 3, 1 << 40})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("LRUKTRC1"))
+	f.Add([]byte("LRUKTRC1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything successfully read must re-encode and re-read identically.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, refs); err != nil {
+			t.Fatalf("re-encode of valid trace failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(refs) {
+			t.Fatalf("round trip length %d vs %d", len(again), len(refs))
+		}
+	})
+}
+
+// FuzzReadText: arbitrary text must never panic the reader.
+func FuzzReadText(f *testing.F) {
+	f.Add("1\n2\n3\n")
+	f.Add("# comment\n\n42\n")
+	f.Add("-1\n")
+	f.Add("99999999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		refs, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, p := range refs {
+			if p < 0 {
+				t.Fatalf("reader accepted negative page id %d", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+)
+
+// Stats summarises a reference string the way §4.3 characterises the bank
+// OLTP trace.
+type Stats struct {
+	// Refs is the length of the reference string.
+	Refs int
+	// Distinct is the number of distinct pages referenced.
+	Distinct int
+	// counts holds per-page reference counts sorted descending.
+	counts []int
+	// cumFrac[i] is the fraction of all references covered by the i+1
+	// hottest pages.
+	cumFrac []float64
+	// interarrivalMean maps each page to its mean interarrival time in
+	// ticks (span between first and last reference divided by count-1);
+	// pages referenced once are absent.
+	interarrivalMean map[policy.PageID]float64
+}
+
+// Analyze computes reference statistics for refs.
+func Analyze(refs []policy.PageID) *Stats {
+	count := make(map[policy.PageID]int)
+	first := make(map[policy.PageID]int)
+	last := make(map[policy.PageID]int)
+	for i, p := range refs {
+		if count[p] == 0 {
+			first[p] = i
+		}
+		count[p]++
+		last[p] = i
+	}
+	s := &Stats{
+		Refs:             len(refs),
+		Distinct:         len(count),
+		interarrivalMean: make(map[policy.PageID]float64),
+	}
+	s.counts = make([]int, 0, len(count))
+	for p, c := range count {
+		s.counts = append(s.counts, c)
+		if c >= 2 {
+			s.interarrivalMean[p] = float64(last[p]-first[p]) / float64(c-1)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(s.counts)))
+	s.cumFrac = make([]float64, len(s.counts))
+	cum := 0
+	for i, c := range s.counts {
+		cum += c
+		s.cumFrac[i] = float64(cum) / float64(len(refs))
+	}
+	return s
+}
+
+// RefFractionOfHottestPages returns the fraction of all references that
+// target the hottest pageFrac fraction of distinct pages — the quantity
+// behind the paper's "40% of the references access only 3% of the database
+// pages". pageFrac must lie in [0, 1].
+func (s *Stats) RefFractionOfHottestPages(pageFrac float64) float64 {
+	if pageFrac < 0 || pageFrac > 1 {
+		panic(fmt.Sprintf("trace: page fraction %v outside [0,1]", pageFrac))
+	}
+	if s.Distinct == 0 {
+		return 0
+	}
+	n := int(pageFrac * float64(s.Distinct))
+	if n == 0 {
+		return 0
+	}
+	if n > len(s.cumFrac) {
+		n = len(s.cumFrac)
+	}
+	return s.cumFrac[n-1]
+}
+
+// PageFractionForRefShare returns the smallest fraction of distinct pages
+// (hottest first) that covers at least refShare of all references — the
+// inverse view: "90% of the references access 65% of the pages".
+func (s *Stats) PageFractionForRefShare(refShare float64) float64 {
+	if refShare < 0 || refShare > 1 {
+		panic(fmt.Sprintf("trace: reference share %v outside [0,1]", refShare))
+	}
+	if s.Distinct == 0 {
+		return 0
+	}
+	for i, f := range s.cumFrac {
+		if f >= refShare {
+			return float64(i+1) / float64(s.Distinct)
+		}
+	}
+	return 1
+}
+
+// HotSetSize returns the number of pages whose mean reference interarrival
+// time is at most window ticks — the tick-time analogue of the paper's
+// Five Minute Rule criterion ("re-referenced within 100 seconds"), which
+// the paper uses to argue ~1400 pages of the OLTP trace are economically
+// worth buffering.
+func (s *Stats) HotSetSize(window float64) int {
+	n := 0
+	for _, m := range s.interarrivalMean {
+		if m <= window {
+			n++
+		}
+	}
+	return n
+}
+
+// TopPageCounts returns the reference counts of the n hottest pages,
+// descending (fewer if the trace has fewer distinct pages).
+func (s *Stats) TopPageCounts(n int) []int {
+	if n > len(s.counts) {
+		n = len(s.counts)
+	}
+	out := make([]int, n)
+	copy(out, s.counts[:n])
+	return out
+}
+
+// String renders a compact profile, including the two skew claims §4.3
+// reports for the bank trace.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"refs=%d distinct=%d refShare(hottest 3%% pages)=%.2f pageShare(90%% refs)=%.2f",
+		s.Refs, s.Distinct,
+		s.RefFractionOfHottestPages(0.03),
+		s.PageFractionForRefShare(0.90),
+	)
+}

@@ -1,0 +1,114 @@
+// Package trace handles page reference strings: the r1, r2, ..., rt
+// sequences of Section 2 of the paper. It provides durable trace files in
+// both a compact binary format and a line-oriented text format, plus the
+// trace statistics the paper reports for its OLTP experiment (§4.3): skew
+// profiles ("40% of the references access only 3% of the database pages")
+// and the Five-Minute-Rule hot-set size.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/policy"
+)
+
+// magic identifies the binary trace format, version 1.
+const magic = "LRUKTRC1"
+
+// ErrBadFormat reports a malformed trace file.
+var ErrBadFormat = errors.New("trace: malformed trace file")
+
+// WriteBinary writes refs to w in the compact binary format: an 8-byte
+// magic, a uvarint count, then one uvarint per reference.
+func WriteBinary(w io.Writer, refs []policy.PageID) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(refs)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing count: %w", err)
+	}
+	for _, p := range refs {
+		if p < 0 {
+			return fmt.Errorf("trace: negative page id %d", p)
+		}
+		n := binary.PutUvarint(buf[:], uint64(p))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: writing reference: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]policy.PageID, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const sanityCap = 1 << 30
+	if count > sanityCap {
+		return nil, fmt.Errorf("%w: implausible reference count %d", ErrBadFormat, count)
+	}
+	refs := make([]policy.PageID, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at reference %d: %v", ErrBadFormat, i, err)
+		}
+		refs = append(refs, policy.PageID(v))
+	}
+	return refs, nil
+}
+
+// WriteText writes refs to w as decimal page ids, one per line — the
+// interchange format for feeding traces from external tools.
+func WriteText(w io.Writer, refs []policy.PageID) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range refs {
+		if _, err := fmt.Fprintln(bw, p); err != nil {
+			return fmt.Errorf("trace: writing text reference: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads a text trace: one decimal page id per line, blank lines
+// and lines starting with '#' ignored.
+func ReadText(r io.Reader) ([]policy.PageID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var refs []policy.PageID
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadFormat, lineNo, line)
+		}
+		refs = append(refs, policy.PageID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scanning: %w", err)
+	}
+	return refs, nil
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := [][]policy.PageID{
+		nil,
+		{},
+		{0},
+		{1, 2, 3, 1, 2, 3},
+		{1 << 40, 0, 7},
+	}
+	for _, refs := range cases {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, refs); err != nil {
+			t.Fatalf("WriteBinary(%v): %v", refs, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary(%v): %v", refs, err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("round trip length %d, want %d", len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("round trip[%d] = %d, want %d", i, got[i], refs[i])
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsNegativeIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []policy.PageID{-1}); err == nil {
+		t.Error("negative page id accepted")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	cases := []string{
+		"",
+		"SHORT",
+		"NOTMAGIC\x01\x05",
+		magic,               // missing count
+		magic + "\x05\x01",  // count 5 but one ref
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(strings.NewReader(c)); err == nil {
+			t.Errorf("corrupt input %q accepted", c)
+		}
+	}
+	// Bad magic specifically must wrap ErrBadFormat.
+	_, err := ReadBinary(strings.NewReader("NOTMAGIC\x01\x05"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("bad magic error = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	refs := []policy.PageID{5, 0, 12345678901, 5}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("length %d, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("[%d] = %d, want %d", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# header\n1\n\n2\n# trailing\n3\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"abc\n", "1\n-5\n", "1.5\n"} {
+		if _, err := ReadText(strings.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("input %q: err = %v, want ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		refs := make([]policy.PageID, len(raw))
+		for i, x := range raw {
+			refs[i] = policy.PageID(x)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, refs); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	refs := []policy.PageID{1, 1, 1, 1, 2, 2, 3, 4}
+	s := Analyze(refs)
+	if s.Refs != 8 || s.Distinct != 4 {
+		t.Fatalf("Refs=%d Distinct=%d, want 8, 4", s.Refs, s.Distinct)
+	}
+	top := s.TopPageCounts(2)
+	if top[0] != 4 || top[1] != 2 {
+		t.Errorf("TopPageCounts = %v, want [4 2]", top)
+	}
+	// The hottest 25% of pages (1 page) covers 4/8 = 50% of references.
+	if got := s.RefFractionOfHottestPages(0.25); got != 0.5 {
+		t.Errorf("RefFractionOfHottestPages(0.25) = %v, want 0.5", got)
+	}
+	// Covering 50% of refs needs 1 of 4 pages = 25%.
+	if got := s.PageFractionForRefShare(0.5); got != 0.25 {
+		t.Errorf("PageFractionForRefShare(0.5) = %v, want 0.25", got)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAnalyzeEdgeCases(t *testing.T) {
+	s := Analyze(nil)
+	if s.Refs != 0 || s.Distinct != 0 {
+		t.Error("empty trace stats wrong")
+	}
+	if got := s.RefFractionOfHottestPages(0.5); got != 0 {
+		t.Errorf("empty RefFraction = %v", got)
+	}
+	if got := s.PageFractionForRefShare(0.5); got != 0 {
+		t.Errorf("empty PageFraction = %v", got)
+	}
+	if got := s.HotSetSize(100); got != 0 {
+		t.Errorf("empty HotSetSize = %d", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range fraction did not panic")
+			}
+		}()
+		s.RefFractionOfHottestPages(1.5)
+	}()
+}
+
+func TestHotSetSize(t *testing.T) {
+	// Page 1 referenced every 2 ticks (mean interarrival 2); page 2 twice,
+	// 9 apart; pages 3..6 once each.
+	refs := []policy.PageID{1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 2}
+	s := Analyze(refs)
+	if got := s.HotSetSize(2); got != 1 {
+		t.Errorf("HotSetSize(2) = %d, want 1 (only page 1)", got)
+	}
+	if got := s.HotSetSize(10); got != 2 {
+		t.Errorf("HotSetSize(10) = %d, want 2", got)
+	}
+	if got := s.HotSetSize(0.5); got != 0 {
+		t.Errorf("HotSetSize(0.5) = %d, want 0", got)
+	}
+}
+
+func TestAnalyzeSkewProfileOnSyntheticSkew(t *testing.T) {
+	// 90% of refs on 10 hot pages, 10% on 990 cold ones: the profile must
+	// report strong concentration.
+	r := stats.NewRNG(5)
+	refs := make([]policy.PageID, 100000)
+	for i := range refs {
+		if r.Float64() < 0.9 {
+			refs[i] = policy.PageID(r.Intn(10))
+		} else {
+			refs[i] = policy.PageID(10 + r.Intn(990))
+		}
+	}
+	s := Analyze(refs)
+	if got := s.RefFractionOfHottestPages(0.02); got < 0.85 {
+		t.Errorf("hottest 2%% of pages cover %.3f of refs, want >= 0.85", got)
+	}
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// ScanInterference models Example 1.2: a multi-process workload with good
+// locality — HotPages of the database receive HotFrac of all references —
+// periodically disturbed by batch sequential scans sweeping the whole
+// database. Under LRU the scan pages flush the hot set ("cache swamping by
+// sequential scans"); a policy that discriminates by reference frequency
+// keeps the hot set resident.
+type ScanInterference struct {
+	dbPages   int
+	hotPages  int
+	hotFrac   float64
+	scanEvery int // interactive references between scan bursts
+	scanLen   int // pages per scan burst
+	rng       *stats.RNG
+
+	sinceScan int
+	scanLeft  int
+	scanPage  policy.PageID
+}
+
+// NewScanInterference returns the generator. Example 1.2's proportions are
+// hotPages=5000 of dbPages=1000000 receiving hotFrac=0.95; scale them to
+// the experiment at hand. scanEvery interactive references separate scan
+// bursts of scanLen sequential pages.
+func NewScanInterference(dbPages, hotPages int, hotFrac float64, scanEvery, scanLen int, seed uint64) *ScanInterference {
+	if dbPages <= 0 || hotPages <= 0 || hotPages > dbPages {
+		panic(fmt.Sprintf("workload: invalid scan-interference sizes: db=%d hot=%d", dbPages, hotPages))
+	}
+	if hotFrac <= 0 || hotFrac >= 1 {
+		panic(fmt.Sprintf("workload: hot fraction must be in (0,1), got %v", hotFrac))
+	}
+	if scanEvery <= 0 || scanLen <= 0 {
+		panic(fmt.Sprintf("workload: scan cadence must be positive: every=%d len=%d", scanEvery, scanLen))
+	}
+	return &ScanInterference{
+		dbPages:   dbPages,
+		hotPages:  hotPages,
+		hotFrac:   hotFrac,
+		scanEvery: scanEvery,
+		scanLen:   scanLen,
+		rng:       stats.NewRNG(seed),
+	}
+}
+
+// Name implements Generator.
+func (g *ScanInterference) Name() string {
+	return fmt.Sprintf("scan-interference(hot=%d/%d)", g.hotPages, g.dbPages)
+}
+
+// IsHot reports whether p belongs to the hot set.
+func (g *ScanInterference) IsHot(p policy.PageID) bool { return int(p) < g.hotPages }
+
+// Next implements Generator.
+func (g *ScanInterference) Next() policy.PageID {
+	if g.scanLeft > 0 {
+		g.scanLeft--
+		p := g.scanPage
+		g.scanPage++
+		if int(g.scanPage) >= g.dbPages {
+			g.scanPage = 0
+		}
+		return p
+	}
+	g.sinceScan++
+	if g.sinceScan >= g.scanEvery {
+		g.sinceScan = 0
+		g.scanLeft = g.scanLen - 1
+		g.scanPage = policy.PageID(g.rng.Intn(g.dbPages))
+		p := g.scanPage
+		g.scanPage++
+		if int(g.scanPage) >= g.dbPages {
+			g.scanPage = 0
+		}
+		return p
+	}
+	// Interactive reference: hot with probability hotFrac.
+	if g.rng.Float64() < g.hotFrac {
+		return policy.PageID(g.rng.Intn(g.hotPages))
+	}
+	return policy.PageID(g.hotPages + g.rng.Intn(g.dbPages-g.hotPages))
+}
+
+// MovingHotSpot drives the adaptivity ablation: a two-pool-style workload
+// whose hot set identity rotates every epoch references, modelling the
+// "dynamically moving hot spots" under which the paper argues LRU-2 beats
+// LFU and LRU-3 trails LRU-2 in responsiveness (§4.1, §4.3).
+type MovingHotSpot struct {
+	dbPages  int
+	hotPages int
+	hotFrac  float64
+	epoch    int
+	rng      *stats.RNG
+
+	t       int
+	hotBase int
+}
+
+// NewMovingHotSpot returns the generator; every epoch references the hot
+// window of hotPages pages shifts to a fresh disjoint region (wrapping).
+func NewMovingHotSpot(dbPages, hotPages int, hotFrac float64, epoch int, seed uint64) *MovingHotSpot {
+	if dbPages <= 0 || hotPages <= 0 || hotPages > dbPages {
+		panic(fmt.Sprintf("workload: invalid moving-hot-spot sizes: db=%d hot=%d", dbPages, hotPages))
+	}
+	if hotFrac <= 0 || hotFrac >= 1 {
+		panic(fmt.Sprintf("workload: hot fraction must be in (0,1), got %v", hotFrac))
+	}
+	if epoch <= 0 {
+		panic(fmt.Sprintf("workload: epoch must be positive, got %d", epoch))
+	}
+	return &MovingHotSpot{
+		dbPages:  dbPages,
+		hotPages: hotPages,
+		hotFrac:  hotFrac,
+		epoch:    epoch,
+		rng:      stats.NewRNG(seed),
+	}
+}
+
+// Name implements Generator.
+func (g *MovingHotSpot) Name() string {
+	return fmt.Sprintf("moving-hot-spot(hot=%d/%d,epoch=%d)", g.hotPages, g.dbPages, g.epoch)
+}
+
+// HotBase returns the first page id of the current hot window, for tests.
+func (g *MovingHotSpot) HotBase() int { return g.hotBase }
+
+// Next implements Generator.
+func (g *MovingHotSpot) Next() policy.PageID {
+	if g.t > 0 && g.t%g.epoch == 0 {
+		g.hotBase = (g.hotBase + g.hotPages) % g.dbPages
+	}
+	g.t++
+	if g.rng.Float64() < g.hotFrac {
+		return policy.PageID((g.hotBase + g.rng.Intn(g.hotPages)) % g.dbPages)
+	}
+	return policy.PageID(g.rng.Intn(g.dbPages))
+}
+
+// Correlated wraps a base generator, expanding each logical reference into
+// a burst of 1..maxBurst references to the same page spaced as immediate
+// repeats — the intra-transaction correlated reference pairs of §2.1.1.
+// With burstProb = 0 it is transparent. It drives the Correlated Reference
+// Period ablation.
+type Correlated struct {
+	base      Generator
+	burstProb float64
+	maxBurst  int
+	rng       *stats.RNG
+
+	repeatLeft int
+	current    policy.PageID
+}
+
+// NewCorrelated returns the wrapper: after each fresh reference, with
+// probability burstProb the page receives 1..maxBurst-1 immediate repeat
+// references before the string moves on.
+func NewCorrelated(base Generator, burstProb float64, maxBurst int, seed uint64) *Correlated {
+	if base == nil {
+		panic("workload: nil base generator")
+	}
+	if burstProb < 0 || burstProb > 1 {
+		panic(fmt.Sprintf("workload: burst probability %v outside [0,1]", burstProb))
+	}
+	if maxBurst < 2 {
+		panic(fmt.Sprintf("workload: maxBurst must be at least 2, got %d", maxBurst))
+	}
+	return &Correlated{base: base, burstProb: burstProb, maxBurst: maxBurst, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Correlated) Name() string { return "correlated(" + g.base.Name() + ")" }
+
+// Next implements Generator.
+func (g *Correlated) Next() policy.PageID {
+	if g.repeatLeft > 0 {
+		g.repeatLeft--
+		return g.current
+	}
+	g.current = g.base.Next()
+	if g.rng.Float64() < g.burstProb {
+		g.repeatLeft = 1 + g.rng.Intn(g.maxBurst-1)
+	}
+	return g.current
+}

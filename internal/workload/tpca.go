@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// TPCAConfig sizes the TPC-A-style workload ([TPC-A], the benchmark the
+// paper's Example 1.1 cites). The page universe is laid out as
+//
+//	[branch pages][teller pages][account index pages][account data pages][history pages]
+//
+// with reference frequencies spanning four orders of magnitude: branch
+// pages are touched by every transaction, account data pages once per
+// tens of thousands of transactions — the page-class frequency skew that
+// motivates LRU-K.
+type TPCAConfig struct {
+	// Branches is the number of bank branches. Default 10.
+	Branches int
+	// TellersPerBranch is the tellers per branch. Default 10.
+	TellersPerBranch int
+	// AccountsPerBranch is the accounts per branch. Default 10000.
+	AccountsPerBranch int
+	// BranchesPerPage, TellersPerPage, AccountsPerPage give record packing.
+	// Defaults 20, 20, 2 (a 2000-byte account record on a 4 KByte page, as
+	// in Example 1.1).
+	BranchesPerPage, TellersPerPage, AccountsPerPage int
+	// IndexFanout is the B-tree leaf fanout for the account index. Default
+	// 200 (20-byte entries on 4000 usable bytes, the paper's arithmetic).
+	IndexFanout int
+	// HistoryPerPage is the history (audit trail) records per page.
+	// Default 50.
+	HistoryPerPage int
+}
+
+func (c TPCAConfig) withDefaults() TPCAConfig {
+	if c.Branches == 0 {
+		c.Branches = 10
+	}
+	if c.TellersPerBranch == 0 {
+		c.TellersPerBranch = 10
+	}
+	if c.AccountsPerBranch == 0 {
+		c.AccountsPerBranch = 10000
+	}
+	if c.BranchesPerPage == 0 {
+		c.BranchesPerPage = 20
+	}
+	if c.TellersPerPage == 0 {
+		c.TellersPerPage = 20
+	}
+	if c.AccountsPerPage == 0 {
+		c.AccountsPerPage = 2
+	}
+	if c.IndexFanout == 0 {
+		c.IndexFanout = 200
+	}
+	if c.HistoryPerPage == 0 {
+		c.HistoryPerPage = 50
+	}
+	return c
+}
+
+// TPCA generates the page reference string of a stream of TPC-A
+// transactions. Each transaction emits, in order: the branch page, the
+// teller page, the account index path (root plus leaf for a two-level
+// index; deeper indexes emit each level), the account data page twice
+// (read then update — an intra-transaction correlated pair, §2.1.1 case
+// 1), and the current history append page.
+type TPCA struct {
+	cfg TPCAConfig
+	rng *stats.RNG
+
+	branchPages  int
+	tellerPages  int
+	indexLevels  []int // pages per index level, root first
+	indexPages   int
+	accountPages int
+
+	base struct {
+		teller  int
+		index   int
+		account int
+		history int
+	}
+
+	// pending holds the remainder of the current transaction's references.
+	pending []policy.PageID
+	// historySlot counts history inserts to advance the append page.
+	historySlot int
+	historyPage policy.PageID
+}
+
+// NewTPCA returns the generator.
+func NewTPCA(cfg TPCAConfig, seed uint64) (*TPCA, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Branches <= 0 || cfg.TellersPerBranch <= 0 || cfg.AccountsPerBranch <= 0 {
+		return nil, fmt.Errorf("workload: TPC-A population sizes must be positive: %+v", cfg)
+	}
+	if cfg.BranchesPerPage <= 0 || cfg.TellersPerPage <= 0 || cfg.AccountsPerPage <= 0 ||
+		cfg.IndexFanout <= 1 || cfg.HistoryPerPage <= 0 {
+		return nil, fmt.Errorf("workload: TPC-A packing parameters must be positive: %+v", cfg)
+	}
+	g := &TPCA{cfg: cfg, rng: stats.NewRNG(seed)}
+	accounts := cfg.Branches * cfg.AccountsPerBranch
+	g.branchPages = ceilDiv(cfg.Branches, cfg.BranchesPerPage)
+	g.tellerPages = ceilDiv(cfg.Branches*cfg.TellersPerBranch, cfg.TellersPerPage)
+	g.accountPages = ceilDiv(accounts, cfg.AccountsPerPage)
+	// Index levels bottom-up: leaves, then internal levels until one page.
+	level := ceilDiv(accounts, cfg.IndexFanout)
+	var levels []int
+	for {
+		levels = append([]int{level}, levels...)
+		if level == 1 {
+			break
+		}
+		level = ceilDiv(level, cfg.IndexFanout)
+	}
+	g.indexLevels = levels
+	for _, l := range levels {
+		g.indexPages += l
+	}
+	g.base.teller = g.branchPages
+	g.base.index = g.base.teller + g.tellerPages
+	g.base.account = g.base.index + g.indexPages
+	g.base.history = g.base.account + g.accountPages
+	g.historyPage = policy.PageID(g.base.history)
+	return g, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Name implements Generator.
+func (g *TPCA) Name() string {
+	return fmt.Sprintf("tpca(branches=%d,accounts=%d)", g.cfg.Branches, g.cfg.Branches*g.cfg.AccountsPerBranch)
+}
+
+// Pages returns the total page universe size (history pages grow without
+// bound; this counts the initial layout boundary).
+func (g *TPCA) Pages() int { return g.base.history }
+
+// PageClass reports which table a page belongs to, for per-class analysis.
+func (g *TPCA) PageClass(p policy.PageID) string {
+	switch i := int(p); {
+	case i < g.base.teller:
+		return "branch"
+	case i < g.base.index:
+		return "teller"
+	case i < g.base.account:
+		return "index"
+	case i < g.base.history:
+		return "account"
+	default:
+		return "history"
+	}
+}
+
+// Next implements Generator.
+func (g *TPCA) Next() policy.PageID {
+	if len(g.pending) > 0 {
+		p := g.pending[0]
+		g.pending = g.pending[1:]
+		return p
+	}
+	// Begin a new transaction.
+	branch := g.rng.Intn(g.cfg.Branches)
+	teller := branch*g.cfg.TellersPerBranch + g.rng.Intn(g.cfg.TellersPerBranch)
+	account := branch*g.cfg.AccountsPerBranch + g.rng.Intn(g.cfg.AccountsPerBranch)
+
+	branchPage := policy.PageID(branch / g.cfg.BranchesPerPage)
+	tellerPage := policy.PageID(g.base.teller + teller/g.cfg.TellersPerPage)
+	accountPage := policy.PageID(g.base.account + account/g.cfg.AccountsPerPage)
+
+	// Index path root → leaf: at each level the covering page.
+	refs := make([]policy.PageID, 0, 3+len(g.indexLevels)+3)
+	refs = append(refs, tellerPage)
+	offset := g.base.index
+	accounts := g.cfg.Branches * g.cfg.AccountsPerBranch
+	for li, levelPages := range g.indexLevels {
+		// The page at this level covering the account's key position.
+		pos := account * levelPages / accounts
+		if pos >= levelPages {
+			pos = levelPages - 1
+		}
+		refs = append(refs, policy.PageID(offset+pos))
+		offset += levelPages
+		_ = li
+	}
+	refs = append(refs, accountPage, accountPage) // read, then update in place
+
+	// History append: sequential fill of the current page.
+	g.historySlot++
+	if g.historySlot >= g.cfg.HistoryPerPage {
+		g.historySlot = 0
+		g.historyPage++
+	}
+	refs = append(refs, g.historyPage)
+
+	g.pending = refs
+	return branchPage
+}

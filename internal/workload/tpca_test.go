@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func TestTPCAValidation(t *testing.T) {
+	cases := []TPCAConfig{
+		{Branches: -1},
+		{TellersPerBranch: -2},
+		{IndexFanout: 1},
+		{HistoryPerPage: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewTPCA(cfg, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewTPCA(TPCAConfig{}, 1); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestTPCALayoutArithmetic(t *testing.T) {
+	g, err := NewTPCA(TPCAConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: 10 branches, 100 tellers, 100000 accounts.
+	if g.branchPages != 1 {
+		t.Errorf("branch pages = %d, want 1", g.branchPages)
+	}
+	if g.tellerPages != 5 {
+		t.Errorf("teller pages = %d, want 5", g.tellerPages)
+	}
+	if g.accountPages != 50000 {
+		t.Errorf("account pages = %d, want 50000", g.accountPages)
+	}
+	// Index: 100000/200 = 500 leaves, 500/200 → 3, 3/200 → 1: three levels.
+	if len(g.indexLevels) != 3 || g.indexLevels[0] != 1 || g.indexLevels[1] != 3 || g.indexLevels[2] != 500 {
+		t.Errorf("index levels = %v, want [1 3 500]", g.indexLevels)
+	}
+	if g.Pages() != 1+5+504+50000 {
+		t.Errorf("Pages = %d", g.Pages())
+	}
+}
+
+func TestTPCATransactionShape(t *testing.T) {
+	g, err := NewTPCA(TPCAConfig{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction = branch, teller, 3 index levels, account x2, history.
+	const perTxn = 8
+	refs := Generate(g, perTxn)
+	wantClasses := []string{"branch", "teller", "index", "index", "index", "account", "account", "history"}
+	for i, p := range refs {
+		if got := g.PageClass(p); got != wantClasses[i] {
+			t.Errorf("ref %d: class %q, want %q (page %d)", i, got, wantClasses[i], p)
+		}
+	}
+	// The account read/update pair is correlated: same page twice.
+	if refs[5] != refs[6] {
+		t.Errorf("account read %d and update %d differ", refs[5], refs[6])
+	}
+}
+
+func TestTPCAFrequencyHierarchy(t *testing.T) {
+	g, err := NewTPCA(TPCAConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	perPage := map[string]map[policy.PageID]int{}
+	const txns = 20000
+	for _, p := range Generate(g, txns*8) {
+		cls := g.PageClass(p)
+		counts[cls]++
+		if perPage[cls] == nil {
+			perPage[cls] = map[policy.PageID]int{}
+		}
+		perPage[cls][p]++
+	}
+	// Every class is touched; account refs are 2 per transaction.
+	if counts["branch"] == 0 || counts["teller"] == 0 || counts["index"] == 0 ||
+		counts["account"] == 0 || counts["history"] == 0 {
+		t.Fatalf("missing class in %v", counts)
+	}
+	// Per-page frequency must be ordered: branch page >> any leaf index
+	// page >> any account page.
+	maxAccount := 0
+	for _, c := range perPage["account"] {
+		if c > maxAccount {
+			maxAccount = c
+		}
+	}
+	branchCount := perPage["branch"][0]
+	if branchCount < 100*maxAccount {
+		t.Errorf("branch page count %d not >> account page max %d", branchCount, maxAccount)
+	}
+	// History pages fill sequentially: the set of touched history pages is
+	// a contiguous ascending run.
+	var histPages []policy.PageID
+	for p := range perPage["history"] {
+		histPages = append(histPages, p)
+	}
+	if len(histPages) < 2 {
+		t.Fatal("history did not advance")
+	}
+}
+
+// TestTPCACorrelatedReferencePeriodMatters is the §2.1.1 lesson played
+// out on TPC-A: every transaction references its account page twice in
+// immediate succession (read, then update — correlated pair type 1).
+// With CRP=0 that pair gives account pages a Backward 2-distance of one
+// reference, so naive LRU-2 mistakes every account page for a hot page
+// and loses to plain LRU. Factoring out the correlated pair with a small
+// CRP restores LRU-2's discrimination and it wins clearly.
+func TestTPCACorrelatedReferencePeriodMatters(t *testing.T) {
+	run := func(k int, crp policy.Tick) float64 {
+		g, err := NewTPCA(TPCAConfig{}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := core.NewLRUKWithOptions(600, k, core.Options{CorrelatedReferencePeriod: crp})
+		hits, total := 0, 0
+		refs := Generate(g, 200000)
+		for i, p := range refs {
+			hit := c.Reference(p)
+			if i >= 50000 {
+				total++
+				if hit {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(total)
+	}
+	lru1 := run(1, 0)
+	naive := run(2, 0)
+	corrected := run(2, 8) // a transaction spans 8 references
+	if corrected <= lru1 {
+		t.Errorf("LRU-2 with CRP (%.3f) not above LRU-1 (%.3f) on TPC-A", corrected, lru1)
+	}
+	if corrected <= naive {
+		t.Errorf("CRP did not help on TPC-A: %.3f vs naive %.3f", corrected, naive)
+	}
+	// The naive configuration's weakness is the point of §2.1.1: it must
+	// trail the corrected configuration distinctly.
+	if corrected-naive < 0.01 {
+		t.Errorf("correlated-pair effect too small to demonstrate: %.3f vs %.3f", corrected, naive)
+	}
+}

@@ -1,0 +1,46 @@
+// Package workload generates the page reference strings driving every
+// experiment in the paper's Section 4, plus the ablation workloads derived
+// from its motivating examples:
+//
+//   - TwoPool: the §4.1 two-pool experiment (and Example 1.1's alternating
+//     index/record pattern).
+//   - Zipfian: the §4.2 skewed random-access experiment over the paper's
+//     self-similar 80-20 distribution.
+//   - OLTP: a synthetic stand-in for the §4.3 one-hour bank trace,
+//     calibrated to the trace statistics the paper publishes.
+//   - ScanInterference: Example 1.2 (hot locality disturbed by sequential
+//     scans).
+//   - MovingHotSpot: evolving access patterns, for adaptivity ablations.
+//   - Correlated: wraps any generator with §2.1.1-style correlated
+//     reference bursts, for Correlated Reference Period ablations.
+package workload
+
+import "repro/internal/policy"
+
+// Generator produces an endless page reference string. Implementations are
+// deterministic functions of their construction seed and are not safe for
+// concurrent use.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next returns the next reference r_t of the string.
+	Next() policy.PageID
+}
+
+// Stationary is implemented by generators with a fixed reference
+// probability vector β (the Independent Reference Model of §2/§3); the
+// simulator feeds it to the A0 oracle of Definition 3.1.
+type Stationary interface {
+	Generator
+	// Probabilities returns β_p for every page the generator can emit.
+	Probabilities() map[policy.PageID]float64
+}
+
+// Generate materialises the next n references from g.
+func Generate(g Generator, n int) []policy.PageID {
+	refs := make([]policy.PageID, n)
+	for i := range refs {
+		refs[i] = g.Next()
+	}
+	return refs
+}

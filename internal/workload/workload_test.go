@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+func TestTwoPoolAlternates(t *testing.T) {
+	g := NewTwoPool(100, 10000, 1)
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		if i%2 == 0 {
+			if !g.IsHot(p) {
+				t.Fatalf("ref %d: expected Pool 1 page, got %d", i, p)
+			}
+		} else if g.IsHot(p) {
+			t.Fatalf("ref %d: expected Pool 2 page, got %d", i, p)
+		}
+		if int(p) < 0 || int(p) >= 100+10000 {
+			t.Fatalf("page %d out of range", p)
+		}
+	}
+}
+
+func TestTwoPoolProbabilities(t *testing.T) {
+	g := NewTwoPool(100, 10000, 1)
+	probs := g.Probabilities()
+	if len(probs) != 10100 {
+		t.Fatalf("probability vector size %d, want 10100", len(probs))
+	}
+	sum := 0.0
+	for p, pr := range probs {
+		sum += pr
+		if g.IsHot(p) && math.Abs(pr-1.0/200) > 1e-15 {
+			t.Fatalf("hot page %d prob %v, want 1/200", p, pr)
+		}
+		if !g.IsHot(p) && math.Abs(pr-1.0/20000) > 1e-15 {
+			t.Fatalf("cold page %d prob %v, want 1/20000", p, pr)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestTwoPoolDeterministic(t *testing.T) {
+	a := NewTwoPool(10, 100, 42)
+	b := NewTwoPool(10, 100, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTwoPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid pool sizes did not panic")
+		}
+	}()
+	NewTwoPool(0, 10, 1)
+}
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	g := NewZipfian(1000, 0.8, 0.2, 7)
+	const n = 200000
+	hot := 0
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		if p < 0 || p >= 1000 {
+			t.Fatalf("page %d out of range", p)
+		}
+		if p < 200 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("hottest 20%% of pages got %.3f of refs, want ~0.8", frac)
+	}
+	probs := g.Probabilities()
+	if len(probs) != 1000 {
+		t.Fatalf("probability vector size %d", len(probs))
+	}
+	if probs[0] <= probs[999] {
+		t.Error("page 0 should be hottest")
+	}
+}
+
+func TestGenerateLength(t *testing.T) {
+	g := NewZipfian(100, 0.8, 0.2, 1)
+	refs := Generate(g, 5000)
+	if len(refs) != 5000 {
+		t.Fatalf("Generate length %d", len(refs))
+	}
+}
+
+func TestOLTPDefaults(t *testing.T) {
+	g, err := NewOLTP(OLTPConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pages() != 50000 {
+		t.Fatalf("default DBPages = %d", g.Pages())
+	}
+	refs := Generate(g, 100000)
+	for i, p := range refs {
+		if p < 0 || int(p) >= g.Pages() {
+			t.Fatalf("ref %d out of range: %d", i, p)
+		}
+	}
+}
+
+func TestOLTPValidation(t *testing.T) {
+	cases := []OLTPConfig{
+		{DBPages: -5},
+		{ScanFrac: 0.6, NavFrac: 0.5},
+		{ScanMinLen: 10, ScanMaxLen: 5},
+		{NavMinLen: 10, NavMaxLen: 5},
+	}
+	for i, cfg := range cases {
+		if _, err := NewOLTP(cfg, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestOLTPSkewProfile checks the calibration against the two skew claims
+// §4.3 publishes for the bank trace: ~40% of references on the hottest 3%
+// of touched pages, ~90% on the hottest 65%.
+func TestOLTPSkewProfile(t *testing.T) {
+	g, err := NewOLTP(OLTPConfig{}, 1993)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := Generate(g, 470000)
+	st := trace.Analyze(refs)
+	got40 := st.RefFractionOfHottestPages(0.03)
+	if math.Abs(got40-0.40) > 0.08 {
+		t.Errorf("hottest 3%% of pages cover %.3f of refs, want 0.40±0.08", got40)
+	}
+	got65 := st.PageFractionForRefShare(0.90)
+	if math.Abs(got65-0.65) > 0.12 {
+		t.Errorf("90%% of refs need %.3f of pages, want 0.65±0.12", got65)
+	}
+}
+
+// TestOLTPContainsSequentialRuns verifies the scan component exists: the
+// trace must contain runs of consecutive ascending page ids.
+func TestOLTPContainsSequentialRuns(t *testing.T) {
+	g, err := NewOLTP(OLTPConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := Generate(g, 100000)
+	longest, cur := 0, 0
+	for i := 1; i < len(refs); i++ {
+		if refs[i] == refs[i-1]+1 {
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	if longest < 19 {
+		t.Errorf("longest ascending run = %d, want >= 19 (scan component missing)", longest+1)
+	}
+}
+
+func TestScanInterferenceMix(t *testing.T) {
+	g := NewScanInterference(10000, 100, 0.95, 50, 500, 9)
+	refs := Generate(g, 100000)
+	hot := 0
+	for _, p := range refs {
+		if p < 0 || int(p) >= 10000 {
+			t.Fatalf("page %d out of range", p)
+		}
+		if g.IsHot(p) {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(refs))
+	// Scans consume 500 of every ~550 references here, so hot fraction is
+	// well below 0.95 overall but must still be substantial.
+	if frac < 0.05 || frac > 0.95 {
+		t.Errorf("hot fraction %.3f outside sanity window", frac)
+	}
+	// There must be full-length scan runs.
+	longest, cur := 0, 0
+	for i := 1; i < len(refs); i++ {
+		if refs[i] == refs[i-1]+1 {
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	if longest < 400 {
+		t.Errorf("longest run %d, want >= 400", longest)
+	}
+}
+
+func TestScanInterferenceValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewScanInterference(0, 1, 0.5, 10, 10, 1) },
+		func() { NewScanInterference(10, 20, 0.5, 10, 10, 1) },
+		func() { NewScanInterference(10, 5, 1.5, 10, 10, 1) },
+		func() { NewScanInterference(10, 5, 0.5, 0, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMovingHotSpotRotates(t *testing.T) {
+	g := NewMovingHotSpot(1000, 100, 0.9, 500, 11)
+	base0 := g.HotBase()
+	Generate(g, 600)
+	if g.HotBase() == base0 {
+		t.Error("hot window did not move after an epoch")
+	}
+	// References inside an epoch concentrate on the current window.
+	g2 := NewMovingHotSpot(1000, 100, 0.9, 1000000, 11)
+	inWindow := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		p := int(g2.Next())
+		if p >= g2.HotBase() && p < g2.HotBase()+100 {
+			inWindow++
+		}
+	}
+	frac := float64(inWindow) / n
+	// 0.9 hot + 0.1*0.1 uniform overlap ≈ 0.91.
+	if math.Abs(frac-0.91) > 0.02 {
+		t.Errorf("in-window fraction %.3f, want ~0.91", frac)
+	}
+}
+
+func TestCorrelatedBursts(t *testing.T) {
+	base := NewZipfian(1000, 0.8, 0.2, 3)
+	g := NewCorrelated(base, 0.5, 4, 17)
+	refs := Generate(g, 50000)
+	repeats := 0
+	for i := 1; i < len(refs); i++ {
+		if refs[i] == refs[i-1] {
+			repeats++
+		}
+	}
+	// With burstProb 0.5 and mean burst extension 1.5, roughly 43% of the
+	// positions should repeat their predecessor. (Chance adjacency in the
+	// base Zipfian adds a little.)
+	frac := float64(repeats) / float64(len(refs))
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("repeat fraction %.3f outside expected band", frac)
+	}
+	if g.Name() == "" {
+		t.Error("empty Name")
+	}
+}
+
+func TestCorrelatedTransparentAtZeroProb(t *testing.T) {
+	a := NewZipfian(100, 0.8, 0.2, 5)
+	b := NewZipfian(100, 0.8, 0.2, 5)
+	g := NewCorrelated(b, 0, 2, 1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != g.Next() {
+			t.Fatal("zero-probability correlation wrapper altered the string")
+		}
+	}
+}
+
+func TestCorrelatedValidation(t *testing.T) {
+	base := NewZipfian(10, 0.8, 0.2, 1)
+	for i, f := range []func(){
+		func() { NewCorrelated(nil, 0.5, 3, 1) },
+		func() { NewCorrelated(base, -0.1, 3, 1) },
+		func() { NewCorrelated(base, 0.5, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+var _ Stationary = (*TwoPool)(nil)
+var _ Stationary = (*Zipfian)(nil)
+var _ Generator = (*OLTP)(nil)
+var _ Generator = (*ScanInterference)(nil)
+var _ Generator = (*MovingHotSpot)(nil)
+var _ Generator = (*Correlated)(nil)
+var _ = policy.InvalidPage

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// Zipfian is the §4.2 experiment: independent random references to N pages
+// under the paper's self-similar distribution, where a fraction α of the
+// references targets a fraction β of the pages, recursively. Table 4.2
+// uses N=1000 with α=0.8, β=0.2 ("80-20 skew").
+//
+// Page ids are 0..N-1 with page 0 the hottest (the underlying distribution
+// is defined on ranks 1..N; we shift down by one so workloads share the
+// dense-from-zero convention).
+type Zipfian struct {
+	dist *stats.SelfSimilar
+	rng  *stats.RNG
+}
+
+// NewZipfian returns the generator. It panics on invalid skew parameters,
+// which indicate a bug in experiment configuration.
+func NewZipfian(n int, alpha, beta float64, seed uint64) *Zipfian {
+	dist, err := stats.NewSelfSimilar(n, alpha, beta)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return &Zipfian{dist: dist, rng: stats.NewRNG(seed)}
+}
+
+// Name implements Generator.
+func (g *Zipfian) Name() string { return fmt.Sprintf("zipfian(N=%d)", g.dist.N()) }
+
+// Pages returns N.
+func (g *Zipfian) Pages() int { return g.dist.N() }
+
+// Next implements Generator.
+func (g *Zipfian) Next() policy.PageID {
+	return policy.PageID(g.dist.Sample(g.rng) - 1)
+}
+
+// Probabilities implements Stationary.
+func (g *Zipfian) Probabilities() map[policy.PageID]float64 {
+	v := g.dist.ProbVector()
+	probs := make(map[policy.PageID]float64, len(v))
+	for i, p := range v {
+		probs[policy.PageID(i)] = p
+	}
+	return probs
+}
