@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-pool tables check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the standard concurrency gate — vet plus the full suite under the
+## race detector (includes the pool, cache, replacer and disk stress tests).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: every paper-table benchmark plus ablations (repo root).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+## bench-pool: serial vs latch-partitioned buffer pool scalability.
+bench-pool:
+	$(GO) test -bench BenchmarkPoolParallel -run '^$$' ./internal/bufferpool/
+
+tables:
+	$(GO) run ./cmd/tables
+
+check: build vet test race

@@ -4,15 +4,22 @@
 // replacement policy. The LRU-K replacer of internal/core plugs in directly
 // (core.NewReplacer); classical LRU is core.NewReplacer(1, ...).
 //
-// The pool serialises all operations under one mutex — adequate for the
-// simulation studies here, where the replacement decision, not latch
-// scalability, is under test.
+// The pool is built for the paper's multi-user OLTP setting (§1, §4.2):
+// the page table is partitioned into independently latched shards keyed by
+// PageID hash, pin counts are atomics so a buffer hit never takes a shard
+// latch exclusively, and all disk I/O — miss reads and dirty-victim
+// write-backs — runs outside every latch. Concurrent misses on the same
+// page coalesce onto a single in-flight read. The original single-latch
+// implementation survives as Serial, the reference the concurrent pool is
+// differentially tested against. See DESIGN.md §8 for the full protocol.
 package bufferpool
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/disk"
 	"repro/internal/policy"
@@ -20,6 +27,12 @@ import (
 
 // Replacer selects eviction victims among unpinned pages. core.Replacer
 // implements it.
+//
+// The concurrent Pool calls its replacer from many goroutines. A plain
+// core.Replacer is not thread-safe, so the pool transparently wraps any
+// replacer that does not implement ConcurrentReplacer behind one mutex;
+// pass core.NewSyncReplacer or core.NewShardedReplacer to control the
+// locking scheme yourself.
 type Replacer interface {
 	// RecordAccess notes a reference to a (newly or already) resident page.
 	RecordAccess(p policy.PageID)
@@ -31,6 +44,54 @@ type Replacer interface {
 	Remove(p policy.PageID)
 	// Size returns the number of evictable pages.
 	Size() int
+}
+
+// ConcurrentReplacer marks a Replacer as safe for concurrent use, telling
+// the pool not to add its own lock around it. core.SyncReplacer and
+// core.ShardedReplacer implement it.
+type ConcurrentReplacer interface {
+	Replacer
+	// ConcurrentSafe is a marker; implementations need no body.
+	ConcurrentSafe()
+}
+
+// lockedReplacer makes an arbitrary Replacer safe for concurrent use by
+// serialising every call, preserving its victim order exactly.
+type lockedReplacer struct {
+	mu sync.Mutex
+	r  Replacer
+}
+
+func (l *lockedReplacer) ConcurrentSafe() {}
+
+func (l *lockedReplacer) RecordAccess(p policy.PageID) {
+	l.mu.Lock()
+	l.r.RecordAccess(p)
+	l.mu.Unlock()
+}
+
+func (l *lockedReplacer) SetEvictable(p policy.PageID, evictable bool) {
+	l.mu.Lock()
+	l.r.SetEvictable(p, evictable)
+	l.mu.Unlock()
+}
+
+func (l *lockedReplacer) Evict() (policy.PageID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Evict()
+}
+
+func (l *lockedReplacer) Remove(p policy.PageID) {
+	l.mu.Lock()
+	l.r.Remove(p)
+	l.mu.Unlock()
+}
+
+func (l *lockedReplacer) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Size()
 }
 
 // ErrNoFreeFrame reports that every frame is pinned, so the pool cannot
@@ -46,6 +107,10 @@ type Stats struct {
 	Misses     uint64
 	Evictions  uint64
 	WriteBacks uint64
+	// Coalesced counts misses that joined another request's in-flight disk
+	// read instead of issuing their own (always zero single-threaded; such
+	// misses are also counted in Misses).
+	Coalesced uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any fetches.
@@ -57,27 +122,93 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Frame lifecycle states. Transitions into frameWriting and table
+// insert/delete happen only under the owning shard's exclusive latch;
+// frameLoading→frameResident is published lock-free via the frame's ready
+// channel.
+const (
+	frameFree     int32 = iota // on the free list, unreachable from any shard
+	frameLoading               // in the table, disk read in flight
+	frameResident              // in the table, data valid
+	frameWriting               // in the table, dirty-victim write-back in flight
+)
+
+// frame is one buffer slot. pins and dirty are atomics so the hit path
+// mutates them under a shared (not exclusive) shard latch; mu serialises
+// only the evictability handshake with the replacer (see pinned / unpinned
+// below), never I/O.
 type frame struct {
-	data     []byte
-	page     policy.PageID
-	pinCount int
-	dirty    bool
-	inUse    bool
+	data  []byte
+	page  policy.PageID
+	pins  atomic.Int64
+	dirty atomic.Bool
+	state atomic.Int32
+	// mu orders pin-count zero-crossings against the replacer's evictable
+	// set, so a racing unpin→0 and repin cannot leave the flag stale.
+	mu sync.Mutex
+	// ready is closed by the loading goroutine once the miss read finishes
+	// (err says how); set before the frame becomes reachable.
+	ready chan struct{}
+	err   error
+	// writeDone is closed when an eviction write-back finishes and the
+	// page has left the table; set under the shard's exclusive latch.
+	writeDone chan struct{}
 }
 
-// Pool is the buffer-pool manager.
+// shard is one latch partition of the page table, with its own counters so
+// Stats aggregation takes no global lock.
+type shard struct {
+	mu    sync.RWMutex
+	table map[policy.PageID]*frame
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	coalesced  atomic.Uint64
+	evictions  atomic.Uint64
+	writeBacks atomic.Uint64
+	// Pad so adjacent shards do not share cache lines under contention.
+	_ [48]byte
+}
+
+// Config tunes the concurrent pool.
+type Config struct {
+	// Shards is the number of page-table latch partitions; must be a power
+	// of two. Zero selects a default scaled to GOMAXPROCS. One shard gives
+	// a single (reader-writer) page-table latch.
+	Shards int
+}
+
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0) * 4
+	s := 8
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// Pool is the concurrent buffer-pool manager.
 type Pool struct {
-	mu        sync.Mutex
-	disk      *disk.Manager
-	replacer  Replacer
-	frames    []frame
-	pageTable map[policy.PageID]int
-	free      []int
-	stats     Stats
+	disk     *disk.Manager
+	replacer Replacer
+	frames   []frame
+	shards   []shard
+	mask     uint64
+
+	freeMu sync.Mutex
+	free   []*frame
 }
 
-// New returns a pool of numFrames frames over d using the given replacer.
+// New returns a pool of numFrames frames over d using the given replacer
+// and the default shard count.
 func New(d *disk.Manager, numFrames int, r Replacer) *Pool {
+	return NewWithConfig(d, numFrames, r, Config{})
+}
+
+// NewWithConfig returns a pool of numFrames frames over d using the given
+// replacer. If r does not implement ConcurrentReplacer it is wrapped
+// behind a single mutex, which preserves its exact victim order.
+func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool {
 	if d == nil {
 		panic("bufferpool: nil disk manager")
 	}
@@ -87,18 +218,39 @@ func New(d *disk.Manager, numFrames int, r Replacer) *Pool {
 	if r == nil {
 		panic("bufferpool: nil replacer")
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = defaultShards()
+	}
+	if cfg.Shards < 1 || cfg.Shards&(cfg.Shards-1) != 0 {
+		panic(fmt.Sprintf("bufferpool: shard count must be a positive power of two, got %d", cfg.Shards))
+	}
+	if _, ok := r.(ConcurrentReplacer); !ok {
+		r = &lockedReplacer{r: r}
+	}
 	p := &Pool{
-		disk:      d,
-		replacer:  r,
-		frames:    make([]frame, numFrames),
-		pageTable: make(map[policy.PageID]int, numFrames),
-		free:      make([]int, 0, numFrames),
+		disk:     d,
+		replacer: r,
+		frames:   make([]frame, numFrames),
+		shards:   make([]shard, cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
+		free:     make([]*frame, 0, numFrames),
+	}
+	for i := range p.shards {
+		p.shards[i].table = make(map[policy.PageID]*frame)
 	}
 	for i := range p.frames {
 		p.frames[i].data = make([]byte, disk.PageSize)
-		p.free = append(p.free, i)
+		p.free = append(p.free, &p.frames[i])
 	}
 	return p
+}
+
+func (p *Pool) shardOf(id policy.PageID) *shard {
+	// SplitMix64 finaliser, so sequential page ids spread across shards.
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &p.shards[(z^(z>>31))&p.mask]
 }
 
 // Page is a pinned page handle. The data is valid until Unpin; using a
@@ -106,7 +258,7 @@ func New(d *disk.Manager, numFrames int, r Replacer) *Pool {
 type Page struct {
 	pool  *Pool
 	id    policy.PageID
-	slot  int
+	f     *frame
 	valid bool
 }
 
@@ -119,7 +271,7 @@ func (pg *Page) Data() []byte {
 	if !pg.valid {
 		panic("bufferpool: use of page handle after Unpin")
 	}
-	return pg.pool.frames[pg.slot].data
+	return pg.f.data
 }
 
 // Unpin releases the handle, marking the page dirty if it was modified.
@@ -129,154 +281,357 @@ func (pg *Page) Unpin(dirty bool) {
 		panic("bufferpool: double Unpin")
 	}
 	pg.valid = false
-	pg.pool.unpin(pg.id, dirty)
+	pg.pool.releasePin(pg.id, pg.f, dirty)
+}
+
+// pinned completes a pin that may have raced with an unpin on the
+// evictability flag: whichever of the two handshakes runs last under the
+// frame's mu re-derives the flag from the authoritative pin count.
+func (p *Pool) pinned(id policy.PageID, f *frame) {
+	f.mu.Lock()
+	if f.pins.Load() > 0 {
+		p.replacer.SetEvictable(id, false)
+	}
+	f.mu.Unlock()
+}
+
+// releasePin drops one pin, handing the page to the replacer when the
+// count reaches zero and the frame still holds this page.
+func (p *Pool) releasePin(id policy.PageID, f *frame, dirty bool) {
+	if dirty {
+		f.dirty.Store(true)
+	}
+	n := f.pins.Add(-1)
+	if n < 0 {
+		panic(fmt.Sprintf("bufferpool: unpin of unpinned page %d", id))
+	}
+	if n != 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.pins.Load() == 0 && f.state.Load() == frameResident && p.frameFor(id) == f {
+		p.replacer.SetEvictable(id, true)
+	}
+	f.mu.Unlock()
+}
+
+// frameFor returns the frame currently mapped to id, if any.
+func (p *Pool) frameFor(id policy.PageID) *frame {
+	sh := p.shardOf(id)
+	sh.mu.RLock()
+	f := sh.table[id]
+	sh.mu.RUnlock()
+	return f
 }
 
 // NewPage allocates a fresh disk page, pins it in a frame and returns the
 // handle.
 func (p *Pool) NewPage() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	slot, err := p.obtainFrame()
+	f, err := p.obtainFrame()
 	if err != nil {
 		return nil, err
 	}
 	id := p.disk.Allocate()
-	f := &p.frames[slot]
-	for i := range f.data {
-		f.data[i] = 0
-	}
-	p.install(slot, id)
-	p.stats.Misses++ // a new page is by definition not buffer-resident
-	return &Page{pool: p, id: id, slot: slot, valid: true}, nil
+	clear(f.data)
+	f.page = id
+	f.pins.Store(1)
+	f.dirty.Store(false)
+	f.err = nil
+	f.state.Store(frameResident)
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	sh.table[id] = f // id is fresh: no prior mapping can exist
+	sh.mu.Unlock()
+	p.replacer.RecordAccess(id)
+	sh.misses.Add(1) // a new page is by definition not buffer-resident
+	return &Page{pool: p, id: id, f: f, valid: true}, nil
 }
 
 // Fetch pins page id, reading it from disk on a miss, and returns the
-// handle.
+// handle. Concurrent fetches of a non-resident page issue one disk read:
+// the first becomes the loader, the rest coalesce onto its in-flight
+// frame.
 func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if slot, ok := p.pageTable[id]; ok {
-		f := &p.frames[slot]
-		f.pinCount++
-		p.replacer.RecordAccess(id)
-		p.replacer.SetEvictable(id, false)
-		p.stats.Hits++
-		return &Page{pool: p, id: id, slot: slot, valid: true}, nil
-	}
-	slot, err := p.obtainFrame()
-	if err != nil {
-		return nil, err
-	}
-	f := &p.frames[slot]
-	if err := p.disk.Read(id, f.data); err != nil {
-		p.free = append(p.free, slot)
-		return nil, fmt.Errorf("fetching page %d: %w", id, err)
-	}
-	p.install(slot, id)
-	p.stats.Misses++
-	return &Page{pool: p, id: id, slot: slot, valid: true}, nil
-}
-
-// install binds page id to slot with pin count 1 and records the access.
-// Callers hold p.mu and have prepared the frame data.
-func (p *Pool) install(slot int, id policy.PageID) {
-	f := &p.frames[slot]
-	f.page = id
-	f.pinCount = 1
-	f.dirty = false
-	f.inUse = true
-	p.pageTable[id] = slot
-	p.replacer.RecordAccess(id)
-	p.replacer.SetEvictable(id, false)
-}
-
-// obtainFrame returns a usable frame slot, evicting a victim (with
-// write-back if dirty) when no frame is free. Callers hold p.mu.
-func (p *Pool) obtainFrame() (int, error) {
-	if n := len(p.free); n > 0 {
-		slot := p.free[n-1]
-		p.free = p.free[:n-1]
-		return slot, nil
-	}
-	victim, ok := p.replacer.Evict()
-	if !ok {
-		return 0, ErrNoFreeFrame
-	}
-	slot, ok := p.pageTable[victim]
-	if !ok {
-		return 0, fmt.Errorf("bufferpool: replacer chose non-resident victim %d", victim)
-	}
-	f := &p.frames[slot]
-	if f.pinCount != 0 {
-		return 0, fmt.Errorf("bufferpool: replacer chose pinned victim %d", victim)
-	}
-	if f.dirty {
-		if err := p.disk.Write(victim, f.data); err != nil {
-			return 0, fmt.Errorf("writing back victim %d: %w", victim, err)
+	sh := p.shardOf(id)
+	for {
+		sh.mu.RLock()
+		f := sh.table[id]
+		if f == nil {
+			sh.mu.RUnlock()
+			pg, retry, err := p.fetchMiss(sh, id)
+			if retry {
+				continue
+			}
+			return pg, err
 		}
-		p.stats.WriteBacks++
+		switch f.state.Load() {
+		case frameWriting:
+			// The page is a dirty victim mid write-back; once it completes
+			// the page is gone and the fetch restarts as a plain miss.
+			done := f.writeDone
+			sh.mu.RUnlock()
+			<-done
+			continue
+		case frameLoading:
+			// Coalesce onto the in-flight read. The loader's pin keeps the
+			// count positive, so no evictability handshake is needed.
+			f.pins.Add(1)
+			ready := f.ready
+			sh.mu.RUnlock()
+			<-ready
+			if f.err != nil {
+				if f.pins.Add(-1) == 0 {
+					p.freePush(f)
+				}
+				return nil, f.err
+			}
+			p.replacer.RecordAccess(id)
+			sh.misses.Add(1)
+			sh.coalesced.Add(1)
+			return &Page{pool: p, id: id, f: f, valid: true}, nil
+		default: // frameResident: the hit path — shared latch only
+			n := f.pins.Add(1)
+			sh.mu.RUnlock()
+			if n == 1 {
+				p.pinned(id, f)
+			}
+			p.replacer.RecordAccess(id)
+			sh.hits.Add(1)
+			return &Page{pool: p, id: id, f: f, valid: true}, nil
+		}
 	}
-	delete(p.pageTable, victim)
-	f.inUse = false
-	p.stats.Evictions++
-	return slot, nil
 }
 
-func (p *Pool) unpin(id policy.PageID, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	slot, ok := p.pageTable[id]
-	if !ok {
-		panic(fmt.Sprintf("bufferpool: unpin of non-resident page %d", id))
+// fetchMiss runs the miss protocol: obtain a frame (evicting if needed),
+// install it as the in-flight holder for id, then read from disk outside
+// every latch and publish. retry is true when another goroutine installed
+// the page first and the caller must re-run the fetch.
+func (p *Pool) fetchMiss(sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
+	f, err := p.obtainFrame()
+	if err != nil {
+		return nil, false, err
 	}
-	f := &p.frames[slot]
-	if f.pinCount <= 0 {
-		panic(fmt.Sprintf("bufferpool: unpin of unpinned page %d", id))
+	sh.mu.Lock()
+	if sh.table[id] != nil {
+		// Lost the install race; rejoin as a hit or coalesced miss.
+		sh.mu.Unlock()
+		p.freePush(f)
+		return nil, true, nil
 	}
-	f.pinCount--
-	if dirty {
-		f.dirty = true
+	f.page = id
+	f.pins.Store(1)
+	f.dirty.Store(false)
+	f.err = nil
+	f.ready = make(chan struct{})
+	f.state.Store(frameLoading)
+	sh.table[id] = f
+	sh.mu.Unlock()
+
+	// The I/O happens outside the latch; concurrent fetches of id find the
+	// loading frame and wait on ready, everyone else proceeds untouched.
+	if rerr := p.disk.Read(id, f.data); rerr != nil {
+		sh.mu.Lock()
+		delete(sh.table, id)
+		sh.mu.Unlock()
+		f.err = fmt.Errorf("fetching page %d: %w", id, rerr)
+		close(f.ready)
+		// Waiters that pinned before the table delete still hold the frame;
+		// the last participant out returns it to the free list.
+		if f.pins.Add(-1) == 0 {
+			p.freePush(f)
+		}
+		return nil, false, f.err
 	}
-	if f.pinCount == 0 {
-		p.replacer.SetEvictable(id, true)
+	p.replacer.RecordAccess(id)
+	f.state.Store(frameResident)
+	close(f.ready)
+	sh.misses.Add(1)
+	return &Page{pool: p, id: id, f: f, valid: true}, false, nil
+}
+
+func (p *Pool) freePop() *frame {
+	p.freeMu.Lock()
+	defer p.freeMu.Unlock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
 	}
+	return nil
+}
+
+func (p *Pool) freePush(f *frame) {
+	f.state.Store(frameFree)
+	p.freeMu.Lock()
+	p.free = append(p.free, f)
+	p.freeMu.Unlock()
+}
+
+// obtainFrame returns an exclusively owned frame, evicting a victim (with
+// write-back if dirty, outside every latch) when none is free.
+func (p *Pool) obtainFrame() (*frame, error) {
+	if f := p.freePop(); f != nil {
+		return f, nil
+	}
+	for {
+		victim, ok := p.replacer.Evict()
+		if !ok {
+			// A failed load or a DeletePage may have freed a frame since the
+			// first check.
+			if f := p.freePop(); f != nil {
+				return f, nil
+			}
+			return nil, ErrNoFreeFrame
+		}
+		sh := p.shardOf(victim)
+		sh.mu.Lock()
+		f := sh.table[victim]
+		if f == nil || f.state.Load() != frameResident || f.pins.Load() != 0 {
+			// The page vanished or was re-pinned between the replacer's
+			// choice and our latch; hand it back and pick another victim.
+			// Pins cannot rise while we hold the exclusive latch, so the
+			// check is not racy.
+			sh.mu.Unlock()
+			if f != nil {
+				p.restoreVictim(victim, f)
+			}
+			continue
+		}
+		if !f.dirty.Load() {
+			delete(sh.table, victim)
+			sh.mu.Unlock()
+			sh.evictions.Add(1)
+			return f, nil
+		}
+		// Dirty victim: transition to frameWriting so the entry stays
+		// visible (a concurrent fetch of this page must wait, not read the
+		// stale disk copy), then write back outside the latch.
+		f.state.Store(frameWriting)
+		f.writeDone = make(chan struct{})
+		sh.mu.Unlock()
+		werr := p.disk.Write(victim, f.data)
+		sh.mu.Lock()
+		if werr != nil {
+			// Restore residency: the data is still only in memory.
+			f.state.Store(frameResident)
+			close(f.writeDone)
+			sh.mu.Unlock()
+			p.restoreVictim(victim, f)
+			return nil, fmt.Errorf("writing back victim %d: %w", victim, werr)
+		}
+		delete(sh.table, victim)
+		close(f.writeDone)
+		sh.mu.Unlock()
+		f.dirty.Store(false)
+		sh.writeBacks.Add(1)
+		sh.evictions.Add(1)
+		return f, nil
+	}
+}
+
+// restoreVictim re-registers a page in the replacer after an eviction
+// attempt was abandoned (the page was pinned, or its write-back failed):
+// Evict had already removed it, and without re-registration the page could
+// never be chosen again. The handshake runs under the frame's mu so it
+// serialises with pin-count zero-crossings.
+func (p *Pool) restoreVictim(id policy.PageID, f *frame) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p.frameFor(id) != f {
+		return // the page moved on (deleted or reloaded elsewhere)
+	}
+	p.replacer.RecordAccess(id)
+	p.replacer.SetEvictable(id, f.pins.Load() == 0 && f.state.Load() == frameResident)
+}
+
+// pinResident pins page id if it is resident (waiting out any in-flight
+// load or write-back), without touching hit/miss accounting or recording a
+// reference. Maintenance paths (flush) use it.
+func (p *Pool) pinResident(id policy.PageID) (*frame, bool) {
+	sh := p.shardOf(id)
+	for {
+		sh.mu.RLock()
+		f := sh.table[id]
+		if f == nil {
+			sh.mu.RUnlock()
+			return nil, false
+		}
+		switch f.state.Load() {
+		case frameWriting:
+			done := f.writeDone
+			sh.mu.RUnlock()
+			<-done
+			continue
+		case frameLoading:
+			f.pins.Add(1)
+			ready := f.ready
+			sh.mu.RUnlock()
+			<-ready
+			if f.err != nil {
+				if f.pins.Add(-1) == 0 {
+					p.freePush(f)
+				}
+				return nil, false
+			}
+			return f, true
+		default:
+			n := f.pins.Add(1)
+			sh.mu.RUnlock()
+			if n == 1 {
+				p.pinned(id, f)
+			}
+			return f, true
+		}
+	}
+}
+
+// flushFrame writes the pinned frame back if dirty. The dirty bit is
+// cleared before the write so a concurrent modification is not lost: it
+// re-marks the page dirty and a later flush or eviction persists it.
+func (p *Pool) flushFrame(id policy.PageID, f *frame) error {
+	if !f.dirty.Load() {
+		return nil
+	}
+	f.dirty.Store(false)
+	if err := p.disk.Write(id, f.data); err != nil {
+		f.dirty.Store(true)
+		return fmt.Errorf("flushing page %d: %w", id, err)
+	}
+	p.shardOf(id).writeBacks.Add(1)
+	return nil
 }
 
 // FlushPage writes page id back to disk if dirty. The page stays resident.
 func (p *Pool) FlushPage(id policy.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	slot, ok := p.pageTable[id]
+	f, ok := p.pinResident(id)
 	if !ok {
 		return fmt.Errorf("flush page %d: %w", id, ErrPageNotResident)
 	}
-	f := &p.frames[slot]
-	if !f.dirty {
-		return nil
-	}
-	if err := p.disk.Write(id, f.data); err != nil {
-		return fmt.Errorf("flushing page %d: %w", id, err)
-	}
-	f.dirty = false
-	p.stats.WriteBacks++
-	return nil
+	defer p.releasePin(id, f, false)
+	return p.flushFrame(id, f)
 }
 
 // FlushAll writes every dirty resident page back to disk.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if !f.inUse || !f.dirty {
-			continue
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		ids := make([]policy.PageID, 0, len(sh.table))
+		for id := range sh.table {
+			ids = append(ids, id)
 		}
-		if err := p.disk.Write(f.page, f.data); err != nil {
-			return fmt.Errorf("flushing page %d: %w", f.page, err)
+		sh.mu.RUnlock()
+		for _, id := range ids {
+			f, ok := p.pinResident(id)
+			if !ok {
+				continue // evicted or deleted meanwhile; nothing to flush
+			}
+			err := p.flushFrame(id, f)
+			p.releasePin(id, f, false)
+			if err != nil {
+				return err
+			}
 		}
-		f.dirty = false
-		p.stats.WriteBacks++
 	}
 	return nil
 }
@@ -284,36 +639,66 @@ func (p *Pool) FlushAll() error {
 // DeletePage evicts page id from the pool (it must be unpinned) and
 // deallocates it on disk.
 func (p *Pool) DeletePage(id policy.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if slot, ok := p.pageTable[id]; ok {
-		f := &p.frames[slot]
-		if f.pinCount != 0 {
+	sh := p.shardOf(id)
+	for {
+		sh.mu.Lock()
+		f := sh.table[id]
+		if f == nil {
+			sh.mu.Unlock()
+			break
+		}
+		if f.state.Load() == frameWriting {
+			done := f.writeDone
+			sh.mu.Unlock()
+			<-done
+			continue
+		}
+		if f.pins.Load() != 0 || f.state.Load() == frameLoading {
+			sh.mu.Unlock()
 			return fmt.Errorf("bufferpool: delete of pinned page %d", id)
 		}
+		// Remove from the replacer while still holding the latch: once the
+		// table entry is gone a concurrent fetch could re-load the page, and
+		// a late Remove would strip the new residency's registration.
 		p.replacer.Remove(id)
-		delete(p.pageTable, id)
-		f.inUse = false
-		f.dirty = false
-		p.free = append(p.free, slot)
+		delete(sh.table, id)
+		sh.mu.Unlock()
+		f.dirty.Store(false)
+		p.freePush(f)
+		break
 	}
 	return p.disk.Deallocate(id)
 }
 
-// Stats returns a snapshot of pool counters.
+// Stats returns a snapshot of pool counters, aggregated from the per-shard
+// atomics without a global lock. Under concurrent load the counters are
+// individually exact but not mutually consistent.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for i := range p.shards {
+		sh := &p.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Coalesced += sh.coalesced.Load()
+		s.Evictions += sh.evictions.Load()
+		s.WriteBacks += sh.writeBacks.Load()
+	}
+	return s
 }
 
 // NumFrames returns the pool capacity in frames.
 func (p *Pool) NumFrames() int { return len(p.frames) }
 
-// Resident reports whether page id currently occupies a frame.
+// NumShards returns the number of page-table latch partitions.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Resident reports whether page id currently occupies a frame (including
+// one whose read is still in flight, but not a victim mid write-back).
 func (p *Pool) Resident(id policy.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.pageTable[id]
-	return ok
+	sh := p.shardOf(id)
+	sh.mu.RLock()
+	f := sh.table[id]
+	resident := f != nil && f.state.Load() != frameWriting
+	sh.mu.RUnlock()
+	return resident
 }

@@ -42,6 +42,10 @@ type CacheStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Rejected counts Puts refused because the shard was full and no victim
+	// could be evicted; without the refusal a shard would grow past its
+	// capacity whenever eviction comes up empty.
+	Rejected uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookups.
@@ -69,6 +73,7 @@ type Cache[K comparable, V any] struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	rejected  atomic.Uint64
 }
 
 type cacheShard[K comparable, V any] struct {
@@ -207,13 +212,20 @@ func (c *Cache[K, V]) Contains(key K) bool {
 }
 
 // Put inserts or replaces the value for key, counting as a reference. If
-// the shard is full the LRU-K victim is evicted first.
-func (c *Cache[K, V]) Put(key K, value V) {
+// the shard is full the LRU-K victim is evicted first. It reports whether
+// the value was admitted: a full shard with no evictable victim refuses
+// the insert rather than exceed its capacity (CacheStats.Rejected counts
+// refusals).
+func (c *Cache[K, V]) Put(key K, value V) bool {
 	s := c.shard(key)
 	s.mu.Lock()
-	evicted := s.put(key, value)
+	evicted, admitted := s.put(key, value)
 	s.mu.Unlock()
 	c.evictions.Add(evicted)
+	if !admitted {
+		c.rejected.Add(1)
+	}
+	return admitted
 }
 
 // Delete removes key's value, retaining its reference history per §2.1.2
@@ -299,6 +311,7 @@ func (c *Cache[K, V]) Stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
 	}
 }
 
@@ -326,7 +339,7 @@ func (s *cacheShard[K, V]) get(key K) (V, bool) {
 	return e.value, true
 }
 
-func (s *cacheShard[K, V]) put(key K, value V) (evicted uint64) {
+func (s *cacheShard[K, V]) put(key K, value V) (evicted uint64, admitted bool) {
 	now := s.now()
 	if id, ok := s.byKey[key]; ok {
 		e := s.byID[id]
@@ -335,12 +348,12 @@ func (s *cacheShard[K, V]) put(key K, value V) (evicted uint64) {
 			h := s.table.pages[id]
 			s.table.touchResident(id, h, now, true)
 			e.value = value
-			return 0
+			return 0, true
 		}
 		// Key known only through retained history: readmit under the same
 		// id so the old HIST block counts toward its Backward K-distance.
-		if s.resident >= s.capacity {
-			evicted += s.evictVictim()
+		if evicted = s.makeRoom(); s.resident >= s.capacity {
+			return evicted, false
 		}
 		s.table.admit(id, now, true)
 		if e == nil {
@@ -350,10 +363,10 @@ func (s *cacheShard[K, V]) put(key K, value V) (evicted uint64) {
 		e.value = value
 		e.live = true
 		s.resident++
-		return evicted
+		return evicted, true
 	}
-	if s.resident >= s.capacity {
-		evicted += s.evictVictim()
+	if evicted = s.makeRoom(); s.resident >= s.capacity {
+		return evicted, false
 	}
 	s.nextID++
 	id := s.nextID
@@ -361,6 +374,22 @@ func (s *cacheShard[K, V]) put(key K, value V) (evicted uint64) {
 	s.byID[id] = &cacheEntry[K, V]{key: key, value: value, live: true}
 	s.table.admit(id, now, true)
 	s.resident++
+	return evicted, true
+}
+
+// makeRoom evicts until the shard has a free slot or no victim can be
+// found. An admission that proceeded past a failed eviction would push
+// resident beyond capacity, unboundedly so under a persistently
+// victim-less shard — the caller must re-check resident < capacity and
+// refuse the insert otherwise.
+func (s *cacheShard[K, V]) makeRoom() (evicted uint64) {
+	for s.resident >= s.capacity {
+		n := s.evictVictim()
+		if n == 0 {
+			break
+		}
+		evicted += n
+	}
 	return evicted
 }
 

@@ -186,14 +186,23 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			r := stats.NewRNG(seed)
 			for i := 0; i < 20000; i++ {
 				k := int64(r.Intn(4000))
-				if r.Float64() < 0.7 {
+				switch op := r.Float64(); {
+				case op < 0.65:
 					if _, ok := c.Get(k); !ok {
 						c.Put(k, k*2)
 					}
-				} else if r.Float64() < 0.9 {
+				case op < 0.85:
 					c.Put(k, k*2)
-				} else {
+				case op < 0.93:
 					c.Delete(k)
+				case op < 0.97:
+					c.Contains(k)
+				default:
+					// Aggregate queries must race safely with mutation.
+					if c.Len() > 1024 {
+						panic("Len exceeded capacity mid-run")
+					}
+					c.Stats()
 				}
 			}
 		}(uint64(g + 1))

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+)
+
+// This file makes the Replacer contract explicitly concurrent. The plain
+// Replacer is single-threaded by design (the deterministic simulator needs
+// bit-for-bit reproducible decisions); a concurrent buffer pool needs one
+// of the two wrappers below:
+//
+//   - SyncReplacer serialises one Replacer behind a mutex. Decisions are
+//     identical to the plain Replacer's for any serialisable call history,
+//     so a single-threaded trace replayed through a concurrent pool yields
+//     exactly the seed pool's hit/miss/eviction accounting.
+//   - ShardedReplacer partitions pages across independently locked
+//     sub-replacers, mirroring Cache's shard scheme: near-linear scaling,
+//     per-shard (not global) LRU-K victim order.
+//
+// Both advertise their thread safety with ConcurrentSafe, the marker the
+// buffer pool checks before deciding whether to add its own lock.
+
+// SyncReplacer is a Replacer guarded by a single mutex: safe for concurrent
+// use while preserving the global LRU-K victim order of the wrapped
+// replacer.
+type SyncReplacer struct {
+	mu sync.Mutex
+	r  *Replacer
+}
+
+// NewSyncReplacer returns a mutex-guarded LRU-K replacer with history depth
+// k and the given §2.1 periods.
+func NewSyncReplacer(k int, opts Options) *SyncReplacer {
+	return &SyncReplacer{r: NewReplacer(k, opts)}
+}
+
+// ConcurrentSafe marks SyncReplacer as safe for concurrent use.
+func (s *SyncReplacer) ConcurrentSafe() {}
+
+// RecordAccess notes a reference to a resident page.
+func (s *SyncReplacer) RecordAccess(p policy.PageID) {
+	s.mu.Lock()
+	s.r.RecordAccess(p)
+	s.mu.Unlock()
+}
+
+// SetEvictable marks whether p may be chosen as a victim.
+func (s *SyncReplacer) SetEvictable(p policy.PageID, evictable bool) {
+	s.mu.Lock()
+	s.r.SetEvictable(p, evictable)
+	s.mu.Unlock()
+}
+
+// Evict selects and removes a victim.
+func (s *SyncReplacer) Evict() (policy.PageID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Evict()
+}
+
+// Remove drops p without treating it as an eviction decision.
+func (s *SyncReplacer) Remove(p policy.PageID) {
+	s.mu.Lock()
+	s.r.Remove(p)
+	s.mu.Unlock()
+}
+
+// Size returns the number of evictable pages.
+func (s *SyncReplacer) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Size()
+}
+
+// HistorySize returns the number of retained history control blocks.
+func (s *SyncReplacer) HistorySize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.HistorySize()
+}
+
+// ShardedReplacer partitions pages by hash across independently locked
+// LRU-K sub-replacers, the same latch-partitioning scheme Cache uses for
+// its shards. Victim order is per-shard rather than global: Evict sweeps
+// the shards round-robin and returns the first shard-local LRU-K victim,
+// trading a bounded deviation from the global order for the removal of the
+// single replacer lock from every reference.
+type ShardedReplacer struct {
+	shards []syncShard
+	mask   uint64
+	next   atomic.Uint64
+}
+
+type syncShard struct {
+	mu sync.Mutex
+	r  *Replacer
+	// Pad to a multiple of 64 bytes so adjacent shard locks do not share a
+	// cache line under contention.
+	_ [40]byte
+}
+
+// NewShardedReplacer returns a replacer with the given power-of-two shard
+// count (0 selects 16), history depth k and §2.1 periods.
+func NewShardedReplacer(shards, k int, opts Options) *ShardedReplacer {
+	if shards == 0 {
+		shards = 16
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		panic("core: replacer shard count must be a positive power of two")
+	}
+	r := &ShardedReplacer{
+		shards: make([]syncShard, shards),
+		mask:   uint64(shards - 1),
+	}
+	for i := range r.shards {
+		r.shards[i].r = NewReplacer(k, opts)
+	}
+	return r
+}
+
+// ConcurrentSafe marks ShardedReplacer as safe for concurrent use.
+func (r *ShardedReplacer) ConcurrentSafe() {}
+
+func (r *ShardedReplacer) shard(p policy.PageID) *syncShard {
+	return &r.shards[hashInt64(int64(p))&r.mask]
+}
+
+// RecordAccess notes a reference to a resident page.
+func (r *ShardedReplacer) RecordAccess(p policy.PageID) {
+	s := r.shard(p)
+	s.mu.Lock()
+	s.r.RecordAccess(p)
+	s.mu.Unlock()
+}
+
+// SetEvictable marks whether p may be chosen as a victim.
+func (r *ShardedReplacer) SetEvictable(p policy.PageID, evictable bool) {
+	s := r.shard(p)
+	s.mu.Lock()
+	s.r.SetEvictable(p, evictable)
+	s.mu.Unlock()
+}
+
+// Evict sweeps the shards starting from a rotating origin and returns the
+// first shard-local victim; ok is false when no shard has an evictable
+// page.
+func (r *ShardedReplacer) Evict() (policy.PageID, bool) {
+	start := r.next.Add(1)
+	for i := uint64(0); i < uint64(len(r.shards)); i++ {
+		s := &r.shards[(start+i)&r.mask]
+		s.mu.Lock()
+		v, ok := s.r.Evict()
+		s.mu.Unlock()
+		if ok {
+			return v, true
+		}
+	}
+	return policy.InvalidPage, false
+}
+
+// Remove drops p without treating it as an eviction decision.
+func (r *ShardedReplacer) Remove(p policy.PageID) {
+	s := r.shard(p)
+	s.mu.Lock()
+	s.r.Remove(p)
+	s.mu.Unlock()
+}
+
+// Size returns the number of evictable pages across all shards.
+func (r *ShardedReplacer) Size() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += s.r.Size()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// HistorySize returns the number of retained history control blocks across
+// all shards.
+func (r *ShardedReplacer) HistorySize() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += s.r.HistorySize()
+		s.mu.Unlock()
+	}
+	return n
+}

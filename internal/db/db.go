@@ -10,8 +10,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/bufferpool"
 	"repro/internal/btree"
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/heapfile"
@@ -31,6 +31,11 @@ type Config struct {
 	// RecordSize is the customer record size in bytes; the paper uses
 	// 2000, packing two records per 4 KByte page. Default 2000.
 	RecordSize int
+	// PoolShards is the buffer pool's page-table latch partition count
+	// (power of two; 0 selects the pool's GOMAXPROCS-scaled default).
+	// Replacement decisions are unaffected — the replacer stays globally
+	// ordered — so results remain deterministic at any shard count.
+	PoolShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,8 +70,13 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.RecordSize <= 8 || cfg.RecordSize > heapfile.MaxRecord {
 		return nil, fmt.Errorf("db: record size %d outside (8, %d]", cfg.RecordSize, heapfile.MaxRecord)
 	}
+	if cfg.PoolShards < 0 || cfg.PoolShards&(cfg.PoolShards-1) != 0 {
+		return nil, fmt.Errorf("db: pool shard count must be zero or a power of two, got %d", cfg.PoolShards)
+	}
 	d := disk.NewManager(disk.ServiceModel{})
-	pool := bufferpool.New(d, cfg.Frames, core.NewReplacer(cfg.K, cfg.ReplacerOptions))
+	pool := bufferpool.NewWithConfig(d, cfg.Frames,
+		core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions),
+		bufferpool.Config{Shards: cfg.PoolShards})
 	file := heapfile.New(pool)
 	idx, err := btree.New(pool)
 	if err != nil {

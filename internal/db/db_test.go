@@ -2,7 +2,11 @@ package db
 
 import (
 	"encoding/binary"
+	"fmt"
+	"sync"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestOpenValidation(t *testing.T) {
@@ -12,6 +16,8 @@ func TestOpenValidation(t *testing.T) {
 		{Frames: 10, K: -2},
 		{Frames: 10, RecordSize: 4},
 		{Frames: 10, RecordSize: 1 << 20},
+		{Frames: 10, PoolShards: 3},
+		{Frames: 10, PoolShards: -1},
 	}
 	for i, cfg := range cases {
 		if _, err := Open(cfg); err == nil {
@@ -153,5 +159,49 @@ func TestExample11Discrimination(t *testing.T) {
 	// And it needs fewer disk reads for the same work.
 	if res2.DiskReads >= res1.DiskReads {
 		t.Errorf("LRU-2 disk reads %d not below LRU-1 %d", res2.DiskReads, res1.DiskReads)
+	}
+}
+
+// TestConcurrentLookups drives the read path (B-tree descent plus heap
+// record fetch) through the latch-partitioned buffer pool from many
+// goroutines at once; every record must come back intact.
+func TestConcurrentLookups(t *testing.T) {
+	const customers = 500
+	db, err := Open(Config{Frames: 64, RecordSize: 100, PoolShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCustomers(customers); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(g + 1))
+			for i := 0; i < 500; i++ {
+				id := int64(r.Intn(customers))
+				rec, err := db.Lookup(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := int64(binary.LittleEndian.Uint64(rec)); got != id {
+					errs <- fmt.Errorf("lookup %d returned record %d", id, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := db.PoolStats()
+	if s.Hits+s.Misses == 0 {
+		t.Error("no pool traffic recorded")
 	}
 }

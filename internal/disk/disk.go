@@ -6,13 +6,19 @@
 // about exactly this trade: memory buffers versus disk arm time.
 //
 // Pages live in memory; durability is out of scope for a buffering study.
-// The manager is safe for concurrent use.
+// The manager is safe for concurrent use, and concurrently at that: the
+// page store is partitioned into independently latched stripes keyed by
+// PageID hash, and all counters are atomics, so reads and writes to
+// different pages proceed in parallel. The optional ServiceModel.Delay
+// hook injects real latency per operation (outside every latch), letting
+// benchmarks exercise a pool's ability to overlap concurrent I/O.
 package disk
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/policy"
 )
@@ -20,6 +26,10 @@ import (
 // PageSize is the simulated page size in bytes, the paper's canonical
 // 4 KByte page (§2.1.2).
 const PageSize = 4096
+
+// numStripes is the number of independently latched page-store partitions.
+// Must be a power of two.
+const numStripes = 32
 
 // ErrPageNotAllocated reports access to a page id that was never allocated
 // or has been deallocated.
@@ -33,6 +43,12 @@ type ServiceModel struct {
 	SeekMicros int64
 	// TransferMicros is the per-page transfer time. Default 400.
 	TransferMicros int64
+	// Delay, when non-nil, is invoked after each read or write with the
+	// operation's priced service time, outside all locks. Injecting e.g. a
+	// scaled time.Sleep here turns the accounting-only model into real
+	// latency, so concurrent callers genuinely overlap their I/O — the
+	// condition under which latch partitioning pays off.
+	Delay func(serviceMicros int64)
 }
 
 func (m ServiceModel) withDefaults() ServiceModel {
@@ -57,44 +73,70 @@ type Stats struct {
 
 // Manager is the simulated disk.
 type Manager struct {
-	mu      sync.Mutex
 	model   ServiceModel
-	pages   map[policy.PageID][]byte
-	nextID  policy.PageID
-	lastOp  policy.PageID // for sequential-access pricing
-	haveOp  bool
-	stats   Stats
+	stripes [numStripes]stripe
+	nextID  atomic.Int64
+	// lastOp is the page id of the most recent priced operation, for
+	// sequential-access pricing; -1 means none yet. Under concurrency the
+	// sequential discount is approximate (operation order is whatever the
+	// hardware interleaves); single-threaded it is exact.
+	lastOp atomic.Int64
+
+	reads         atomic.Uint64
+	writes        atomic.Uint64
+	allocated     atomic.Uint64
+	deallocated   atomic.Uint64
+	serviceMicros atomic.Int64
+}
+
+type stripe struct {
+	mu    sync.RWMutex
+	pages map[policy.PageID][]byte
+	// Pad so adjacent stripe latches do not share a cache line.
+	_ [24]byte
 }
 
 // NewManager returns an empty disk with the given service model (zero
 // value for defaults).
 func NewManager(model ServiceModel) *Manager {
-	return &Manager{
-		model: model.withDefaults(),
-		pages: make(map[policy.PageID][]byte),
+	m := &Manager{model: model.withDefaults()}
+	m.lastOp.Store(int64(policy.InvalidPage))
+	for i := range m.stripes {
+		m.stripes[i].pages = make(map[policy.PageID][]byte)
 	}
+	return m
+}
+
+func (m *Manager) stripe(p policy.PageID) *stripe {
+	// SplitMix64 finaliser: adjacent page ids land on different stripes.
+	z := uint64(p) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &m.stripes[(z^(z>>31))&(numStripes-1)]
 }
 
 // Allocate reserves a fresh zeroed page and returns its id.
 func (m *Manager) Allocate() policy.PageID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id := m.nextID
-	m.nextID++
-	m.pages[id] = make([]byte, PageSize)
-	m.stats.Allocated++
+	id := policy.PageID(m.nextID.Add(1) - 1)
+	s := m.stripe(id)
+	s.mu.Lock()
+	s.pages[id] = make([]byte, PageSize)
+	s.mu.Unlock()
+	m.allocated.Add(1)
 	return id
 }
 
 // Deallocate releases a page. Further access to it fails.
 func (m *Manager) Deallocate(p policy.PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.pages[p]; !ok {
+	s := m.stripe(p)
+	s.mu.Lock()
+	_, ok := s.pages[p]
+	delete(s.pages, p)
+	s.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("deallocate page %d: %w", p, ErrPageNotAllocated)
 	}
-	delete(m.pages, p)
-	m.stats.Deallocated++
+	m.deallocated.Add(1)
 	return nil
 }
 
@@ -103,14 +145,17 @@ func (m *Manager) Read(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: read buffer of %d bytes, want %d", len(buf), PageSize)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	data, ok := m.pages[p]
+	s := m.stripe(p)
+	s.mu.RLock()
+	data, ok := s.pages[p]
+	if ok {
+		copy(buf, data)
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("read page %d: %w", p, ErrPageNotAllocated)
 	}
-	copy(buf, data)
-	m.stats.Reads++
+	m.reads.Add(1)
 	m.charge(p)
 	return nil
 }
@@ -120,40 +165,55 @@ func (m *Manager) Write(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: write buffer of %d bytes, want %d", len(buf), PageSize)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	data, ok := m.pages[p]
+	s := m.stripe(p)
+	s.mu.Lock()
+	data, ok := s.pages[p]
+	if ok {
+		copy(data, buf)
+	}
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("write page %d: %w", p, ErrPageNotAllocated)
 	}
-	copy(data, buf)
-	m.stats.Writes++
+	m.writes.Add(1)
 	m.charge(p)
 	return nil
 }
 
-// charge prices one operation on page p: sequential successors skip the
-// seek. Callers hold m.mu.
+// charge prices one operation on page p — sequential successors skip the
+// seek — and runs the injected delay, if any, outside all locks.
 func (m *Manager) charge(p policy.PageID) {
 	cost := m.model.TransferMicros
-	if !m.haveOp || p != m.lastOp+1 {
+	if last := m.lastOp.Swap(int64(p)); last < 0 || int64(p) != last+1 {
 		cost += m.model.SeekMicros
 	}
-	m.stats.ServiceMicros += cost
-	m.lastOp = p
-	m.haveOp = true
+	m.serviceMicros.Add(cost)
+	if m.model.Delay != nil {
+		m.model.Delay(cost)
+	}
 }
 
-// Stats returns a snapshot of cumulative activity.
+// Stats returns a snapshot of cumulative activity. Under concurrent load
+// the counters are individually exact but not mutually consistent (they
+// are read without a global latch).
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Reads:         m.reads.Load(),
+		Writes:        m.writes.Load(),
+		Allocated:     m.allocated.Load(),
+		Deallocated:   m.deallocated.Load(),
+		ServiceMicros: m.serviceMicros.Load(),
+	}
 }
 
 // NumPages returns the number of currently allocated pages.
 func (m *Manager) NumPages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.pages)
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		n += len(s.pages)
+		s.mu.RUnlock()
+	}
+	return n
 }

@@ -171,3 +171,73 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("total ops %d, want 8000", got)
 	}
 }
+
+// TestDelayHookReceivesServiceTime verifies the injectable latency model:
+// the hook fires once per priced operation with that operation's service
+// micros, summing to the manager's ServiceMicros counter.
+func TestDelayHookReceivesServiceTime(t *testing.T) {
+	var calls int
+	var total int64
+	m := NewManager(ServiceModel{
+		SeekMicros:     10000,
+		TransferMicros: 100,
+		Delay: func(micros int64) {
+			calls++
+			total += micros
+		},
+	})
+	for i := 0; i < 4; i++ {
+		m.Allocate()
+	}
+	buf := make([]byte, PageSize)
+	_ = m.Read(3, buf)  // seek + transfer
+	_ = m.Write(0, buf) // seek + transfer
+	_ = m.Read(1, buf)  // sequential: transfer only
+	if calls != 3 {
+		t.Errorf("Delay fired %d times, want 3", calls)
+	}
+	if want := m.Stats().ServiceMicros; total != want {
+		t.Errorf("Delay saw %d micros total, ServiceMicros is %d", total, want)
+	}
+	if want := int64(2*10100 + 100); total != want {
+		t.Errorf("Delay saw %d micros, want %d", total, want)
+	}
+}
+
+// TestConcurrentAllocateDeallocate races page lifecycle against I/O across
+// stripes; counters must balance and no page may leak.
+func TestConcurrentAllocateDeallocate(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := 0; i < 500; i++ {
+				p := m.Allocate()
+				buf[0] = byte(i)
+				if err := m.Write(p, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.Read(p, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.Deallocate(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Allocated != 4000 || s.Deallocated != 4000 {
+		t.Errorf("alloc/dealloc %d/%d, want 4000/4000", s.Allocated, s.Deallocated)
+	}
+	if got := m.NumPages(); got != 0 {
+		t.Errorf("NumPages = %d after balanced lifecycle, want 0", got)
+	}
+}

@@ -25,6 +25,11 @@ type PoolResult struct {
 // referenced page once per reference (fetch, optionally dirty, unpin).
 // dirtyEvery > 0 marks every n-th reference as a write, exercising
 // write-back I/O. The universe of pages is allocated densely up front.
+//
+// The replay is single-threaded through the concurrent pool with a
+// mutex-wrapped (globally ordered) replacer, so hit/miss/eviction
+// accounting is bit-for-bit the single-latch pool's; the latch partition
+// count cannot influence replacement decisions.
 func (e *Experiment) RunPool(frames, k int, opts core.Options, dirtyEvery int) (PoolResult, error) {
 	maxPage := policy.PageID(-1)
 	for _, p := range e.Trace {
@@ -36,7 +41,8 @@ func (e *Experiment) RunPool(frames, k int, opts core.Options, dirtyEvery int) (
 	for i := policy.PageID(0); i <= maxPage; i++ {
 		d.Allocate()
 	}
-	pool := bufferpool.New(d, frames, core.NewReplacer(k, opts))
+	pool := bufferpool.NewWithConfig(d, frames,
+		core.NewSyncReplacer(k, opts), bufferpool.Config{})
 	res := PoolResult{Result: Result{
 		Policy:     fmt.Sprintf("pool/LRU-%d", k),
 		Buffer:     frames,

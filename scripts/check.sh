@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full pre-merge gate: build, vet, plain tests, then the suite again under
+# the race detector. Equivalent to `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "OK"
