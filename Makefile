@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-pool tables check
+.PHONY: all build test race vet fmt-check bench bench-pool tables chaos check
 
 all: check
 
@@ -19,6 +19,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+## fmt-check: fail if any file is not gofmt-clean (lists the offenders).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 ## bench: every paper-table benchmark plus ablations (repo root).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -30,4 +37,9 @@ bench-pool:
 tables:
 	$(GO) run ./cmd/tables
 
-check: build vet test race
+## chaos: the seeded disk-fault storm against the concurrent pool, under
+## the race detector (DESIGN.md §9).
+chaos:
+	$(GO) test -race -count=1 -run TestChaosFaultStorm -v ./internal/bufferpool/
+
+check: fmt-check build vet test race

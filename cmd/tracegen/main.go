@@ -24,17 +24,17 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("workload", "twopool", "workload: twopool, zipf, oltp, scan, hotspot")
-		refs    = flag.Int("refs", 100000, "number of references to generate")
-		out     = flag.String("o", "", "output file (default stdout)")
-		format  = flag.String("format", "binary", "trace format: binary or text")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		pages   = flag.Int("pages", 0, "page population (workload-specific default)")
-		n1      = flag.Int("n1", 100, "twopool: hot pool size")
-		n2      = flag.Int("n2", 10000, "twopool: cold pool size")
-		alpha   = flag.Float64("alpha", 0.8, "zipf: skew α")
-		beta    = flag.Float64("beta", 0.2, "zipf: skew β")
-		correl  = flag.Float64("correlated", 0, "wrap with correlated bursts at this probability")
+		name   = flag.String("workload", "twopool", "workload: twopool, zipf, oltp, scan, hotspot")
+		refs   = flag.Int("refs", 100000, "number of references to generate")
+		out    = flag.String("o", "", "output file (default stdout)")
+		format = flag.String("format", "binary", "trace format: binary or text")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		pages  = flag.Int("pages", 0, "page population (workload-specific default)")
+		n1     = flag.Int("n1", 100, "twopool: hot pool size")
+		n2     = flag.Int("n2", 10000, "twopool: cold pool size")
+		alpha  = flag.Float64("alpha", 0.8, "zipf: skew α")
+		beta   = flag.Float64("beta", 0.2, "zipf: skew β")
+		correl = flag.Float64("correlated", 0, "wrap with correlated bursts at this probability")
 	)
 	flag.Parse()
 	if err := run(*name, *refs, *out, *format, *seed, *pages, *n1, *n2, *alpha, *beta, *correl); err != nil {

@@ -20,10 +20,10 @@ import (
 
 func main() {
 	const (
-		buffer  = 600
-		txns    = 40000
-		perTxn  = 8 // branch, teller, 3 index levels, account x2, history
-		warmup  = 50000
+		buffer = 600
+		txns   = 40000
+		perTxn = 8 // branch, teller, 3 index levels, account x2, history
+		warmup = 50000
 	)
 	fmt.Println("TPC-A: 10 branches, 100 tellers, 100k accounts (50k pages), 504 index pages")
 	fmt.Printf("B=%d frames, %d transactions\n\n", buffer, txns)

@@ -99,8 +99,8 @@ func (t *Tree) Pages() []policy.PageID {
 
 // --- node page accessors ---
 
-func isLeaf(data []byte) bool   { return data[0] == 1 }
-func numKeys(data []byte) int   { return int(binary.LittleEndian.Uint16(data[2:4])) }
+func isLeaf(data []byte) bool { return data[0] == 1 }
+func numKeys(data []byte) int { return int(binary.LittleEndian.Uint16(data[2:4])) }
 func setNumKeys(data []byte, n int) {
 	binary.LittleEndian.PutUint16(data[2:4], uint16(n))
 }

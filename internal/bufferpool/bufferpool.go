@@ -38,6 +38,11 @@ type Replacer interface {
 	RecordAccess(p policy.PageID)
 	// SetEvictable marks whether p may be chosen as a victim.
 	SetEvictable(p policy.PageID, evictable bool)
+	// Restore reinstates residency for a page whose eviction was abandoned
+	// (the victim was re-pinned, or its write-back failed). It must not
+	// count as a reference: the page's history stays exactly as it was
+	// before Evict removed it.
+	Restore(p policy.PageID)
 	// Evict selects and removes a victim; ok is false if none is evictable.
 	Evict() (policy.PageID, bool)
 	// Remove drops p without treating it as an eviction decision.
@@ -76,6 +81,12 @@ func (l *lockedReplacer) SetEvictable(p policy.PageID, evictable bool) {
 	l.mu.Unlock()
 }
 
+func (l *lockedReplacer) Restore(p policy.PageID) {
+	l.mu.Lock()
+	l.r.Restore(p)
+	l.mu.Unlock()
+}
+
 func (l *lockedReplacer) Evict() (policy.PageID, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -111,6 +122,16 @@ type Stats struct {
 	// read instead of issuing their own (always zero single-threaded; such
 	// misses are also counted in Misses).
 	Coalesced uint64
+	// ReadErrors counts failed miss reads. Each failed disk read is counted
+	// once, against the loading fetch; coalesced waiters that inherit the
+	// error count only Misses and Coalesced. Failed fetches count in Misses
+	// (the page was not resident) but issue no successful disk read, so
+	// disk reads == Misses - Coalesced - ReadErrors - new pages.
+	ReadErrors uint64
+	// WriteErrors counts failed dirty-page write-backs, from evictions and
+	// flushes alike. The data survives in memory: the page stays resident
+	// and dirty, and the write is retried on a later eviction or flush.
+	WriteErrors uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any fetches.
@@ -161,13 +182,15 @@ type shard struct {
 	mu    sync.RWMutex
 	table map[policy.PageID]*frame
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	coalesced  atomic.Uint64
-	evictions  atomic.Uint64
-	writeBacks atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	coalesced   atomic.Uint64
+	evictions   atomic.Uint64
+	writeBacks  atomic.Uint64
+	readErrors  atomic.Uint64
+	writeErrors atomic.Uint64
 	// Pad so adjacent shards do not share cache lines under contention.
-	_ [48]byte
+	_ [40]byte
 }
 
 // Config tunes the concurrent pool.
@@ -197,6 +220,13 @@ type Pool struct {
 
 	freeMu sync.Mutex
 	free   []*frame
+
+	// quarantined holds resident pages whose most recent dirty write-back
+	// failed. They are skipped within the sweep that failed them (so one
+	// poisoned page cannot wedge an unrelated fetch) and retried on later
+	// sweeps and flushes; a successful write or a delete clears the entry.
+	quarMu      sync.Mutex
+	quarantined map[policy.PageID]struct{}
 }
 
 // New returns a pool of numFrames frames over d using the given replacer
@@ -228,12 +258,13 @@ func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool
 		r = &lockedReplacer{r: r}
 	}
 	p := &Pool{
-		disk:     d,
-		replacer: r,
-		frames:   make([]frame, numFrames),
-		shards:   make([]shard, cfg.Shards),
-		mask:     uint64(cfg.Shards - 1),
-		free:     make([]*frame, 0, numFrames),
+		disk:        d,
+		replacer:    r,
+		frames:      make([]frame, numFrames),
+		shards:      make([]shard, cfg.Shards),
+		mask:        uint64(cfg.Shards - 1),
+		free:        make([]*frame, 0, numFrames),
+		quarantined: make(map[policy.PageID]struct{}),
 	}
 	for i := range p.shards {
 		p.shards[i].table = make(map[policy.PageID]*frame)
@@ -379,11 +410,18 @@ func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
 			ready := f.ready
 			sh.mu.RUnlock()
 			<-ready
-			if f.err != nil {
+			if err := f.err; err != nil {
+				// err is captured before the pin drops: the last pin out
+				// recycles the frame, after which f.err may be rewritten by
+				// the frame's next loader. A failed coalesced fetch is still
+				// a miss (the page was not resident); the disk error itself
+				// is counted once, by the loader, in ReadErrors.
+				sh.misses.Add(1)
+				sh.coalesced.Add(1)
 				if f.pins.Add(-1) == 0 {
 					p.freePush(f)
 				}
-				return nil, f.err
+				return nil, err
 			}
 			p.replacer.RecordAccess(id)
 			sh.misses.Add(1)
@@ -430,17 +468,26 @@ func (p *Pool) fetchMiss(sh *shard, id policy.PageID) (pg *Page, retry bool, err
 	// The I/O happens outside the latch; concurrent fetches of id find the
 	// loading frame and wait on ready, everyone else proceeds untouched.
 	if rerr := p.disk.Read(id, f.data); rerr != nil {
+		// Publish the error before the table delete becomes observable:
+		// the shard latch orders f.err ahead of the deletion for latched
+		// readers, and close(ready) publishes it to the parked waiters. A
+		// failed load is still a miss — the page was not resident — and
+		// counts once in ReadErrors.
+		err := fmt.Errorf("fetching page %d: %w", id, rerr)
+		f.err = err
 		sh.mu.Lock()
 		delete(sh.table, id)
 		sh.mu.Unlock()
-		f.err = fmt.Errorf("fetching page %d: %w", id, rerr)
 		close(f.ready)
+		sh.misses.Add(1)
+		sh.readErrors.Add(1)
 		// Waiters that pinned before the table delete still hold the frame;
-		// the last participant out returns it to the free list.
+		// the last participant out returns it to the free list (after which
+		// the frame, f.err included, belongs to its next owner).
 		if f.pins.Add(-1) == 0 {
 			p.freePush(f)
 		}
-		return nil, false, f.err
+		return nil, false, err
 	}
 	p.replacer.RecordAccess(id)
 	f.state.Store(frameResident)
@@ -467,12 +514,43 @@ func (p *Pool) freePush(f *frame) {
 	p.freeMu.Unlock()
 }
 
+// maxWriteBackFailures bounds how many distinct dirty victims may fail
+// their write-back within one obtainFrame sweep before the caller's
+// operation is failed with the joined errors.
+const maxWriteBackFailures = 4
+
+// deferredVictim is a victim whose eviction was abandoned mid-sweep
+// because its write-back failed; it is restored to the replacer only once
+// the sweep ends, so Evict cannot hand the same poisoned page straight
+// back within the sweep.
+type deferredVictim struct {
+	id policy.PageID
+	f  *frame
+}
+
 // obtainFrame returns an exclusively owned frame, evicting a victim (with
 // write-back if dirty, outside every latch) when none is free.
+//
+// A victim whose dirty write-back fails does not fail the caller: the page
+// is restored to residency (its only copy is the in-memory one),
+// quarantined, and the sweep moves on to the next victim, up to
+// maxWriteBackFailures failures. Quarantined pages are retried by later
+// sweeps and flushes.
 func (p *Pool) obtainFrame() (*frame, error) {
 	if f := p.freePop(); f != nil {
 		return f, nil
 	}
+	var (
+		werrs    []error
+		deferred []deferredVictim
+	)
+	// Failed victims re-enter the replacer only at sweep end, whichever way
+	// the sweep exits.
+	defer func() {
+		for _, dv := range deferred {
+			p.restoreVictim(dv.id, dv.f)
+		}
+	}()
 	for {
 		victim, ok := p.replacer.Evict()
 		if !ok {
@@ -480,6 +558,10 @@ func (p *Pool) obtainFrame() (*frame, error) {
 			// first check.
 			if f := p.freePop(); f != nil {
 				return f, nil
+			}
+			if len(werrs) > 0 {
+				return nil, fmt.Errorf("bufferpool: no evictable victim could be written back: %w",
+					errors.Join(werrs...))
 			}
 			return nil, ErrNoFreeFrame
 		}
@@ -512,35 +594,70 @@ func (p *Pool) obtainFrame() (*frame, error) {
 		werr := p.disk.Write(victim, f.data)
 		sh.mu.Lock()
 		if werr != nil {
-			// Restore residency: the data is still only in memory.
+			// Restore residency — the data is still only in memory — then
+			// quarantine the page and try the next victim instead of
+			// failing the caller's unrelated fetch.
 			f.state.Store(frameResident)
 			close(f.writeDone)
 			sh.mu.Unlock()
-			p.restoreVictim(victim, f)
-			return nil, fmt.Errorf("writing back victim %d: %w", victim, werr)
+			sh.writeErrors.Add(1)
+			p.quarantineAdd(victim)
+			werrs = append(werrs, fmt.Errorf("writing back victim %d: %w", victim, werr))
+			deferred = append(deferred, deferredVictim{id: victim, f: f})
+			if len(werrs) >= maxWriteBackFailures {
+				return nil, fmt.Errorf("bufferpool: giving up after %d failed write-backs: %w",
+					len(werrs), errors.Join(werrs...))
+			}
+			continue
 		}
 		delete(sh.table, victim)
 		close(f.writeDone)
 		sh.mu.Unlock()
 		f.dirty.Store(false)
+		p.quarantineRemove(victim)
 		sh.writeBacks.Add(1)
 		sh.evictions.Add(1)
 		return f, nil
 	}
 }
 
+func (p *Pool) quarantineAdd(id policy.PageID) {
+	p.quarMu.Lock()
+	p.quarantined[id] = struct{}{}
+	p.quarMu.Unlock()
+}
+
+func (p *Pool) quarantineRemove(id policy.PageID) {
+	p.quarMu.Lock()
+	delete(p.quarantined, id)
+	p.quarMu.Unlock()
+}
+
+// Quarantined returns the number of resident pages whose most recent dirty
+// write-back failed. Such pages keep their data in memory and are retried
+// on later eviction sweeps and flushes; a successful write-back, flush or
+// delete removes them from quarantine.
+func (p *Pool) Quarantined() int {
+	p.quarMu.Lock()
+	defer p.quarMu.Unlock()
+	return len(p.quarantined)
+}
+
 // restoreVictim re-registers a page in the replacer after an eviction
 // attempt was abandoned (the page was pinned, or its write-back failed):
 // Evict had already removed it, and without re-registration the page could
-// never be chosen again. The handshake runs under the frame's mu so it
-// serialises with pin-count zero-crossings.
+// never be chosen again. Restore reinstates residency without fabricating
+// a reference — recording a phantom access here would reset the page's
+// Backward K-distance and could keep an otherwise-cold page resident. The
+// handshake runs under the frame's mu so it serialises with pin-count
+// zero-crossings.
 func (p *Pool) restoreVictim(id policy.PageID, f *frame) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if p.frameFor(id) != f {
 		return // the page moved on (deleted or reloaded elsewhere)
 	}
-	p.replacer.RecordAccess(id)
+	p.replacer.Restore(id)
 	p.replacer.SetEvictable(id, f.pins.Load() == 0 && f.state.Load() == frameResident)
 }
 
@@ -595,9 +712,11 @@ func (p *Pool) flushFrame(id policy.PageID, f *frame) error {
 	f.dirty.Store(false)
 	if err := p.disk.Write(id, f.data); err != nil {
 		f.dirty.Store(true)
+		p.shardOf(id).writeErrors.Add(1)
 		return fmt.Errorf("flushing page %d: %w", id, err)
 	}
 	p.shardOf(id).writeBacks.Add(1)
+	p.quarantineRemove(id)
 	return nil
 }
 
@@ -611,8 +730,13 @@ func (p *Pool) FlushPage(id policy.PageID) error {
 	return p.flushFrame(id, f)
 }
 
-// FlushAll writes every dirty resident page back to disk.
+// FlushAll writes every dirty resident page back to disk. A failed
+// write-back does not stop the sweep: every shard is visited, every
+// flushable page flushed, and the failures are returned joined (errors.Is
+// unwraps them individually). Failed pages stay dirty and resident, so a
+// retry after the fault clears loses nothing.
 func (p *Pool) FlushAll() error {
+	var errs []error
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.RLock()
@@ -626,14 +750,13 @@ func (p *Pool) FlushAll() error {
 			if !ok {
 				continue // evicted or deleted meanwhile; nothing to flush
 			}
-			err := p.flushFrame(id, f)
-			p.releasePin(id, f, false)
-			if err != nil {
-				return err
+			if err := p.flushFrame(id, f); err != nil {
+				errs = append(errs, err)
 			}
+			p.releasePin(id, f, false)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // DeletePage evicts page id from the pool (it must be unpinned) and
@@ -664,6 +787,7 @@ func (p *Pool) DeletePage(id policy.PageID) error {
 		delete(sh.table, id)
 		sh.mu.Unlock()
 		f.dirty.Store(false)
+		p.quarantineRemove(id)
 		p.freePush(f)
 		break
 	}
@@ -682,6 +806,8 @@ func (p *Pool) Stats() Stats {
 		s.Coalesced += sh.coalesced.Load()
 		s.Evictions += sh.evictions.Load()
 		s.WriteBacks += sh.writeBacks.Load()
+		s.ReadErrors += sh.readErrors.Load()
+		s.WriteErrors += sh.writeErrors.Load()
 	}
 	return s
 }

@@ -1,0 +1,149 @@
+package bufferpool
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// TestChaosFaultStorm replays a seeded multi-goroutine trace against a
+// small pool while the disk injects a fault storm: one permanently
+// poisoned page (every write-back fails until the storm ends) plus a 5%
+// probabilistic fault rate on all reads and writes. Individual operations
+// are allowed to fail — the pool is not. After the storm clears the test
+// asserts the pool's invariants:
+//
+//   - frame accounting is exact: free + table-reachable == NumFrames
+//     (nothing leaked by a failed load or write-back, nothing double-freed
+//     by racing waiters);
+//   - no committed update is lost: FlushAll succeeds and every page's disk
+//     image carries the owner's last in-memory write, including the
+//     poisoned page's;
+//   - the quarantine drains to empty once write-backs succeed again;
+//   - the counters reconcile with the disk's: every injected fault the
+//     pool saw is accounted, reads on disk equal non-coalesced,
+//     non-faulted misses, and writes on disk equal successful write-backs.
+//
+// Run it under -race; the storm drives the write-back failure, deferred
+// restore, and coalesced-error paths from many goroutines at once.
+func TestChaosFaultStorm(t *testing.T) {
+	const (
+		goroutines = 8
+		pages      = 128
+		frames     = 32
+		opsPerG    = 3000
+		seed       = 42
+	)
+	d := disk.NewManager(disk.ServiceModel{})
+	ids := make([]policy.PageID, pages)
+	committed := make([]uint64, pages) // guarded by owner goroutine, read after Wait
+	buf := make([]byte, disk.PageSize)
+	for i := range ids {
+		ids[i] = d.Allocate()
+		committed[i] = uint64(1000 + i)
+		binary.LittleEndian.PutUint64(buf, committed[i])
+		if err := d.Write(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poison := ids[0]
+	d.SetFaults(disk.NewFaultPlan(seed,
+		disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{poison}},
+		disk.FaultRule{Probability: 0.05},
+	))
+
+	p := NewWithConfig(d, frames, core.NewShardedReplacer(8, 2, core.Options{}), Config{Shards: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed + uint64(g))
+			for op := 0; op < opsPerG; op++ {
+				i := rng.Intn(pages)
+				id := ids[i]
+				own := i%goroutines == g
+				if own && op%64 == 63 {
+					// Occasional explicit flush of an owned page; failures are
+					// part of the storm.
+					_ = p.FlushPage(id)
+					continue
+				}
+				pg, err := p.Fetch(id)
+				if err != nil {
+					// Injected faults and exhausted sweeps are expected storm
+					// casualties; anything else is a pool bug.
+					if !errors.Is(err, disk.ErrInjectedFault) && !errors.Is(err, ErrNoFreeFrame) {
+						t.Errorf("goroutine %d: fetch %d: %v", g, id, err)
+					}
+					continue
+				}
+				if own {
+					// Only the owner touches page bytes, so page data needs no
+					// lock of its own; everyone else contends on pool structures.
+					v := committed[i] + 1
+					binary.LittleEndian.PutUint64(pg.Data(), v)
+					committed[i] = v
+					pg.Unpin(true)
+				} else {
+					pg.Unpin(false)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Storm over: clear the plan and verify the pool survived it intact.
+	d.SetFaults(nil)
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after the storm: %v", err)
+	}
+	if got := p.Quarantined(); got != 0 {
+		t.Errorf("Quarantined = %d after recovery flush, want 0", got)
+	}
+	free, tabled := frameAccounting(p)
+	if free+tabled != p.NumFrames() {
+		t.Errorf("frame accounting: %d free + %d resident != %d frames", free, tabled, p.NumFrames())
+	}
+
+	// Snapshot both ledgers before the verification reads below add to them.
+	s, ds := p.Stats(), d.Stats()
+
+	// No lost updates: every page's durable image is its owner's last
+	// committed value — the poisoned page included, now that its quarantined
+	// write-back finally went through.
+	for i, id := range ids {
+		if err := d.Read(id, buf); err != nil {
+			t.Fatalf("post-storm read of page %d: %v", id, err)
+		}
+		if got := binary.LittleEndian.Uint64(buf); got != committed[i] {
+			t.Errorf("page %d: disk holds %d, owner committed %d (lost update)", id, got, committed[i])
+		}
+	}
+
+	// Counter reconciliation against the disk's own ledger.
+	if s.ReadErrors != ds.ReadFaults {
+		t.Errorf("pool counted %d read errors, disk injected %d read faults", s.ReadErrors, ds.ReadFaults)
+	}
+	if s.WriteErrors != ds.WriteFaults {
+		t.Errorf("pool counted %d write errors, disk injected %d write faults", s.WriteErrors, ds.WriteFaults)
+	}
+	// Every disk read is a miss that neither coalesced nor faulted (the
+	// trace allocates pages directly, so there are no new-page misses).
+	if want := s.Misses - s.Coalesced - s.ReadErrors; ds.Reads != want {
+		t.Errorf("disk reads = %d, want misses-coalesced-readErrors = %d", ds.Reads, want)
+	}
+	// Every disk write beyond the trace's preload is a successful write-back.
+	if want := uint64(pages) + s.WriteBacks; ds.Writes != want {
+		t.Errorf("disk writes = %d, want preload+writeBacks = %d", ds.Writes, want)
+	}
+	if s.Hits == 0 || s.Misses == 0 || s.WriteErrors == 0 || s.ReadErrors == 0 || s.WriteBacks == 0 {
+		t.Errorf("storm did not exercise all paths: %+v", s)
+	}
+}

@@ -128,6 +128,8 @@ func (p *Serial) Fetch(id policy.PageID) (*SerialPage, error) {
 	f := &p.frames[slot]
 	if err := p.disk.Read(id, f.data); err != nil {
 		p.free = append(p.free, slot)
+		p.stats.Misses++ // the page was not resident, error or not
+		p.stats.ReadErrors++
 		return nil, fmt.Errorf("fetching page %d: %w", id, err)
 	}
 	p.install(slot, id)
@@ -170,6 +172,15 @@ func (p *Serial) obtainFrame() (int, error) {
 	}
 	if f.dirty {
 		if err := p.disk.Write(victim, f.data); err != nil {
+			// Reinstate the victim in the replacer: Evict already removed
+			// it, and without restoration the page could never be chosen
+			// again (a permanent leak of both the frame and the replacer
+			// entry). Serial keeps the single-attempt error policy; the
+			// concurrent Pool's retry/quarantine protocol is the hardened
+			// path.
+			p.replacer.Restore(victim)
+			p.replacer.SetEvictable(victim, true)
+			p.stats.WriteErrors++
 			return 0, fmt.Errorf("writing back victim %d: %w", victim, err)
 		}
 		p.stats.WriteBacks++
@@ -213,6 +224,7 @@ func (p *Serial) FlushPage(id policy.PageID) error {
 		return nil
 	}
 	if err := p.disk.Write(id, f.data); err != nil {
+		p.stats.WriteErrors++
 		return fmt.Errorf("flushing page %d: %w", id, err)
 	}
 	f.dirty = false
@@ -230,6 +242,7 @@ func (p *Serial) FlushAll() error {
 			continue
 		}
 		if err := p.disk.Write(f.page, f.data); err != nil {
+			p.stats.WriteErrors++
 			return fmt.Errorf("flushing page %d: %w", f.page, err)
 		}
 		f.dirty = false

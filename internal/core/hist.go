@@ -46,9 +46,9 @@ func (h *hist) kth() policy.Tick { return h.times[len(h.times)-1] }
 // zero (∞ distance) sorts first, and HIST(p,1) implements the subsidiary
 // LRU rule among pages tied at infinite distance.
 type vkey struct {
-	kth  policy.Tick
+	kth   policy.Tick
 	hist1 policy.Tick
-	page policy.PageID
+	page  policy.PageID
 }
 
 func vkeyLess(a, b vkey) bool {
@@ -86,8 +86,12 @@ type histTable struct {
 	// index orders the evictable resident pages by Backward K-distance.
 	index *ordmap.Map[vkey, struct{}]
 	// retire is the lazily-validated retention queue, ordered by the LAST
-	// value the page had when it left residency.
-	retire []retired
+	// value the page had when it left residency. retireHead indexes its
+	// logical front; popped slack is compacted away (see retirePop) so a
+	// retirement burst cannot pin its peak-sized backing array forever,
+	// as popping with retire = retire[1:] used to.
+	retire     []retired
+	retireHead int
 	// onPurge, when set, is called for each history block the retention
 	// demon drops; the generic cache uses it to release key bindings.
 	onPurge func(policy.PageID)
@@ -107,7 +111,7 @@ func (t *histTable) reset() {
 	t.clock = 0
 	t.pages = make(map[policy.PageID]*hist)
 	t.index.Clear()
-	t.retire = t.retire[:0]
+	t.retire, t.retireHead = nil, 0
 }
 
 // tick advances the logical clock by one reference and runs the retention
@@ -194,6 +198,37 @@ func (t *histTable) evictResident(p policy.PageID, h *hist) {
 	}
 }
 
+// retireLen returns the number of queued retirement entries.
+func (t *histTable) retireLen() int { return len(t.retire) - t.retireHead }
+
+// retireCompactMin is the popped-slack threshold below which retirePop
+// does not bother compacting.
+const retireCompactMin = 32
+
+// retirePop removes and returns the front of the retention queue. The
+// vacated slot is zeroed, and once popped slack dominates the backing
+// array the live tail is copied down — to a fresh, smaller array when the
+// queue is mostly slack — so the queue's memory stays proportional to its
+// live length instead of its historical peak.
+func (t *histTable) retirePop() retired {
+	head := t.retire[t.retireHead]
+	t.retire[t.retireHead] = retired{}
+	t.retireHead++
+	if t.retireHead >= retireCompactMin && t.retireHead >= len(t.retire)/2 {
+		live := len(t.retire) - t.retireHead
+		if cap(t.retire) >= 4*live+retireCompactMin {
+			fresh := make([]retired, live)
+			copy(fresh, t.retire[t.retireHead:])
+			t.retire = fresh
+		} else {
+			n := copy(t.retire, t.retire[t.retireHead:])
+			t.retire = t.retire[:n]
+		}
+		t.retireHead = 0
+	}
+	return head
+}
+
 // selectVictim returns the evictable page with the maximal Backward
 // K-distance whose correlated reference period has expired
 // ("t - LAST(q) > Correlated Reference Period" in Figure 2.1). If every
@@ -231,12 +266,12 @@ func (t *histTable) purge() {
 	if t.rip == 0 {
 		return
 	}
-	for len(t.retire) > 0 {
-		head := t.retire[0]
+	for t.retireLen() > 0 {
+		head := t.retire[t.retireHead]
 		if t.clock-head.last <= t.rip {
 			return
 		}
-		t.retire = t.retire[1:]
+		t.retirePop()
 		h, ok := t.pages[head.page]
 		if !ok || h.resident || h.last != head.last {
 			// The page was readmitted (and possibly re-retired) since this
@@ -259,9 +294,8 @@ func (t *histTable) historyLen() int { return len(t.pages) }
 // one was dropped. The budgeted policy uses it to convert history memory
 // back into buffer frames when the history share outgrows its budget.
 func (t *histTable) dropOldestRetained() bool {
-	for len(t.retire) > 0 {
-		head := t.retire[0]
-		t.retire = t.retire[1:]
+	for t.retireLen() > 0 {
+		head := t.retirePop()
 		h, ok := t.pages[head.page]
 		if !ok || h.resident || h.last != head.last {
 			continue // stale queue entry; a fresher one governs the page

@@ -70,6 +70,31 @@ func (r *Replacer) SetEvictable(p policy.PageID, evictable bool) {
 	}
 }
 
+// Restore reinstates page p as resident after an eviction was abandoned
+// (the buffer pool found the victim re-pinned, or its dirty write-back
+// failed and the data exists only in memory). Unlike RecordAccess it does
+// not advance the clock and leaves the HIST block exactly as it was before
+// Evict removed it: the abandonment is not a page reference, and
+// fabricating one would corrupt the page's Backward K-distance. The page
+// re-enters the victim index only through a later SetEvictable.
+//
+// If the history block was purged between Evict and Restore (possible
+// under a short Retained Information Period), a fresh block is allocated
+// at the current clock, as for a first reference.
+func (r *Replacer) Restore(p policy.PageID) {
+	h, ok := r.table.pages[p]
+	if !ok {
+		r.table.admit(p, r.table.clock, false)
+		return
+	}
+	if h.resident {
+		return // re-admitted by a racing reference; nothing to reinstate
+	}
+	// The retirement entry Evict queued stays behind as a stale record; the
+	// retention demon's lazy validation skips it while the page is resident.
+	h.resident = true
+}
+
 // Evict selects, removes and returns the victim page: the evictable page
 // with the maximal Backward K-distance, honouring the Correlated Reference
 // Period eligibility rule. ok is false when nothing is evictable.

@@ -54,6 +54,14 @@ func (s *SyncReplacer) SetEvictable(p policy.PageID, evictable bool) {
 	s.mu.Unlock()
 }
 
+// Restore reinstates residency after an abandoned eviction without
+// advancing the clock or touching the page's HIST block.
+func (s *SyncReplacer) Restore(p policy.PageID) {
+	s.mu.Lock()
+	s.r.Restore(p)
+	s.mu.Unlock()
+}
+
 // Evict selects and removes a victim.
 func (s *SyncReplacer) Evict() (policy.PageID, bool) {
 	s.mu.Lock()
@@ -141,6 +149,15 @@ func (r *ShardedReplacer) SetEvictable(p policy.PageID, evictable bool) {
 	s := r.shard(p)
 	s.mu.Lock()
 	s.r.SetEvictable(p, evictable)
+	s.mu.Unlock()
+}
+
+// Restore reinstates residency after an abandoned eviction without
+// advancing the owning shard's clock or touching the page's HIST block.
+func (r *ShardedReplacer) Restore(p policy.PageID) {
+	s := r.shard(p)
+	s.mu.Lock()
+	s.r.Restore(p)
 	s.mu.Unlock()
 }
 

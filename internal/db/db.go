@@ -36,6 +36,12 @@ type Config struct {
 	// Replacement decisions are unaffected — the replacer stays globally
 	// ordered — so results remain deterministic at any shard count.
 	PoolShards int
+	// DiskFaults, when non-nil, arms the simulated disk with a
+	// deterministic fault-injection plan (disk.NewFaultPlan) so the
+	// database's failure paths can be exercised reproducibly. Production-
+	// shaped runs leave it nil. The plan can also be swapped at runtime
+	// via SetDiskFaults.
+	DiskFaults *disk.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +80,9 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("db: pool shard count must be zero or a power of two, got %d", cfg.PoolShards)
 	}
 	d := disk.NewManager(disk.ServiceModel{})
+	if cfg.DiskFaults != nil {
+		d.SetFaults(cfg.DiskFaults)
+	}
 	pool := bufferpool.NewWithConfig(d, cfg.Frames,
 		core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions),
 		bufferpool.Config{Shards: cfg.PoolShards})
@@ -158,6 +167,15 @@ func (db *DB) ScanCustomers() (int, error) {
 	})
 	return n, err
 }
+
+// SetDiskFaults replaces the disk's fault-injection plan at runtime; nil
+// disarms injection. Operations already past their fault check complete
+// normally.
+func (db *DB) SetDiskFaults(p *disk.FaultPlan) { db.disk.SetFaults(p) }
+
+// FlushAll writes every dirty resident page back to disk, visiting every
+// page even when some write-backs fail and returning the failures joined.
+func (db *DB) FlushAll() error { return db.pool.FlushAll() }
 
 // PoolStats returns the buffer-pool counters.
 func (db *DB) PoolStats() bufferpool.Stats { return db.pool.Stats() }

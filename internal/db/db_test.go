@@ -6,6 +6,9 @@ import (
 	"sync"
 	"testing"
 
+	"errors"
+
+	"repro/internal/disk"
 	"repro/internal/stats"
 )
 
@@ -203,5 +206,53 @@ func TestConcurrentLookups(t *testing.T) {
 	s := db.PoolStats()
 	if s.Hits+s.Misses == 0 {
 		t.Error("no pool traffic recorded")
+	}
+}
+
+// TestDiskFaultsSurfaceAndRecover arms the database's fault plan at open,
+// checks that lookups surface the injected read fault without corrupting
+// the pool, and that the workload recovers once the faults are exhausted.
+func TestDiskFaultsSurfaceAndRecover(t *testing.T) {
+	const customers = 40
+	db, err := Open(Config{Frames: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCustomers(customers); err != nil {
+		t.Fatal(err)
+	}
+	// Every read faults for a while: small pool, so lookups must miss.
+	db.SetDiskFaults(disk.NewFaultPlan(7, disk.FaultRule{Op: disk.OpRead, Count: 3}))
+	faulted := 0
+	for id := int64(0); id < customers; id++ {
+		if _, err := db.Lookup(id); err != nil {
+			if !errors.Is(err, disk.ErrInjectedFault) {
+				t.Fatalf("lookup %d: %v, want a wrapped injected fault", id, err)
+			}
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no lookup surfaced the injected read faults")
+	}
+	if s := db.PoolStats(); s.ReadErrors != 3 {
+		t.Errorf("pool ReadErrors = %d, want 3", s.ReadErrors)
+	}
+	if ds := db.DiskStats(); ds.ReadFaults != 3 {
+		t.Errorf("disk ReadFaults = %d, want 3", ds.ReadFaults)
+	}
+	// Faults exhausted: every record is reachable again and flush is clean.
+	db.SetDiskFaults(nil)
+	for id := int64(0); id < customers; id++ {
+		rec, err := db.Lookup(id)
+		if err != nil {
+			t.Fatalf("lookup %d after recovery: %v", id, err)
+		}
+		if got := int64(binary.LittleEndian.Uint64(rec)); got != id {
+			t.Errorf("lookup %d returned record %d", id, got)
+		}
+	}
+	if err := db.FlushAll(); err != nil {
+		t.Errorf("FlushAll after recovery: %v", err)
 	}
 }

@@ -11,7 +11,9 @@
 // PageID hash, and all counters are atomics, so reads and writes to
 // different pages proceed in parallel. The optional ServiceModel.Delay
 // hook injects real latency per operation (outside every latch), letting
-// benchmarks exercise a pool's ability to overlap concurrent I/O.
+// benchmarks exercise a pool's ability to overlap concurrent I/O; an armed
+// FaultPlan (SetFaults) injects deterministic read/write errors so callers'
+// failure paths can be exercised reproducibly.
 package disk
 
 import (
@@ -67,6 +69,11 @@ type Stats struct {
 	Writes      uint64
 	Allocated   uint64
 	Deallocated uint64
+	// ReadFaults and WriteFaults count operations failed by the armed
+	// FaultPlan. Faulted operations transfer no data and are not counted
+	// in Reads/Writes, but they do cost service time (the arm still moved).
+	ReadFaults  uint64
+	WriteFaults uint64
 	// ServiceMicros is the total simulated service time of all operations.
 	ServiceMicros int64
 }
@@ -81,11 +88,15 @@ type Manager struct {
 	// sequential discount is approximate (operation order is whatever the
 	// hardware interleaves); single-threaded it is exact.
 	lastOp atomic.Int64
+	// faults is the armed fault-injection plan; nil injects nothing.
+	faults atomic.Pointer[FaultPlan]
 
 	reads         atomic.Uint64
 	writes        atomic.Uint64
 	allocated     atomic.Uint64
 	deallocated   atomic.Uint64
+	readFaults    atomic.Uint64
+	writeFaults   atomic.Uint64
 	serviceMicros atomic.Int64
 }
 
@@ -140,10 +151,22 @@ func (m *Manager) Deallocate(p policy.PageID) error {
 	return nil
 }
 
+// SetFaults arms (or, with nil, disarms) a fault-injection plan. It may be
+// called at any time, including while operations are in flight; operations
+// already past their fault check complete normally.
+func (m *Manager) SetFaults(p *FaultPlan) { m.faults.Store(p) }
+
 // Read copies page p into buf, which must hold PageSize bytes.
 func (m *Manager) Read(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: read buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	if ferr := m.faults.Load().check(OpRead, p); ferr != nil {
+		m.readFaults.Add(1)
+		// A failed I/O still costs arm time, and charging runs the Delay
+		// hook, so tests can park a doomed read like a successful one.
+		m.charge(p)
+		return fmt.Errorf("read page %d: %w", p, ferr)
 	}
 	s := m.stripe(p)
 	s.mu.RLock()
@@ -164,6 +187,11 @@ func (m *Manager) Read(p policy.PageID, buf []byte) error {
 func (m *Manager) Write(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: write buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	if ferr := m.faults.Load().check(OpWrite, p); ferr != nil {
+		m.writeFaults.Add(1)
+		m.charge(p)
+		return fmt.Errorf("write page %d: %w", p, ferr)
 	}
 	s := m.stripe(p)
 	s.mu.Lock()
@@ -202,6 +230,8 @@ func (m *Manager) Stats() Stats {
 		Writes:        m.writes.Load(),
 		Allocated:     m.allocated.Load(),
 		Deallocated:   m.deallocated.Load(),
+		ReadFaults:    m.readFaults.Load(),
+		WriteFaults:   m.writeFaults.Load(),
 		ServiceMicros: m.serviceMicros.Load(),
 	}
 }

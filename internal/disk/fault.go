@@ -1,0 +1,140 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// This file implements deterministic disk fault injection: a FaultPlan is
+// a declarative list of rules deciding, per operation, whether the
+// simulated disk fails it. It complements the ServiceModel.Delay hook —
+// Delay shapes *when* an operation completes, a FaultPlan decides *whether*
+// it does — and exists so the buffer pool's error paths (failed miss
+// reads, failed dirty-victim write-backs) can be exercised exactly and
+// reproducibly instead of never.
+
+// Op identifies a class of disk operations for fault matching.
+type Op uint8
+
+const (
+	// OpRead matches Manager.Read.
+	OpRead Op = 1 << iota
+	// OpWrite matches Manager.Write.
+	OpWrite
+)
+
+// OpAny matches every priced disk operation.
+const OpAny = OpRead | OpWrite
+
+// ErrInjectedFault is the error a faulted operation returns unless its rule
+// carries a custom Err.
+var ErrInjectedFault = errors.New("disk: injected fault")
+
+// FaultRule describes one error-injection rule. The zero value of each
+// field is the permissive default, so a rule lists only its constraints:
+//
+//	FaultRule{Op: OpWrite, Pages: []policy.PageID{7}}      // every write of page 7 fails
+//	FaultRule{Op: OpRead, After: 10, Count: 3}             // reads 11..13 fail
+//	FaultRule{Probability: 0.01}                           // ~1% of all I/O fails
+type FaultRule struct {
+	// Op selects the operation classes the rule applies to; zero means
+	// OpAny.
+	Op Op
+	// Pages restricts the rule to the listed page ids; empty matches every
+	// page.
+	Pages []policy.PageID
+	// After lets that many matching operations pass before the rule arms.
+	After uint64
+	// Count bounds how many faults the rule injects once armed; zero means
+	// unlimited.
+	Count uint64
+	// Probability, when in (0, 1), faults each armed matching operation
+	// with this probability, drawn from the plan's seeded generator; zero
+	// (or anything ≥ 1) faults every one.
+	Probability float64
+	// Err is the error injected; nil selects ErrInjectedFault.
+	Err error
+}
+
+// faultRule is a FaultRule plus its runtime matching state.
+type faultRule struct {
+	FaultRule
+	pages    map[policy.PageID]struct{} // nil when the rule matches all pages
+	seen     uint64                     // matching operations observed so far
+	injected uint64                     // faults injected so far
+}
+
+// FaultPlan is a deterministic fault-injection schedule: rules are
+// consulted in declaration order and the first one that fires decides the
+// operation's fate. All randomness flows from one seeded generator, so a
+// single-threaded operation sequence faults identically on every run;
+// under concurrency the decision *stream* is still the seeded one, but its
+// assignment to operations follows arrival order.
+//
+// A FaultPlan is safe for concurrent use. Arm it with Manager.SetFaults.
+type FaultPlan struct {
+	mu    sync.Mutex
+	rng   *stats.RNG
+	rules []faultRule
+}
+
+// NewFaultPlan returns a plan with the given rules, drawing probabilistic
+// decisions from a generator seeded with seed.
+func NewFaultPlan(seed uint64, rules ...FaultRule) *FaultPlan {
+	p := &FaultPlan{rng: stats.NewRNG(seed)}
+	for _, r := range rules {
+		fr := faultRule{FaultRule: r}
+		if fr.Op == 0 {
+			fr.Op = OpAny
+		}
+		if fr.Err == nil {
+			fr.Err = ErrInjectedFault
+		}
+		if len(r.Pages) > 0 {
+			fr.pages = make(map[policy.PageID]struct{}, len(r.Pages))
+			for _, pg := range r.Pages {
+				fr.pages[pg] = struct{}{}
+			}
+		}
+		p.rules = append(p.rules, fr)
+	}
+	return p
+}
+
+// check runs one operation through the rules and returns the injected
+// error, if any. An operation is charged against every rule in order until
+// one fires. Safe on a nil plan.
+func (p *FaultPlan) check(op Op, page policy.PageID) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Op&op == 0 {
+			continue
+		}
+		if r.pages != nil {
+			if _, ok := r.pages[page]; !ok {
+				continue
+			}
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.injected >= r.Count {
+			continue
+		}
+		if r.Probability > 0 && r.Probability < 1 && p.rng.Float64() >= r.Probability {
+			continue
+		}
+		r.injected++
+		return r.Err
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func faultTestManager(t *testing.T, pages int) (*Manager, []policy.PageID) {
+	t.Helper()
+	m := NewManager(ServiceModel{})
+	ids := make([]policy.PageID, pages)
+	for i := range ids {
+		ids[i] = m.Allocate()
+	}
+	return m, ids
+}
+
+func TestFaultCountAndAfter(t *testing.T) {
+	m, ids := faultTestManager(t, 1)
+	m.SetFaults(NewFaultPlan(1, FaultRule{Op: OpWrite, After: 2, Count: 3}))
+	buf := make([]byte, PageSize)
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, m.Write(ids[0], buf) != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("write %d faulted=%v, want %v (pattern %v)", i, got[i], want[i], got)
+		}
+	}
+	// The rule is write-only: reads never fault.
+	for i := 0; i < 8; i++ {
+		if err := m.Read(ids[0], buf); err != nil {
+			t.Fatalf("read %d faulted under a write-only rule: %v", i, err)
+		}
+	}
+	if s := m.Stats(); s.WriteFaults != 3 || s.ReadFaults != 0 || s.Writes != 5 || s.Reads != 8 {
+		t.Errorf("stats %+v, want 3 write faults, 5 writes, 8 reads", s)
+	}
+}
+
+func TestFaultPerPage(t *testing.T) {
+	m, ids := faultTestManager(t, 2)
+	m.SetFaults(NewFaultPlan(1, FaultRule{Pages: []policy.PageID{ids[0]}}))
+	buf := make([]byte, PageSize)
+	if err := m.Read(ids[0], buf); !errors.Is(err, ErrInjectedFault) {
+		t.Errorf("read of targeted page: %v, want ErrInjectedFault", err)
+	}
+	if err := m.Write(ids[0], buf); !errors.Is(err, ErrInjectedFault) {
+		t.Errorf("write of targeted page: %v, want ErrInjectedFault", err)
+	}
+	if err := m.Read(ids[1], buf); err != nil {
+		t.Errorf("read of untargeted page faulted: %v", err)
+	}
+	if err := m.Write(ids[1], buf); err != nil {
+		t.Errorf("write of untargeted page faulted: %v", err)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	sentinel := errors.New("the head crashed")
+	m, ids := faultTestManager(t, 1)
+	m.SetFaults(NewFaultPlan(1, FaultRule{Op: OpRead, Err: sentinel}))
+	buf := make([]byte, PageSize)
+	if err := m.Read(ids[0], buf); !errors.Is(err, sentinel) {
+		t.Errorf("read error %v, want the rule's custom error", err)
+	}
+}
+
+// TestFaultProbabilityDeterminism replays the same operation sequence
+// against two managers with identically seeded plans: the fault pattern
+// must match op for op. A different seed must (at this length) produce a
+// different pattern.
+func TestFaultProbabilityDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		m, ids := faultTestManager(t, 8)
+		m.SetFaults(NewFaultPlan(seed, FaultRule{Probability: 0.3}))
+		buf := make([]byte, PageSize)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			id := ids[i%len(ids)]
+			var err error
+			if i%2 == 0 {
+				err = m.Read(id, buf)
+			} else {
+				err = m.Write(id, buf)
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b, c := pattern(7), pattern(7), pattern(8)
+	faults := 0
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 200-op fault patterns")
+	}
+	// ~30% of 200 ops; generous bounds, just catching always/never.
+	if faults < 20 || faults > 120 {
+		t.Errorf("probability 0.3 injected %d/200 faults", faults)
+	}
+}
+
+// TestFaultChargesServiceAndDelay pins the documented contract: a faulted
+// operation transfers no data but still costs service time and still runs
+// the Delay hook (so tests can park a doomed I/O like a successful one).
+func TestFaultChargesServiceAndDelay(t *testing.T) {
+	delays := 0
+	m := NewManager(ServiceModel{Delay: func(int64) { delays++ }})
+	id := m.Allocate()
+	buf := make([]byte, PageSize)
+	copy(buf, []byte("original"))
+	if err := m.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	m.SetFaults(NewFaultPlan(1, FaultRule{Op: OpWrite}))
+	copy(buf, []byte("doomed!!"))
+	if err := m.Write(id, buf); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write under always-fault rule: %v", err)
+	}
+	after := m.Stats()
+	if after.ServiceMicros <= before.ServiceMicros {
+		t.Error("faulted write charged no service time")
+	}
+	if delays != 2 {
+		t.Errorf("Delay ran %d times, want 2 (one per write, faulted included)", delays)
+	}
+	if after.Writes != before.Writes {
+		t.Error("faulted write counted in Stats.Writes")
+	}
+	// The page content is untouched by the faulted write.
+	m.SetFaults(nil)
+	got := make([]byte, PageSize)
+	if err := m.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:8]) != "original" {
+		t.Errorf("faulted write mutated the page: %q", got[:8])
+	}
+}
+
+// TestFaultRuleOrder checks that rules are consulted in declaration order
+// and that an op is charged against every rule until one fires.
+func TestFaultRuleOrder(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	m, ids := faultTestManager(t, 1)
+	m.SetFaults(NewFaultPlan(1,
+		FaultRule{Op: OpRead, Count: 1, Err: first},
+		FaultRule{Op: OpRead, Count: 1, Err: second},
+	))
+	buf := make([]byte, PageSize)
+	if err := m.Read(ids[0], buf); !errors.Is(err, first) {
+		t.Errorf("first read: %v, want first rule's error", err)
+	}
+	if err := m.Read(ids[0], buf); !errors.Is(err, second) {
+		t.Errorf("second read: %v, want second rule's error", err)
+	}
+	if err := m.Read(ids[0], buf); err != nil {
+		t.Errorf("third read: %v, want success (both rules exhausted)", err)
+	}
+}
+
+func TestSetFaultsDisarms(t *testing.T) {
+	m, ids := faultTestManager(t, 1)
+	m.SetFaults(NewFaultPlan(1, FaultRule{}))
+	buf := make([]byte, PageSize)
+	if err := m.Read(ids[0], buf); err == nil {
+		t.Fatal("armed plan did not fault")
+	}
+	m.SetFaults(nil)
+	if err := m.Read(ids[0], buf); err != nil {
+		t.Errorf("disarmed manager still faulted: %v", err)
+	}
+}

@@ -9,12 +9,12 @@ package policy
 // "aging scheme based on reference counters" whose workload-dependent
 // parameters the paper contrasts with LRU-K's tuning-free design.
 type LRD struct {
-	capacity       int
-	agingInterval  Tick
-	agingFactor    float64
-	clock          Tick
-	lastAging      Tick
-	pages          map[PageID]*lrdEntry
+	capacity      int
+	agingInterval Tick
+	agingFactor   float64
+	clock         Tick
+	lastAging     Tick
+	pages         map[PageID]*lrdEntry
 }
 
 type lrdEntry struct {

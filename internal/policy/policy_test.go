@@ -62,8 +62,8 @@ func TestValidateCapacityPanics(t *testing.T) {
 func TestLRUEvictionOrder(t *testing.T) {
 	c := NewLRU(3)
 	replay(c, refs(1, 2, 3))
-	c.Reference(1)     // order now (MRU→LRU): 1, 3, 2
-	c.Reference(4)     // evicts 2
+	c.Reference(1) // order now (MRU→LRU): 1, 3, 2
+	c.Reference(4) // evicts 2
 	if c.Resident(2) {
 		t.Error("LRU kept the least recently used page")
 	}

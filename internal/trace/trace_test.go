@@ -51,8 +51,8 @@ func TestBinaryRejectsCorruption(t *testing.T) {
 		"",
 		"SHORT",
 		"NOTMAGIC\x01\x05",
-		magic,               // missing count
-		magic + "\x05\x01",  // count 5 but one ref
+		magic,              // missing count
+		magic + "\x05\x01", // count 5 but one ref
 	}
 	for _, c := range cases {
 		if _, err := ReadBinary(strings.NewReader(c)); err == nil {

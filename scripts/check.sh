@@ -4,6 +4,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
