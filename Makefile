@@ -7,14 +7,18 @@ all: check
 build:
 	$(GO) build ./...
 
+## test: vet plus the plain suite. The explicit -timeout turns a hung
+## lifecycle path (a writer that never stops, a waiter that never wakes)
+## into a stack-dumping failure instead of a stuck CI job.
 test:
-	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -timeout 300s ./...
 
 ## race: the standard concurrency gate — vet plus the full suite under the
 ## race detector (includes the pool, cache, replacer and disk stress tests).
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 600s ./...
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +44,7 @@ tables:
 ## chaos: the seeded disk-fault storm against the concurrent pool, under
 ## the race detector (DESIGN.md §9).
 chaos:
-	$(GO) test -race -count=1 -run TestChaosFaultStorm -v ./internal/bufferpool/
+	$(GO) vet ./internal/bufferpool/
+	$(GO) test -race -count=1 -timeout 300s -run TestChaosFaultStorm -v ./internal/bufferpool/
 
 check: fmt-check build vet test race

@@ -1,0 +1,214 @@
+package bufferpool
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// This file implements the pool's disk circuit breaker: per disk stripe, a
+// closed/open/half-open state machine over the outcomes of disk attempts.
+// Sustained failures on a stripe open its circuit, after which fetch-misses
+// and write-backs touching that stripe fail fast with ErrDiskUnavailable
+// instead of queueing behind a device that is not answering — buffer hits
+// keep serving throughout, so the pool degrades to its in-memory working
+// set instead of convoying every request onto the broken disk. After a
+// cooldown the circuit admits one probe at a time (half-open); enough
+// consecutive probe successes close it again.
+
+// ErrDiskUnavailable reports an operation refused locally because the
+// circuit breaker for its disk stripe is open. No disk attempt was made:
+// the caller can retry after the breaker's cooldown, serve from memory, or
+// surface the unavailability.
+var ErrDiskUnavailable = errors.New("bufferpool: disk unavailable (circuit breaker open)")
+
+// BreakerConfig tunes the disk circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count on one disk stripe that
+	// opens the stripe's circuit. Zero (or negative) disables the breaker.
+	Threshold int
+	// Cooldown is how long an open circuit rejects traffic before admitting
+	// a half-open probe. Zero selects 50ms.
+	Cooldown time.Duration
+	// Probes is the number of consecutive successful half-open probes that
+	// close the circuit. Zero selects 2.
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 50 * time.Millisecond
+	}
+	if c.Probes <= 0 {
+		c.Probes = 2
+	}
+	return c
+}
+
+// Breaker states. A stripe starts closed (traffic flows, failures are
+// counted), opens at Threshold consecutive failures (traffic is refused),
+// turns half-open after Cooldown (one probe in flight at a time), and
+// closes again after Probes consecutive probe successes — or re-opens on
+// the first probe failure.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the all-stripes breaker; a nil *breaker (disabled) admits
+// everything and records nothing.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+	st  []breakerStripe
+}
+
+type breakerStripe struct {
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	probing   bool      // a half-open probe is in flight
+	openedAt  time.Time // when the circuit last opened
+	trips     uint64    // times this circuit has opened
+}
+
+// newBreaker returns a breaker over the given stripe count, or nil
+// (disabled) when cfg.Threshold is not positive. now supplies the clock;
+// tests inject a fake one.
+func newBreaker(cfg BreakerConfig, stripes int, now func() time.Time) *breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now, st: make([]breakerStripe, stripes)}
+}
+
+// allow asks to admit one disk attempt on the stripe. A true return must be
+// matched by exactly one record call with the attempt's outcome (in the
+// half-open state the admission holds the stripe's single probe slot until
+// record releases it). A false return means the circuit refused the attempt.
+func (b *breaker) allow(stripe int) bool {
+	if b == nil {
+		return true
+	}
+	s := &b.st[stripe]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(s.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		s.state = breakerHalfOpen
+		s.successes = 0
+		s.probing = true
+		return true
+	default: // breakerHalfOpen
+		if s.probing {
+			return false
+		}
+		s.probing = true
+		return true
+	}
+}
+
+// ready reports, without consuming a probe slot, whether allow could admit
+// an attempt on the stripe right now. Fetch-misses use it to fail fast
+// before doing any frame work.
+func (b *breaker) ready(stripe int) bool {
+	if b == nil {
+		return true
+	}
+	s := &b.st[stripe]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(s.openedAt) >= b.cfg.Cooldown
+	default:
+		return !s.probing
+	}
+}
+
+// record reports the outcome of an attempt admitted by allow.
+func (b *breaker) record(stripe int, success bool) {
+	if b == nil {
+		return
+	}
+	s := &b.st[stripe]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerClosed:
+		if success {
+			s.failures = 0
+			return
+		}
+		s.failures++
+		if s.failures >= b.cfg.Threshold {
+			s.open(b.now())
+		}
+	case breakerHalfOpen:
+		s.probing = false
+		if success {
+			s.successes++
+			if s.successes >= b.cfg.Probes {
+				s.state = breakerClosed
+				s.failures = 0
+			}
+			return
+		}
+		s.open(b.now())
+	case breakerOpen:
+		// A straggler admitted before the trip finished late; the cooldown
+		// clock stands.
+	}
+}
+
+// open transitions the stripe to the open state. Callers hold s.mu.
+func (s *breakerStripe) open(now time.Time) {
+	s.state = breakerOpen
+	s.openedAt = now
+	s.failures = 0
+	s.successes = 0
+	s.probing = false
+	s.trips++
+}
+
+// trips returns the total number of circuit openings across all stripes.
+func (b *breaker) tripCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	var n uint64
+	for i := range b.st {
+		s := &b.st[i]
+		s.mu.Lock()
+		n += s.trips
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// openStripes returns how many stripes are currently in the open state
+// (past-cooldown open stripes included: they stay open until a probe runs).
+func (b *breaker) openStripes() int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for i := range b.st {
+		s := &b.st[i]
+		s.mu.Lock()
+		if s.state == breakerOpen {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

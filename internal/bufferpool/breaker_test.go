@@ -1,0 +1,168 @@
+package bufferpool
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for driving the breaker's cooldown
+// without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newTestBreaker(cfg BreakerConfig, clk *fakeClock) *breaker {
+	return newBreaker(cfg, 4, clk.now)
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond, Probes: 2}, clk)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(0) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.record(0, false)
+	}
+	if b.openStripes() != 0 {
+		t.Fatal("breaker opened below threshold")
+	}
+	if !b.allow(0) {
+		t.Fatal("closed breaker refused the threshold attempt")
+	}
+	b.record(0, false) // third consecutive failure: trip
+
+	if b.openStripes() != 1 {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.tripCount() != 1 {
+		t.Fatalf("tripCount = %d, want 1", b.tripCount())
+	}
+	if b.allow(0) || b.ready(0) {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+	// Other stripes are independent.
+	if !b.allow(1) {
+		t.Fatal("stripe 1 tripped by stripe 0's failures")
+	}
+	b.record(1, true)
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(BreakerConfig{Threshold: 2}, clk)
+	// failure, success, failure, success, ... never reaches 2 consecutive.
+	for i := 0; i < 10; i++ {
+		if !b.allow(0) {
+			t.Fatalf("breaker refused attempt %d", i)
+		}
+		b.record(0, i%2 == 0)
+	}
+	if b.tripCount() != 0 {
+		t.Fatal("interleaved failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond, Probes: 2}, clk)
+	b.allow(0)
+	b.record(0, false) // trip
+
+	clk.advance(49 * time.Millisecond)
+	if b.allow(0) {
+		t.Fatal("open breaker admitted a probe before cooldown elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.ready(0) {
+		t.Fatal("ready = false after cooldown")
+	}
+	// First probe: admitted, and it holds the stripe's single probe slot.
+	if !b.allow(0) {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	if b.allow(0) || b.ready(0) {
+		t.Fatal("second concurrent probe admitted while one is in flight")
+	}
+	b.record(0, true)
+	// One success is not enough at Probes=2; still half-open, next probe ok.
+	if !b.allow(0) {
+		t.Fatal("half-open breaker refused the second probe")
+	}
+	b.record(0, true) // closes
+
+	// Closed again: concurrent admissions flow freely.
+	if !b.allow(0) || !b.allow(0) {
+		t.Fatal("closed breaker serialising traffic like half-open")
+	}
+	b.record(0, true)
+	b.record(0, true)
+	if b.tripCount() != 1 {
+		t.Fatalf("tripCount = %d, want 1", b.tripCount())
+	}
+}
+
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond, Probes: 1}, clk)
+	b.allow(0)
+	b.record(0, false) // trip 1
+
+	clk.advance(51 * time.Millisecond)
+	if !b.allow(0) {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.record(0, false) // probe fails: trip 2, cooldown restarts from now
+
+	if b.tripCount() != 2 {
+		t.Fatalf("tripCount = %d, want 2", b.tripCount())
+	}
+	clk.advance(49 * time.Millisecond)
+	if b.allow(0) {
+		t.Fatal("reopened breaker did not restart its cooldown")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.allow(0) {
+		t.Fatal("probe refused after the restarted cooldown")
+	}
+	b.record(0, true) // Probes=1: closes
+	if b.openStripes() != 0 {
+		t.Fatal("breaker still open after a successful probe at Probes=1")
+	}
+}
+
+// TestBreakerStragglerRecordWhileOpen: an attempt admitted just before the
+// trip may report its outcome after the circuit opened; the cooldown clock
+// must stand.
+func TestBreakerStragglerRecordWhileOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond}, clk)
+	b.allow(0)
+	b.allow(0) // two concurrent attempts admitted while closed
+	b.record(0, false)
+	clk.advance(25 * time.Millisecond)
+	b.record(0, true) // straggler success must not close or re-arm anything
+	if b.openStripes() != 1 {
+		t.Fatal("straggler record closed an open breaker")
+	}
+	clk.advance(24 * time.Millisecond)
+	if b.allow(0) {
+		t.Fatal("straggler record restarted the cooldown")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	if b := newBreaker(BreakerConfig{}, 4, time.Now); b != nil {
+		t.Fatal("zero Threshold did not disable the breaker")
+	}
+	var b *breaker // nil breaker: everything admitted, nothing recorded
+	if !b.allow(0) || !b.ready(0) {
+		t.Fatal("nil breaker refused traffic")
+	}
+	b.record(0, false)
+	if b.tripCount() != 0 || b.openStripes() != 0 {
+		t.Fatal("nil breaker reports state")
+	}
+}

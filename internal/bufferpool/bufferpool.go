@@ -15,11 +15,13 @@
 package bufferpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/policy"
@@ -112,6 +114,9 @@ var ErrNoFreeFrame = errors.New("bufferpool: all frames pinned")
 // ErrPageNotResident reports an operation on a page the pool does not hold.
 var ErrPageNotResident = errors.New("bufferpool: page not resident")
 
+// ErrClosed reports an operation on a pool after Close.
+var ErrClosed = errors.New("bufferpool: pool is closed")
+
 // Stats reports cumulative pool activity.
 type Stats struct {
 	Hits       uint64
@@ -122,16 +127,33 @@ type Stats struct {
 	// read instead of issuing their own (always zero single-threaded; such
 	// misses are also counted in Misses).
 	Coalesced uint64
-	// ReadErrors counts failed miss reads. Each failed disk read is counted
-	// once, against the loading fetch; coalesced waiters that inherit the
-	// error count only Misses and Coalesced. Failed fetches count in Misses
-	// (the page was not resident) but issue no successful disk read, so
-	// disk reads == Misses - Coalesced - ReadErrors - new pages.
+	// ReadErrors counts failed miss reads — logical failures, after any
+	// retries are exhausted. Each is counted once, against the loading
+	// fetch; coalesced waiters that inherit the error count only Misses and
+	// Coalesced. Failed fetches count in Misses (the page was not resident)
+	// but issue no successful disk read, so disk reads == Misses -
+	// Coalesced - ReadErrors - ReadsRejected - new pages.
 	ReadErrors uint64
-	// WriteErrors counts failed dirty-page write-backs, from evictions and
-	// flushes alike. The data survives in memory: the page stays resident
-	// and dirty, and the write is retried on a later eviction or flush.
+	// WriteErrors counts failed dirty-page write-backs (logical failures,
+	// retries exhausted), from evictions and flushes alike. The data
+	// survives in memory: the page stays resident and dirty, and the write
+	// is retried by the background writer and later sweeps and flushes.
 	WriteErrors uint64
+	// ReadRetries and WriteRetries count disk attempts that failed with a
+	// transient error and were reissued by the retry ladder (each retried
+	// attempt counts once). With fault injection armed, the disk's fault
+	// ledger reconciles exactly: ReadFaults == ReadRetries + ReadErrors,
+	// and likewise for writes.
+	ReadRetries  uint64
+	WriteRetries uint64
+	// ReadsRejected and WritesRejected count operations refused locally by
+	// an open circuit breaker, without a disk attempt. Rejected reads are
+	// still misses (the page was not resident); rejected write-backs
+	// quarantine their page like any failed write.
+	ReadsRejected  uint64
+	WritesRejected uint64
+	// BreakerTrips counts circuit-breaker openings across all disk stripes.
+	BreakerTrips uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any fetches.
@@ -174,6 +196,14 @@ type frame struct {
 	// writeDone is closed when an eviction write-back finishes and the
 	// page has left the table; set under the shard's exclusive latch.
 	writeDone chan struct{}
+	// flushMu serialises flushFrame per frame. A flush clears the dirty bit
+	// before its disk write (restoring it on failure); without the mutex a
+	// concurrent flusher could observe that transient clean state and
+	// report "already durable" for data whose only write is still in flight
+	// — and may yet fail. It is held across the write, but only flushers
+	// take it, so pin traffic and eviction (which excludes flushers via the
+	// pin count) never block on it.
+	flushMu sync.Mutex
 }
 
 // shard is one latch partition of the page table, with its own counters so
@@ -182,13 +212,17 @@ type shard struct {
 	mu    sync.RWMutex
 	table map[policy.PageID]*frame
 
-	hits        atomic.Uint64
-	misses      atomic.Uint64
-	coalesced   atomic.Uint64
-	evictions   atomic.Uint64
-	writeBacks  atomic.Uint64
-	readErrors  atomic.Uint64
-	writeErrors atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	coalesced      atomic.Uint64
+	evictions      atomic.Uint64
+	writeBacks     atomic.Uint64
+	readErrors     atomic.Uint64
+	writeErrors    atomic.Uint64
+	readRetries    atomic.Uint64
+	writeRetries   atomic.Uint64
+	readsRejected  atomic.Uint64
+	writesRejected atomic.Uint64
 	// Pad so adjacent shards do not share cache lines under contention.
 	_ [40]byte
 }
@@ -199,6 +233,18 @@ type Config struct {
 	// of two. Zero selects a default scaled to GOMAXPROCS. One shard gives
 	// a single (reader-writer) page-table latch.
 	Shards int
+	// Retry configures transient-fault retry for disk reads and writes.
+	// The zero value disables retry (one attempt per operation), the
+	// pre-hardening behaviour.
+	Retry RetryConfig
+	// Breaker configures the per-stripe disk circuit breaker. The zero
+	// value (Threshold 0) disables it.
+	Breaker BreakerConfig
+	// WriterInterval is the background writer's cadence between quarantine
+	// drain rounds while failures persist (the writer parks when the
+	// quarantine is empty and doubles this delay, capped, while drains make
+	// no progress). Zero selects 10ms. The writer runs only after Start.
+	WriterInterval time.Duration
 }
 
 func defaultShards() int {
@@ -223,10 +269,29 @@ type Pool struct {
 
 	// quarantined holds resident pages whose most recent dirty write-back
 	// failed. They are skipped within the sweep that failed them (so one
-	// poisoned page cannot wedge an unrelated fetch) and retried on later
-	// sweeps and flushes; a successful write or a delete clears the entry.
+	// poisoned page cannot wedge an unrelated fetch) and retried by the
+	// background writer and on later sweeps and flushes; a successful write
+	// or a delete clears the entry.
 	quarMu      sync.Mutex
 	quarantined map[policy.PageID]struct{}
+
+	retry   *retrier
+	breaker *breaker // nil when disabled
+
+	// closed gates every public operation after Close; in-flight operations
+	// complete normally.
+	closed atomic.Bool
+	// lifeMu serialises Start and Close; started/closeErr are guarded by it.
+	lifeMu   sync.Mutex
+	started  bool
+	closeErr error
+	// writerStop ends the background writer; writerDone acknowledges its
+	// exit; writerKick (buffered, capacity 1) wakes it when quarantineAdd
+	// gives it work.
+	writerStop     chan struct{}
+	writerDone     chan struct{}
+	writerKick     chan struct{}
+	writerInterval time.Duration
 }
 
 // New returns a pool of numFrames frames over d using the given replacer
@@ -257,14 +322,23 @@ func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool
 	if _, ok := r.(ConcurrentReplacer); !ok {
 		r = &lockedReplacer{r: r}
 	}
+	if cfg.WriterInterval <= 0 {
+		cfg.WriterInterval = 10 * time.Millisecond
+	}
 	p := &Pool{
-		disk:        d,
-		replacer:    r,
-		frames:      make([]frame, numFrames),
-		shards:      make([]shard, cfg.Shards),
-		mask:        uint64(cfg.Shards - 1),
-		free:        make([]*frame, 0, numFrames),
-		quarantined: make(map[policy.PageID]struct{}),
+		disk:           d,
+		replacer:       r,
+		frames:         make([]frame, numFrames),
+		shards:         make([]shard, cfg.Shards),
+		mask:           uint64(cfg.Shards - 1),
+		free:           make([]*frame, 0, numFrames),
+		quarantined:    make(map[policy.PageID]struct{}),
+		retry:          newRetrier(cfg.Retry),
+		breaker:        newBreaker(cfg.Breaker, d.NumStripes(), time.Now),
+		writerStop:     make(chan struct{}),
+		writerDone:     make(chan struct{}),
+		writerKick:     make(chan struct{}, 1),
+		writerInterval: cfg.WriterInterval,
 	}
 	for i := range p.shards {
 		p.shards[i].table = make(map[policy.PageID]*frame)
@@ -358,7 +432,20 @@ func (p *Pool) frameFor(id policy.PageID) *frame {
 // NewPage allocates a fresh disk page, pins it in a frame and returns the
 // handle.
 func (p *Pool) NewPage() (*Page, error) {
-	f, err := p.obtainFrame()
+	return p.NewPageCtx(context.Background())
+}
+
+// NewPageCtx is NewPage with a context: the eviction sweep that makes room
+// (dirty-victim write-backs and their retry backoff included) is charged
+// against ctx.
+func (p *Pool) NewPageCtx(ctx context.Context) (*Page, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f, err := p.obtainFrame(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -383,13 +470,29 @@ func (p *Pool) NewPage() (*Page, error) {
 // the first becomes the loader, the rest coalesce onto its in-flight
 // frame.
 func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
+	return p.FetchCtx(context.Background(), id)
+}
+
+// FetchCtx is Fetch with a context carrying the caller's deadline. Every
+// blocking point honours it: a coalesced waiter whose context expires
+// abandons the in-flight load and returns promptly (the loader completes
+// and installs the page regardless — see abandonPin for the frame
+// accounting), a wait on a victim's write-back is interruptible, and the
+// miss path's disk retry backoff is charged against ctx.
+func (p *Pool) FetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sh := p.shardOf(id)
 	for {
 		sh.mu.RLock()
 		f := sh.table[id]
 		if f == nil {
 			sh.mu.RUnlock()
-			pg, retry, err := p.fetchMiss(sh, id)
+			pg, retry, err := p.fetchMiss(ctx, sh, id)
 			if retry {
 				continue
 			}
@@ -401,7 +504,11 @@ func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
 			// the page is gone and the fetch restarts as a plain miss.
 			done := f.writeDone
 			sh.mu.RUnlock()
-			<-done
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			continue
 		case frameLoading:
 			// Coalesce onto the in-flight read. The loader's pin keeps the
@@ -409,7 +516,17 @@ func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
 			f.pins.Add(1)
 			ready := f.ready
 			sh.mu.RUnlock()
-			<-ready
+			select {
+			case <-ready:
+			case <-ctx.Done():
+				// Abandon the load: it was joined (a miss, coalesced), and
+				// the loader finishes it on our behalf — abandonPin settles
+				// the frame whichever way the load ends.
+				sh.misses.Add(1)
+				sh.coalesced.Add(1)
+				p.abandonPin(sh, id, f)
+				return nil, ctx.Err()
+			}
 			if err := f.err; err != nil {
 				// err is captured before the pin drops: the last pin out
 				// recycles the frame, after which f.err may be rewritten by
@@ -440,12 +557,58 @@ func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
 	}
 }
 
+// abandonPin releases the pin of a coalesced waiter that gave up on an
+// in-flight load, with exact frame accounting either way the load ends.
+// If the count reaches zero the load has published (the loader holds a pin
+// until then), leaving two cases: the load failed (the loader unlinked the
+// frame; the last participant out must recycle it, exactly once) or it
+// succeeded and every other participant, the loader's caller included, has
+// already unpinned (the page must be handed to the replacer as evictable,
+// or it could never be chosen again). The table mapping distinguishes
+// them, and the classification must be atomic with DeletePage's zero-pin
+// check — a delete sliding between our decrement and the table read would
+// free the frame first and turn our recycle into a double free. Holding
+// the shard latch in shared mode (DeletePage needs it exclusively) pins
+// the mapping in place while we decide.
+func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
+	sh.mu.RLock()
+	last := f.pins.Add(-1) == 0
+	resident := last && sh.table[id] == f
+	if last && !resident {
+		// Failed load: the frame is table-unreachable and we are the last
+		// participant, so no recycle can race this free.
+		p.freePush(f)
+	}
+	sh.mu.RUnlock()
+	if !resident {
+		return
+	}
+	// Successful load, count now zero: re-derive evictability exactly as
+	// releasePin would, under the frame's mu so it serialises with pin
+	// zero-crossings (lock order f.mu → shard latch, so this runs outside
+	// the latch above).
+	f.mu.Lock()
+	if f.pins.Load() == 0 && f.state.Load() == frameResident && p.frameFor(id) == f {
+		p.replacer.SetEvictable(id, true)
+	}
+	f.mu.Unlock()
+}
+
 // fetchMiss runs the miss protocol: obtain a frame (evicting if needed),
 // install it as the in-flight holder for id, then read from disk outside
 // every latch and publish. retry is true when another goroutine installed
 // the page first and the caller must re-run the fetch.
-func (p *Pool) fetchMiss(sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
-	f, err := p.obtainFrame()
+func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
+	if !p.breaker.ready(p.disk.StripeOf(id)) {
+		// Fail fast while the stripe's circuit is open: no frame is
+		// claimed, no victim written back, no waiters queued behind a disk
+		// that is not answering. Still a miss — the page was not resident —
+		// but no disk attempt is made.
+		sh.misses.Add(1)
+		sh.readsRejected.Add(1)
+		return nil, false, fmt.Errorf("fetching page %d: %w", id, ErrDiskUnavailable)
+	}
+	f, err := p.obtainFrame(ctx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -465,14 +628,17 @@ func (p *Pool) fetchMiss(sh *shard, id policy.PageID) (pg *Page, retry bool, err
 	sh.table[id] = f
 	sh.mu.Unlock()
 
-	// The I/O happens outside the latch; concurrent fetches of id find the
-	// loading frame and wait on ready, everyone else proceeds untouched.
-	if rerr := p.disk.Read(id, f.data); rerr != nil {
+	// The I/O happens outside the latch — through the breaker and the
+	// transient-fault retry ladder, with backoff charged against ctx;
+	// concurrent fetches of id find the loading frame and wait on ready,
+	// everyone else proceeds untouched.
+	if rerr := p.readPage(ctx, id, f.data); rerr != nil {
 		// Publish the error before the table delete becomes observable:
 		// the shard latch orders f.err ahead of the deletion for latched
 		// readers, and close(ready) publishes it to the parked waiters. A
 		// failed load is still a miss — the page was not resident — and
-		// counts once in ReadErrors.
+		// counts once in ReadErrors (or ReadsRejected, when the breaker
+		// refused the attempt without touching the disk).
 		err := fmt.Errorf("fetching page %d: %w", id, rerr)
 		f.err = err
 		sh.mu.Lock()
@@ -480,7 +646,7 @@ func (p *Pool) fetchMiss(sh *shard, id policy.PageID) (pg *Page, retry bool, err
 		sh.mu.Unlock()
 		close(f.ready)
 		sh.misses.Add(1)
-		sh.readErrors.Add(1)
+		sh.countReadFailure(rerr)
 		// Waiters that pinned before the table delete still hold the frame;
 		// the last participant out returns it to the free list (after which
 		// the frame, f.err included, belongs to its next owner).
@@ -529,14 +695,16 @@ type deferredVictim struct {
 }
 
 // obtainFrame returns an exclusively owned frame, evicting a victim (with
-// write-back if dirty, outside every latch) when none is free.
+// write-back if dirty, outside every latch) when none is free. The sweep —
+// its write-backs and their retry backoff included — is charged against
+// ctx: a cancelled caller stops evicting.
 //
 // A victim whose dirty write-back fails does not fail the caller: the page
 // is restored to residency (its only copy is the in-memory one),
 // quarantined, and the sweep moves on to the next victim, up to
-// maxWriteBackFailures failures. Quarantined pages are retried by later
-// sweeps and flushes.
-func (p *Pool) obtainFrame() (*frame, error) {
+// maxWriteBackFailures failures. Quarantined pages are retried by the
+// background writer and later sweeps and flushes.
+func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 	if f := p.freePop(); f != nil {
 		return f, nil
 	}
@@ -552,6 +720,13 @@ func (p *Pool) obtainFrame() (*frame, error) {
 		}
 	}()
 	for {
+		if err := ctx.Err(); err != nil {
+			if len(werrs) > 0 {
+				return nil, fmt.Errorf("bufferpool: eviction sweep cancelled: %w",
+					errors.Join(append(werrs, err)...))
+			}
+			return nil, err
+		}
 		victim, ok := p.replacer.Evict()
 		if !ok {
 			// A failed load or a DeletePage may have freed a frame since the
@@ -591,7 +766,7 @@ func (p *Pool) obtainFrame() (*frame, error) {
 		f.state.Store(frameWriting)
 		f.writeDone = make(chan struct{})
 		sh.mu.Unlock()
-		werr := p.disk.Write(victim, f.data)
+		werr := p.writePage(ctx, victim, f.data)
 		sh.mu.Lock()
 		if werr != nil {
 			// Restore residency — the data is still only in memory — then
@@ -600,7 +775,7 @@ func (p *Pool) obtainFrame() (*frame, error) {
 			f.state.Store(frameResident)
 			close(f.writeDone)
 			sh.mu.Unlock()
-			sh.writeErrors.Add(1)
+			sh.countWriteFailure(werr)
 			p.quarantineAdd(victim)
 			werrs = append(werrs, fmt.Errorf("writing back victim %d: %w", victim, werr))
 			deferred = append(deferred, deferredVictim{id: victim, f: f})
@@ -625,6 +800,12 @@ func (p *Pool) quarantineAdd(id policy.PageID) {
 	p.quarMu.Lock()
 	p.quarantined[id] = struct{}{}
 	p.quarMu.Unlock()
+	// Wake the background writer (if running); the buffered kick makes the
+	// wake-up lossless without blocking this failure path.
+	select {
+	case p.writerKick <- struct{}{}:
+	default:
+	}
 }
 
 func (p *Pool) quarantineRemove(id policy.PageID) {
@@ -662,9 +843,11 @@ func (p *Pool) restoreVictim(id policy.PageID, f *frame) {
 }
 
 // pinResident pins page id if it is resident (waiting out any in-flight
-// load or write-back), without touching hit/miss accounting or recording a
-// reference. Maintenance paths (flush) use it.
-func (p *Pool) pinResident(id policy.PageID) (*frame, bool) {
+// load or write-back, interruptibly), without touching hit/miss accounting
+// or recording a reference. Maintenance paths (flush, the background
+// writer) use it. A false return means the page is not resident or ctx
+// expired while waiting.
+func (p *Pool) pinResident(ctx context.Context, id policy.PageID) (*frame, bool) {
 	sh := p.shardOf(id)
 	for {
 		sh.mu.RLock()
@@ -677,13 +860,22 @@ func (p *Pool) pinResident(id policy.PageID) (*frame, bool) {
 		case frameWriting:
 			done := f.writeDone
 			sh.mu.RUnlock()
-			<-done
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, false
+			}
 			continue
 		case frameLoading:
 			f.pins.Add(1)
 			ready := f.ready
 			sh.mu.RUnlock()
-			<-ready
+			select {
+			case <-ready:
+			case <-ctx.Done():
+				p.abandonPin(sh, id, f)
+				return nil, false
+			}
 			if f.err != nil {
 				if f.pins.Add(-1) == 0 {
 					p.freePush(f)
@@ -705,14 +897,24 @@ func (p *Pool) pinResident(id policy.PageID) (*frame, bool) {
 // flushFrame writes the pinned frame back if dirty. The dirty bit is
 // cleared before the write so a concurrent modification is not lost: it
 // re-marks the page dirty and a later flush or eviction persists it.
-func (p *Pool) flushFrame(id policy.PageID, f *frame) error {
+// flushMu serialises concurrent flushers of the same frame (the background
+// writer, FlushPage, a flush sweep), so a nil return means the frame's
+// data was durably on disk at some point during the call — never that
+// another flusher's still-undecided write looked clean in passing.
+func (p *Pool) flushFrame(ctx context.Context, id policy.PageID, f *frame) error {
+	f.flushMu.Lock()
+	defer f.flushMu.Unlock()
 	if !f.dirty.Load() {
+		// Clean under flushMu means the last write genuinely completed (or
+		// the page was never written since load): nothing to retry, so clear
+		// any stale quarantine entry.
+		p.quarantineRemove(id)
 		return nil
 	}
 	f.dirty.Store(false)
-	if err := p.disk.Write(id, f.data); err != nil {
+	if err := p.writePage(ctx, id, f.data); err != nil {
 		f.dirty.Store(true)
-		p.shardOf(id).writeErrors.Add(1)
+		p.shardOf(id).countWriteFailure(err)
 		return fmt.Errorf("flushing page %d: %w", id, err)
 	}
 	p.shardOf(id).writeBacks.Add(1)
@@ -722,12 +924,16 @@ func (p *Pool) flushFrame(id policy.PageID, f *frame) error {
 
 // FlushPage writes page id back to disk if dirty. The page stays resident.
 func (p *Pool) FlushPage(id policy.PageID) error {
-	f, ok := p.pinResident(id)
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	ctx := context.Background()
+	f, ok := p.pinResident(ctx, id)
 	if !ok {
 		return fmt.Errorf("flush page %d: %w", id, ErrPageNotResident)
 	}
 	defer p.releasePin(id, f, false)
-	return p.flushFrame(id, f)
+	return p.flushFrame(ctx, id, f)
 }
 
 // FlushAll writes every dirty resident page back to disk. A failed
@@ -736,6 +942,24 @@ func (p *Pool) FlushPage(id policy.PageID) error {
 // unwraps them individually). Failed pages stay dirty and resident, so a
 // retry after the fault clears loses nothing.
 func (p *Pool) FlushAll() error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.flushAll(context.Background())
+}
+
+// FlushAllCtx is FlushAll charged against ctx: write-backs and their retry
+// backoff observe the deadline, and an expired context ends the sweep
+// early (the cancellation is reported in the joined error; unreached pages
+// simply stay dirty and resident).
+func (p *Pool) FlushAllCtx(ctx context.Context) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	return p.flushAll(ctx)
+}
+
+func (p *Pool) flushAll(ctx context.Context) error {
 	var errs []error
 	for i := range p.shards {
 		sh := &p.shards[i]
@@ -746,11 +970,15 @@ func (p *Pool) FlushAll() error {
 		}
 		sh.mu.RUnlock()
 		for _, id := range ids {
-			f, ok := p.pinResident(id)
+			if err := ctx.Err(); err != nil {
+				errs = append(errs, fmt.Errorf("bufferpool: flush sweep cancelled: %w", err))
+				return errors.Join(errs...)
+			}
+			f, ok := p.pinResident(ctx, id)
 			if !ok {
 				continue // evicted or deleted meanwhile; nothing to flush
 			}
-			if err := p.flushFrame(id, f); err != nil {
+			if err := p.flushFrame(ctx, id, f); err != nil {
 				errs = append(errs, err)
 			}
 			p.releasePin(id, f, false)
@@ -762,6 +990,9 @@ func (p *Pool) FlushAll() error {
 // DeletePage evicts page id from the pool (it must be unpinned) and
 // deallocates it on disk.
 func (p *Pool) DeletePage(id policy.PageID) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
 	sh := p.shardOf(id)
 	for {
 		sh.mu.Lock()
@@ -808,7 +1039,12 @@ func (p *Pool) Stats() Stats {
 		s.WriteBacks += sh.writeBacks.Load()
 		s.ReadErrors += sh.readErrors.Load()
 		s.WriteErrors += sh.writeErrors.Load()
+		s.ReadRetries += sh.readRetries.Load()
+		s.WriteRetries += sh.writeRetries.Load()
+		s.ReadsRejected += sh.readsRejected.Load()
+		s.WritesRejected += sh.writesRejected.Load()
 	}
+	s.BreakerTrips = p.breaker.tripCount()
 	return s
 }
 

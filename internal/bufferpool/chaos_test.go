@@ -1,37 +1,58 @@
 package bufferpool
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/leakcheck"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
 
+// stormPlan is the steady-state fault plan of the chaos storm: one
+// permanently poisoned page (every write-back fails) plus a 5%
+// probabilistic fault rate on all reads and writes.
+func stormPlan(seed uint64, poison policy.PageID) *disk.FaultPlan {
+	return disk.NewFaultPlan(seed,
+		disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{poison}},
+		disk.FaultRule{Probability: 0.05},
+	)
+}
+
 // TestChaosFaultStorm replays a seeded multi-goroutine trace against a
 // small pool while the disk injects a fault storm: one permanently
 // poisoned page (every write-back fails until the storm ends) plus a 5%
-// probabilistic fault rate on all reads and writes. Individual operations
+// probabilistic fault rate on all reads and writes. Retry and the circuit
+// breaker are armed, the background writer runs, a slice of operations
+// carries already-expired or tightly-deadlined contexts (exercising the
+// waiter-abandon paths mid-storm), and halfway through one worker blacks
+// the disk out completely until the breaker trips. Individual operations
 // are allowed to fail — the pool is not. After the storm clears the test
 // asserts the pool's invariants:
 //
 //   - frame accounting is exact: free + table-reachable == NumFrames
-//     (nothing leaked by a failed load or write-back, nothing double-freed
-//     by racing waiters);
-//   - no committed update is lost: FlushAll succeeds and every page's disk
-//     image carries the owner's last in-memory write, including the
-//     poisoned page's;
+//     (nothing leaked by a failed load, an abandoned waiter, or a failed
+//     write-back; nothing double-freed by racing waiters);
+//   - no committed update is lost: flushes succeed once the disk heals and
+//     every page's disk image carries the owner's last in-memory write,
+//     including the poisoned page's;
 //   - the quarantine drains to empty once write-backs succeed again;
-//   - the counters reconcile with the disk's: every injected fault the
-//     pool saw is accounted, reads on disk equal non-coalesced,
-//     non-faulted misses, and writes on disk equal successful write-backs.
+//   - the breaker tripped during the blackout and the pool recovered
+//     through half-open probes afterwards;
+//   - the counters reconcile exactly with the disk's ledger: every
+//     injected fault is a retry or a counted error, every breaker refusal
+//     a rejection, every disk read a non-coalesced non-failed miss, every
+//     disk write beyond the preload a successful write-back.
 //
 // Run it under -race; the storm drives the write-back failure, deferred
-// restore, and coalesced-error paths from many goroutines at once.
+// restore, coalesced-error, abandonment, and breaker paths from many
+// goroutines at once.
 func TestChaosFaultStorm(t *testing.T) {
 	const (
 		goroutines = 8
@@ -40,6 +61,7 @@ func TestChaosFaultStorm(t *testing.T) {
 		opsPerG    = 3000
 		seed       = 42
 	)
+	leakcheck.Check(t)
 	d := disk.NewManager(disk.ServiceModel{})
 	ids := make([]policy.PageID, pages)
 	committed := make([]uint64, pages) // guarded by owner goroutine, read after Wait
@@ -52,13 +74,39 @@ func TestChaosFaultStorm(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	poison := ids[0]
-	d.SetFaults(disk.NewFaultPlan(seed,
-		disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{poison}},
-		disk.FaultRule{Probability: 0.05},
-	))
+	// tripTarget is fetched only during the blackout, to drive consecutive
+	// failures onto one stripe; it never becomes resident.
+	tripTarget := d.Allocate()
+	preload := uint64(pages) // writes on disk before the storm starts
 
-	p := NewWithConfig(d, frames, core.NewShardedReplacer(8, 2, core.Options{}), Config{Shards: 16})
+	poison := ids[0]
+	d.SetFaults(stormPlan(seed, poison))
+
+	p := NewWithConfig(d, frames, core.NewShardedReplacer(8, 2, core.Options{}), Config{
+		Shards: 16,
+		Retry: RetryConfig{
+			Attempts:  3,
+			BaseDelay: 20 * time.Microsecond,
+			MaxDelay:  100 * time.Microsecond,
+			Seed:      seed,
+		},
+		Breaker: BreakerConfig{
+			Threshold: 8,
+			Cooldown:  2 * time.Millisecond,
+			Probes:    2,
+		},
+		WriterInterval: time.Millisecond,
+	})
+	p.Start()
+
+	expectedErr := func(err error) bool {
+		return errors.Is(err, disk.ErrInjectedFault) ||
+			errors.Is(err, ErrNoFreeFrame) ||
+			errors.Is(err, ErrDiskUnavailable) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -66,6 +114,29 @@ func TestChaosFaultStorm(t *testing.T) {
 			defer wg.Done()
 			rng := stats.NewRNG(seed + uint64(g))
 			for op := 0; op < opsPerG; op++ {
+				if g == 0 && op == opsPerG/2 {
+					// Mid-storm blackout: every disk operation fails until the
+					// breaker on tripTarget's stripe opens, then the storm
+					// resumes at its usual 5%.
+					d.SetFaults(disk.NewFaultPlan(seed, disk.FaultRule{}))
+					tripped := false
+					for i := 0; i < 10000; i++ {
+						_, err := p.Fetch(tripTarget)
+						if err == nil {
+							t.Error("fetch succeeded during total blackout")
+							break
+						}
+						if errors.Is(err, ErrDiskUnavailable) {
+							tripped = true
+							break
+						}
+					}
+					if !tripped {
+						t.Error("breaker did not trip during the blackout")
+					}
+					d.SetFaults(stormPlan(seed+1, poison))
+					continue
+				}
 				i := rng.Intn(pages)
 				id := ids[i]
 				own := i%goroutines == g
@@ -75,11 +146,26 @@ func TestChaosFaultStorm(t *testing.T) {
 					_ = p.FlushPage(id)
 					continue
 				}
-				pg, err := p.Fetch(id)
+				// A slice of fetches carries a context that is already dead or
+				// about to die, driving the abandon and early-reject paths.
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				switch rng.Intn(16) {
+				case 0:
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+				case 1:
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				pg, err := p.FetchCtx(ctx, id)
+				if cancel != nil {
+					cancel()
+				}
 				if err != nil {
-					// Injected faults and exhausted sweeps are expected storm
-					// casualties; anything else is a pool bug.
-					if !errors.Is(err, disk.ErrInjectedFault) && !errors.Is(err, ErrNoFreeFrame) {
+					// Injected faults, exhausted sweeps, open circuits, and
+					// expired contexts are expected storm casualties; anything
+					// else is a pool bug.
+					if !expectedErr(err) {
 						t.Errorf("goroutine %d: fetch %d: %v", g, id, err)
 					}
 					continue
@@ -99,13 +185,21 @@ func TestChaosFaultStorm(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Storm over: clear the plan and verify the pool survived it intact.
+	// Storm over: heal the disk. Circuits may still be open, so recovery is
+	// a poll — half-open probes re-admit traffic, then a full flush goes
+	// through and the quarantine (drained concurrently by the background
+	// writer) empties.
 	d.SetFaults(nil)
-	if err := p.FlushAll(); err != nil {
-		t.Fatalf("FlushAll after the storm: %v", err)
-	}
-	if got := p.Quarantined(); got != 0 {
-		t.Errorf("Quarantined = %d after recovery flush, want 0", got)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := p.FlushAll()
+		if err == nil && p.Quarantined() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool did not recover after the storm: flush err %v, quarantined %d", err, p.Quarantined())
+		}
+		time.Sleep(time.Millisecond)
 	}
 	free, tabled := frameAccounting(p)
 	if free+tabled != p.NumFrames() {
@@ -127,23 +221,35 @@ func TestChaosFaultStorm(t *testing.T) {
 		}
 	}
 
-	// Counter reconciliation against the disk's own ledger.
-	if s.ReadErrors != ds.ReadFaults {
-		t.Errorf("pool counted %d read errors, disk injected %d read faults", s.ReadErrors, ds.ReadFaults)
+	// Counter reconciliation against the disk's own ledger: every injected
+	// fault was either retried or counted as a logical failure, exactly once.
+	if s.ReadRetries+s.ReadErrors != ds.ReadFaults {
+		t.Errorf("pool counted %d read retries + %d read errors, disk injected %d read faults",
+			s.ReadRetries, s.ReadErrors, ds.ReadFaults)
 	}
-	if s.WriteErrors != ds.WriteFaults {
-		t.Errorf("pool counted %d write errors, disk injected %d write faults", s.WriteErrors, ds.WriteFaults)
+	if s.WriteRetries+s.WriteErrors != ds.WriteFaults {
+		t.Errorf("pool counted %d write retries + %d write errors, disk injected %d write faults",
+			s.WriteRetries, s.WriteErrors, ds.WriteFaults)
 	}
-	// Every disk read is a miss that neither coalesced nor faulted (the
-	// trace allocates pages directly, so there are no new-page misses).
-	if want := s.Misses - s.Coalesced - s.ReadErrors; ds.Reads != want {
-		t.Errorf("disk reads = %d, want misses-coalesced-readErrors = %d", ds.Reads, want)
+	// Every disk read is a miss that neither coalesced, failed, nor was
+	// refused by the breaker (the trace allocates pages directly, so there
+	// are no new-page misses).
+	if want := s.Misses - s.Coalesced - s.ReadErrors - s.ReadsRejected; ds.Reads != want {
+		t.Errorf("disk reads = %d, want misses-coalesced-readErrors-readsRejected = %d", ds.Reads, want)
 	}
 	// Every disk write beyond the trace's preload is a successful write-back.
-	if want := uint64(pages) + s.WriteBacks; ds.Writes != want {
+	if want := preload + s.WriteBacks; ds.Writes != want {
 		t.Errorf("disk writes = %d, want preload+writeBacks = %d", ds.Writes, want)
 	}
-	if s.Hits == 0 || s.Misses == 0 || s.WriteErrors == 0 || s.ReadErrors == 0 || s.WriteBacks == 0 {
+	if s.BreakerTrips == 0 {
+		t.Error("blackout did not trip the breaker")
+	}
+	if s.Hits == 0 || s.Misses == 0 || s.WriteErrors == 0 || s.ReadErrors == 0 ||
+		s.WriteBacks == 0 || s.ReadRetries == 0 || s.ReadsRejected == 0 {
 		t.Errorf("storm did not exercise all paths: %+v", s)
+	}
+
+	if err := p.Close(); err != nil {
+		t.Errorf("Close after recovery: %v", err)
 	}
 }

@@ -1,0 +1,166 @@
+package bufferpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/policy"
+	"repro/internal/stats"
+)
+
+// This file wraps the pool's disk reads and writes in transient-fault
+// retry with capped exponential backoff and deterministic seeded jitter,
+// layered under the circuit breaker: every attempt asks the breaker for
+// admission and reports its outcome, and every backoff sleep is charged
+// against the caller's context, so a deadline bounds the whole retry
+// ladder rather than each rung.
+
+// RetryConfig tunes transient-fault retry for pool↔disk operations.
+type RetryConfig struct {
+	// Attempts is the maximum number of disk attempts per logical read or
+	// write, the first included. Zero or one disables retry.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles after
+	// each subsequent failure. Zero selects 200µs.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero selects 5ms.
+	MaxDelay time.Duration
+	// Seed seeds the deterministic jitter stream: a single-threaded
+	// operation sequence backs off identically on every run; under
+	// concurrency the jitter stream is still the seeded one, assigned to
+	// retries in arrival order.
+	Seed uint64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Attempts < 1 {
+		c.Attempts = 1
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 200 * time.Microsecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay < c.BaseDelay {
+		c.MaxDelay = c.BaseDelay
+	}
+	return c
+}
+
+// retrier computes jittered backoff delays from one seeded stream.
+type retrier struct {
+	cfg RetryConfig
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+func newRetrier(cfg RetryConfig) *retrier {
+	cfg = cfg.withDefaults()
+	return &retrier{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// backoff returns the delay after the attempt-th failed attempt (1-based):
+// the full delay d = min(MaxDelay, BaseDelay·2^(attempt-1)), jittered
+// uniformly into [d/2, d] ("equal jitter") from the seeded stream, so
+// coalescing retriers spread out instead of thundering back together.
+func (r *retrier) backoff(attempt int) time.Duration {
+	d := r.cfg.MaxDelay
+	if attempt-1 < 32 { // past 2^32 the shift alone exceeds any sane cap
+		if shifted := r.cfg.BaseDelay << (attempt - 1); shifted > 0 && shifted < d {
+			d = shifted
+		}
+	}
+	half := d / 2
+	r.mu.Lock()
+	j := time.Duration(r.rng.Uint64n(uint64(d-half) + 1))
+	r.mu.Unlock()
+	return half + j
+}
+
+// retrySleep parks for the attempt's backoff, charged against ctx: an
+// expiring context aborts the sleep (and with it the retry ladder).
+func (p *Pool) retrySleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.retry.backoff(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// readPage reads page id from disk through the breaker and the retry
+// ladder. Transient failures are retried up to the configured attempts
+// with backoff charged against ctx; permanent errors and breaker refusals
+// return immediately. Each retried attempt counts once in ReadRetries.
+func (p *Pool) readPage(ctx context.Context, id policy.PageID, buf []byte) error {
+	stripe := p.disk.StripeOf(id)
+	sh := p.shardOf(id)
+	for attempt := 1; ; attempt++ {
+		if !p.breaker.allow(stripe) {
+			return fmt.Errorf("read page %d: %w", id, ErrDiskUnavailable)
+		}
+		err := p.disk.Read(id, buf)
+		p.breaker.record(stripe, err == nil)
+		if err == nil {
+			return nil
+		}
+		if !disk.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
+			return err
+		}
+		if serr := p.retrySleep(ctx, attempt); serr != nil {
+			return fmt.Errorf("%w (retry abandoned: %w)", err, serr)
+		}
+		sh.readRetries.Add(1)
+	}
+}
+
+// writePage writes page id to disk through the breaker and the retry
+// ladder, mirroring readPage. Each retried attempt counts once in
+// WriteRetries.
+func (p *Pool) writePage(ctx context.Context, id policy.PageID, buf []byte) error {
+	stripe := p.disk.StripeOf(id)
+	sh := p.shardOf(id)
+	for attempt := 1; ; attempt++ {
+		if !p.breaker.allow(stripe) {
+			return fmt.Errorf("write page %d: %w", id, ErrDiskUnavailable)
+		}
+		err := p.disk.Write(id, buf)
+		p.breaker.record(stripe, err == nil)
+		if err == nil {
+			return nil
+		}
+		if !disk.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
+			return err
+		}
+		if serr := p.retrySleep(ctx, attempt); serr != nil {
+			return fmt.Errorf("%w (retry abandoned: %w)", err, serr)
+		}
+		sh.writeRetries.Add(1)
+	}
+}
+
+// countReadFailure files a failed logical read in the right ledger: a
+// breaker refusal (no disk attempt was made) counts in ReadsRejected,
+// anything else in ReadErrors. Write failures mirror it.
+func (sh *shard) countReadFailure(err error) {
+	if errors.Is(err, ErrDiskUnavailable) {
+		sh.readsRejected.Add(1)
+	} else {
+		sh.readErrors.Add(1)
+	}
+}
+
+func (sh *shard) countWriteFailure(err error) {
+	if errors.Is(err, ErrDiskUnavailable) {
+		sh.writesRejected.Add(1)
+	} else {
+		sh.writeErrors.Add(1)
+	}
+}

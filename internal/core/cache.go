@@ -274,8 +274,11 @@ var ErrNoClock = errors.New("core: janitor requires a wall-clock cache (CacheOpt
 // for a wall-clock cache: a goroutine that advances every shard's clock
 // each interval so retained history blocks past their Retained Information
 // Period are purged even while the cache is idle. It returns a stop
-// function; stopping is idempotent. Logical-clock caches purge inline with
-// traffic and return ErrNoClock.
+// function; stopping is idempotent, and stop does not return until the
+// janitor goroutine has exited — after stop returns, no janitor sweep is
+// running or will run, so callers can tear down the cache's dependencies
+// safely. Logical-clock caches purge inline with traffic and return
+// ErrNoClock.
 func (c *Cache[K, V]) StartJanitor(interval time.Duration) (stop func(), err error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("core: janitor interval must be positive, got %v", interval)
@@ -284,8 +287,10 @@ func (c *Cache[K, V]) StartJanitor(interval time.Duration) (stop func(), err err
 		return nil, ErrNoClock
 	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	var once sync.Once
 	go func() {
+		defer close(exited)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
@@ -302,7 +307,10 @@ func (c *Cache[K, V]) StartJanitor(interval time.Duration) (stop func(), err err
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(done) }) }, nil
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}, nil
 }
 
 // Stats returns cumulative hit/miss/eviction counters.

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/policy"
+)
+
+// TestJanitorStopWaitsForGoroutineExit: the stop function must not return
+// until the janitor goroutine has exited, so a caller tearing down the
+// cache's dependencies (db.Close stopping the janitor before closing the
+// pool) cannot race a final sweep. The leak check fails the test if any
+// janitor goroutine survives the stops below.
+func TestJanitorStopWaitsForGoroutineExit(t *testing.T) {
+	leakcheck.Check(t)
+	c, err := NewStringCache[int](8, CacheOptions{
+		Shards: 1,
+		Clock:  func() policy.Tick { return policy.Tick(time.Now().UnixMilli()) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		stop, err := c.StartJanitor(time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Put("k", i)
+		stop()
+		stop() // idempotent, and still waits for the exit
+	}
+}

@@ -7,16 +7,25 @@
 package db
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/heapfile"
+	"repro/internal/policy"
 	"repro/internal/stats"
 )
+
+// ErrClosed reports an operation on a database after Close.
+var ErrClosed = errors.New("db: database is closed")
 
 // Config sizes the database instance.
 type Config struct {
@@ -42,6 +51,24 @@ type Config struct {
 	// shaped runs leave it nil. The plan can also be swapped at runtime
 	// via SetDiskFaults.
 	DiskFaults *disk.FaultPlan
+	// DiskRetry tunes the pool's transient-fault retry for disk reads and
+	// writes. The zero value disables retry (single attempt).
+	DiskRetry bufferpool.RetryConfig
+	// DiskBreaker tunes the pool's per-stripe disk circuit breaker. The
+	// zero value disables it.
+	DiskBreaker bufferpool.BreakerConfig
+	// WriterInterval is the pool background writer's base park interval
+	// between quarantine drain rounds. Zero selects the pool default.
+	WriterInterval time.Duration
+	// RecordCacheSize, when positive, puts an in-memory LRU-K record cache
+	// in front of Lookup, sized in records. Zero (the default) disables it,
+	// keeping every lookup on the paper's I, R page-reference pattern.
+	RecordCacheSize int
+	// RecordCacheJanitor, when positive, runs the record cache on a
+	// wall-clock (the paper's §2.1.3 canonical CRP/RIP apply) and launches
+	// its janitor at this interval; db.Close stops it. Requires
+	// RecordCacheSize > 0.
+	RecordCacheJanitor time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +89,17 @@ type DB struct {
 	customers *heapfile.File
 	index     *btree.Tree
 	rids      map[int64]heapfile.RID // loader's check table, not an access path
+
+	// recCache, when enabled, answers repeat Lookups without touching the
+	// pool; janitorStop tears down its background sweeper.
+	recCache    *core.Cache[int64, []byte]
+	janitorStop func()
+
+	// closed fences public operations after Close; closeMu serialises Close
+	// itself and guards closeErr for idempotent replay.
+	closed   atomic.Bool
+	closeMu  sync.Mutex
+	closeErr error
 }
 
 // Open creates an empty database.
@@ -79,31 +117,91 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.PoolShards < 0 || cfg.PoolShards&(cfg.PoolShards-1) != 0 {
 		return nil, fmt.Errorf("db: pool shard count must be zero or a power of two, got %d", cfg.PoolShards)
 	}
+	if cfg.RecordCacheJanitor > 0 && cfg.RecordCacheSize <= 0 {
+		return nil, fmt.Errorf("db: record cache janitor requires a record cache (RecordCacheSize > 0)")
+	}
 	d := disk.NewManager(disk.ServiceModel{})
 	if cfg.DiskFaults != nil {
 		d.SetFaults(cfg.DiskFaults)
 	}
 	pool := bufferpool.NewWithConfig(d, cfg.Frames,
 		core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions),
-		bufferpool.Config{Shards: cfg.PoolShards})
+		bufferpool.Config{
+			Shards:         cfg.PoolShards,
+			Retry:          cfg.DiskRetry,
+			Breaker:        cfg.DiskBreaker,
+			WriterInterval: cfg.WriterInterval,
+		})
 	file := heapfile.New(pool)
 	idx, err := btree.New(pool)
 	if err != nil {
 		return nil, fmt.Errorf("db: creating index: %w", err)
 	}
-	return &DB{
+	db := &DB{
 		cfg:       cfg,
 		disk:      d,
 		pool:      pool,
 		customers: file,
 		index:     idx,
 		rids:      make(map[int64]heapfile.RID),
-	}, nil
+	}
+	if cfg.RecordCacheSize > 0 {
+		opts := core.CacheOptions{K: cfg.K}
+		if cfg.RecordCacheSize < 16 {
+			// The cache refuses fewer entries than shards; a small cache
+			// runs unsharded (strict global LRU-K ordering).
+			opts.Shards = 1
+		}
+		if cfg.RecordCacheJanitor > 0 {
+			// Wall-clock cache with the paper's canonical §2.1.3 periods:
+			// 5-second Correlated Reference Period, 200-second Retained
+			// Information Period, in milliseconds.
+			opts.Clock = func() policy.Tick { return policy.Tick(time.Now().UnixMilli()) }
+			opts.CorrelatedReferencePeriod = 5_000
+			opts.RetainedInformationPeriod = 200_000
+		}
+		rc, cerr := core.NewIntCache[[]byte](cfg.RecordCacheSize, opts)
+		if cerr != nil {
+			return nil, fmt.Errorf("db: creating record cache: %w", cerr)
+		}
+		db.recCache = rc
+		if cfg.RecordCacheJanitor > 0 {
+			stop, jerr := rc.StartJanitor(cfg.RecordCacheJanitor)
+			if jerr != nil {
+				return nil, fmt.Errorf("db: starting record cache janitor: %w", jerr)
+			}
+			db.janitorStop = stop
+		}
+	}
+	pool.Start()
+	return db, nil
+}
+
+// Close stops the database's background work (the pool's writer, the
+// record cache janitor), flushes every dirty page, and fences further
+// operations behind ErrClosed. It is idempotent: repeated calls return the
+// first call's flush result without repeating the work.
+func (db *DB) Close() error {
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	if db.closed.Load() {
+		return db.closeErr
+	}
+	db.closed.Store(true)
+	if db.janitorStop != nil {
+		db.janitorStop() // returns only after the janitor goroutine exits
+		db.janitorStop = nil
+	}
+	db.closeErr = db.pool.Close()
+	return db.closeErr
 }
 
 // LoadCustomers bulk-loads n customer records keyed 0..n-1. Each record
 // begins with its CUST-ID (8 bytes little-endian) followed by filler.
 func (db *DB) LoadCustomers(n int) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if n <= 0 {
 		return fmt.Errorf("db: customer count must be positive, got %d", n)
 	}
@@ -123,8 +221,20 @@ func (db *DB) LoadCustomers(n int) error {
 }
 
 // Lookup retrieves the customer record through the index — the I, R
-// reference pair of Example 1.1.
+// reference pair of Example 1.1. With a record cache configured, a cache
+// hit answers from memory without touching the pool; either way the caller
+// receives its own copy of the record.
 func (db *DB) Lookup(custID int64) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if db.recCache != nil {
+		if rec, ok := db.recCache.Get(custID); ok {
+			out := make([]byte, len(rec))
+			copy(out, rec)
+			return out, nil
+		}
+	}
 	rid, ok, err := db.index.Get(custID)
 	if err != nil {
 		return nil, fmt.Errorf("db: lookup %d: %w", custID, err)
@@ -132,7 +242,17 @@ func (db *DB) Lookup(custID int64) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("db: customer %d not found", custID)
 	}
-	return db.customers.Get(rid)
+	rec, err := db.customers.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	if db.recCache != nil {
+		// Cache a private copy: the caller owns rec and may scribble on it.
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		db.recCache.Put(custID, cp)
+	}
+	return rec, nil
 }
 
 // UpdateCustomer overwrites the filler of a customer record in place (a
@@ -140,6 +260,14 @@ func (db *DB) Lookup(custID int64) ([]byte, error) {
 // correlated reference pair of §2.1.1: the record page is referenced once
 // by Lookup and again by the write.
 func (db *DB) UpdateCustomer(custID int64, fill byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.recCache != nil {
+		// Invalidate up front: even a failed update may have altered the
+		// page, and a stale cached record would outlive it.
+		db.recCache.Delete(custID)
+	}
 	rid, ok, err := db.index.Get(custID)
 	if err != nil {
 		return fmt.Errorf("db: update %d: %w", custID, err)
@@ -160,6 +288,9 @@ func (db *DB) UpdateCustomer(custID int64, fill byte) error {
 // ScanCustomers sequentially scans the whole customer file (Example 1.2's
 // batch scan) and returns the number of records seen.
 func (db *DB) ScanCustomers() (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
 	n := 0
 	err := db.customers.Scan(func(heapfile.RID, []byte) bool {
 		n++
@@ -175,7 +306,35 @@ func (db *DB) SetDiskFaults(p *disk.FaultPlan) { db.disk.SetFaults(p) }
 
 // FlushAll writes every dirty resident page back to disk, visiting every
 // page even when some write-backs fail and returning the failures joined.
-func (db *DB) FlushAll() error { return db.pool.FlushAll() }
+func (db *DB) FlushAll() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.pool.FlushAll()
+}
+
+// FlushAllCtx is FlushAll charged against ctx: write-backs and their retry
+// backoff observe the deadline, and an expired context ends the sweep
+// early.
+func (db *DB) FlushAllCtx(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.pool.FlushAllCtx(ctx)
+}
+
+// RecordCacheStats returns the record cache's counters; the zero value
+// when no record cache is configured.
+func (db *DB) RecordCacheStats() core.CacheStats {
+	if db.recCache == nil {
+		return core.CacheStats{}
+	}
+	return db.recCache.Stats()
+}
+
+// PoolQuarantined returns the number of pages whose most recent write-back
+// failed and that await the background writer's retry.
+func (db *DB) PoolQuarantined() int { return db.pool.Quarantined() }
 
 // PoolStats returns the buffer-pool counters.
 func (db *DB) PoolStats() bufferpool.Stats { return db.pool.Stats() }
@@ -232,6 +391,7 @@ func RunExample11(cfg Config, customers, lookups int, seed uint64) (Example11Res
 	if err != nil {
 		return Example11Result{}, err
 	}
+	defer db.Close()
 	if err := db.LoadCustomers(customers); err != nil {
 		return Example11Result{}, err
 	}

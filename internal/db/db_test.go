@@ -27,8 +27,14 @@ func TestOpenValidation(t *testing.T) {
 			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
 		}
 	}
-	if _, err := Open(Config{Frames: 10}); err != nil {
+	db, err := Open(Config{Frames: 10})
+	if err != nil {
 		t.Errorf("default config rejected: %v", err)
+	} else {
+		db.Close()
+	}
+	if _, err := Open(Config{Frames: 10, RecordCacheJanitor: 1}); err == nil {
+		t.Error("janitor without a record cache accepted")
 	}
 }
 
@@ -37,6 +43,7 @@ func TestLoadAndLookup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	const n = 500
 	if err := db.LoadCustomers(n); err != nil {
 		t.Fatal(err)
@@ -70,6 +77,7 @@ func TestPageGeometryMatchesPaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	const n = 2000
 	if err := db.LoadCustomers(n); err != nil {
 		t.Fatal(err)
@@ -94,6 +102,7 @@ func TestUpdateCustomer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	if err := db.LoadCustomers(100); err != nil {
 		t.Fatal(err)
 	}
@@ -120,6 +129,7 @@ func TestScanCustomers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	if err := db.LoadCustomers(300); err != nil {
 		t.Fatal(err)
 	}
@@ -174,6 +184,7 @@ func TestConcurrentLookups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	if err := db.LoadCustomers(customers); err != nil {
 		t.Fatal(err)
 	}
@@ -218,6 +229,7 @@ func TestDiskFaultsSurfaceAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	if err := db.LoadCustomers(customers); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,253 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bufferpool"
+	"repro/internal/disk"
+	"repro/internal/leakcheck"
+)
+
+// TestCloseIdempotentAndFenced: Close flushes, stops background work, and
+// fences the public API behind ErrClosed; calling it again replays the
+// first result.
+func TestCloseIdempotentAndFenced(t *testing.T) {
+	leakcheck.Check(t)
+	d, err := Open(Config{Frames: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadCustomers(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := d.Lookup(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("Lookup after Close = %v, want ErrClosed", err)
+	}
+	if err := d.UpdateCustomer(3, 0xAB); !errors.Is(err, ErrClosed) {
+		t.Errorf("UpdateCustomer after Close = %v, want ErrClosed", err)
+	}
+	if _, err := d.ScanCustomers(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ScanCustomers after Close = %v, want ErrClosed", err)
+	}
+	if err := d.LoadCustomers(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("LoadCustomers after Close = %v, want ErrClosed", err)
+	}
+	if err := d.FlushAll(); !errors.Is(err, ErrClosed) {
+		t.Errorf("FlushAll after Close = %v, want ErrClosed", err)
+	}
+	if err := d.FlushAllCtx(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("FlushAllCtx after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseStopsJanitorAndWriter: a database with every background worker
+// enabled must leave no goroutine behind after Close (the leak check
+// enforces it).
+func TestCloseStopsJanitorAndWriter(t *testing.T) {
+	leakcheck.Check(t)
+	d, err := Open(Config{
+		Frames:             32,
+		RecordCacheSize:    16,
+		RecordCacheJanitor: time.Millisecond,
+		WriterInterval:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadCustomers(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if _, err := d.Lookup(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRecordCacheServesAndInvalidates: with the record cache on, a repeat
+// lookup is served from memory (no extra pool traffic), and an update
+// invalidates the cached copy.
+func TestRecordCacheServesAndInvalidates(t *testing.T) {
+	d, err := Open(Config{Frames: 32, RecordCacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadCustomers(4); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := d.Lookup(2) // miss: populates the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[9] = 0xFF // caller scribbling on its copy must not poison the cache
+
+	poolOps := d.PoolStats()
+	again, err := d.Lookup(2) // hit: memory only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[9] == 0xFF {
+		t.Error("record cache returned the caller's scribbled-on buffer, not a copy")
+	}
+	after := d.PoolStats()
+	if after.Hits != poolOps.Hits || after.Misses != poolOps.Misses {
+		t.Errorf("cached lookup touched the pool: %+v -> %+v", poolOps, after)
+	}
+	if s := d.RecordCacheStats(); s.Hits != 1 {
+		t.Errorf("RecordCacheStats.Hits = %d, want 1", s.Hits)
+	}
+
+	if err := d.UpdateCustomer(2, 0x7E); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Lookup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[9] != 0x7E {
+		t.Errorf("lookup after update = %#x, want the updated fill 0x7e (stale cache?)", got[9])
+	}
+}
+
+// TestFlushAllCtxHonoursDeadline: an expired context ends the flush sweep
+// with its error instead of sweeping on.
+func TestFlushAllCtxHonoursDeadline(t *testing.T) {
+	d, err := Open(Config{Frames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadCustomers(50); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.FlushAllCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("FlushAllCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := d.FlushAllCtx(context.Background()); err != nil {
+		t.Errorf("FlushAllCtx with live ctx: %v", err)
+	}
+}
+
+// TestDBRetryAndBreakerWiring: the db config reaches the pool — transient
+// faults are absorbed by retry, and a blacked-out disk trips the breaker
+// so lookups fail fast with ErrDiskUnavailable until it heals.
+func TestDBRetryAndBreakerWiring(t *testing.T) {
+	leakcheck.Check(t)
+	d, err := Open(Config{
+		Frames: 16,
+		DiskRetry: bufferpool.RetryConfig{
+			Attempts:  3,
+			BaseDelay: 20 * time.Microsecond,
+			MaxDelay:  100 * time.Microsecond,
+			Seed:      9,
+		},
+		DiskBreaker: bufferpool.BreakerConfig{
+			Threshold: 4,
+			Cooldown:  5 * time.Millisecond,
+			Probes:    1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadCustomers(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bounded burst of transient read faults: retry rides it out.
+	d.SetDiskFaults(disk.NewFaultPlan(3, disk.FaultRule{Op: disk.OpRead, Count: 2}))
+	for i := int64(0); i < 64; i++ {
+		if _, err := d.Lookup(i); err != nil {
+			t.Fatalf("lookup %d failed despite retry: %v", i, err)
+		}
+	}
+	if s := d.PoolStats(); s.ReadRetries == 0 {
+		t.Error("transient faults were not retried")
+	}
+
+	// Total blackout: enough consecutive failures trip the breaker and
+	// lookups start failing fast.
+	d.SetDiskFaults(disk.NewFaultPlan(4, disk.FaultRule{}))
+	tripped := false
+	for i := 0; i < 10000 && !tripped; i++ {
+		_, err := d.Lookup(int64(i % 64))
+		if err == nil {
+			continue // buffer hit: unaffected by the outage, as designed
+		}
+		if errors.Is(err, bufferpool.ErrDiskUnavailable) {
+			tripped = true
+		} else if !errors.Is(err, disk.ErrInjectedFault) {
+			t.Fatalf("unexpected blackout error: %v", err)
+		}
+	}
+	if !tripped {
+		t.Fatal("breaker never tripped during the blackout")
+	}
+	if s := d.PoolStats(); s.BreakerTrips == 0 || s.ReadsRejected == 0 {
+		t.Errorf("breaker counters not reflected in stats: %+v", s)
+	}
+
+	// Heal: after the cooldown, probes close the circuit and every lookup
+	// succeeds again.
+	d.SetDiskFaults(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for i := int64(0); i < 64; i++ {
+		if _, err := d.Lookup(i); err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("lookup %d still failing long after heal: %v", i, err)
+			}
+			time.Sleep(time.Millisecond)
+			i-- // retry this customer until its stripe's circuit closes
+		}
+	}
+}
+
+// TestQuarantineDrainsThroughDB: a write-back fault quarantines a page;
+// the pool's background writer (started by Open) drains it without any
+// explicit flush.
+func TestQuarantineDrainsThroughDB(t *testing.T) {
+	leakcheck.Check(t)
+	d, err := Open(Config{Frames: 4, WriterInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadCustomers(16); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly three write faults on any page: eviction pressure from the
+	// updates below quarantines some victims; the writer then drains them.
+	d.SetDiskFaults(disk.NewFaultPlan(5, disk.FaultRule{Op: disk.OpWrite, Count: 3}))
+	for i := int64(0); i < 16; i++ {
+		if err := d.UpdateCustomer(i, byte(i)); err != nil && !errors.Is(err, disk.ErrInjectedFault) {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	d.SetDiskFaults(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.PoolQuarantined() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine never drained; still %d", d.PoolQuarantined())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -119,12 +119,22 @@ func NewManager(model ServiceModel) *Manager {
 }
 
 func (m *Manager) stripe(p policy.PageID) *stripe {
+	return &m.stripes[m.StripeOf(p)]
+}
+
+// StripeOf returns the index of the page-store partition holding page p,
+// in [0, NumStripes). Callers that track per-device-region health (e.g. a
+// circuit breaker per stripe) key their state by it.
+func (m *Manager) StripeOf(p policy.PageID) int {
 	// SplitMix64 finaliser: adjacent page ids land on different stripes.
 	z := uint64(p) + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &m.stripes[(z^(z>>31))&(numStripes-1)]
+	return int((z ^ (z >> 31)) & (numStripes - 1))
 }
+
+// NumStripes returns the number of page-store partitions.
+func (m *Manager) NumStripes() int { return numStripes }
 
 // Allocate reserves a fresh zeroed page and returns its id.
 func (m *Manager) Allocate() policy.PageID {

@@ -1,0 +1,72 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestIsTransient(t *testing.T) {
+	permanent := errors.New("disk: head crash")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected fault", ErrInjectedFault, true},
+		{"wrapped injected fault", fmt.Errorf("read page 7: %w", ErrInjectedFault), true},
+		{"page not allocated", ErrPageNotAllocated, false},
+		{"unknown error", permanent, false},
+		{"marked transient", MarkTransient(permanent), true},
+		{"wrapped marked transient", fmt.Errorf("write page 3: %w", MarkTransient(permanent)), true},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMarkTransientNil(t *testing.T) {
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+}
+
+// TestMarkTransientUnwraps: marking must not hide the underlying error from
+// errors.Is, so callers can both retry on transience and still match the
+// root cause.
+func TestMarkTransientUnwraps(t *testing.T) {
+	base := errors.New("scsi: bus reset")
+	err := MarkTransient(base)
+	if !errors.Is(err, base) {
+		t.Error("marked error does not unwrap to its cause")
+	}
+	if err.Error() != base.Error() {
+		t.Errorf("marked error message %q, want %q", err.Error(), base.Error())
+	}
+}
+
+func TestStripeOf(t *testing.T) {
+	m := NewManager(ServiceModel{})
+	if m.NumStripes() != numStripes {
+		t.Fatalf("NumStripes = %d, want %d", m.NumStripes(), numStripes)
+	}
+	seen := make(map[int]bool)
+	for p := 0; p < 4096; p++ {
+		idx := m.StripeOf(policy.PageID(p))
+		if idx < 0 || idx >= numStripes {
+			t.Fatalf("StripeOf(%d) = %d, outside [0, %d)", p, idx, numStripes)
+		}
+		seen[idx] = true
+		if got := m.stripe(policy.PageID(p)); got != &m.stripes[idx] {
+			t.Fatalf("stripe(%d) disagrees with StripeOf", p)
+		}
+	}
+	if len(seen) != numStripes {
+		t.Errorf("4096 sequential pages hit only %d/%d stripes", len(seen), numStripes)
+	}
+}

@@ -1,0 +1,43 @@
+// Package leakcheck fails a test that leaves goroutines behind. It is a
+// dependency-free sanity net for lifecycle code (background writers,
+// janitors, coalesced-load loaders): snapshot the goroutine count when the
+// test starts, and at cleanup poll until the count returns to the baseline
+// or a grace period expires, then fail with a full stack dump.
+//
+// The count-based check is deliberately coarse — it cannot name the leaked
+// goroutine — but it needs no runtime introspection beyond the standard
+// library and is immune to goroutine-identity churn from the testing
+// framework itself. The grace period absorbs goroutines that are mid-exit
+// when the test body returns (timer callbacks, closing channels).
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails t if, within the grace period, the count has not returned to the
+// baseline. Call it first in any test that starts background goroutines.
+func Check(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines at cleanup, want <= %d; stacks:\n%s", n, base, buf)
+	})
+}

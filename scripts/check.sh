@@ -16,7 +16,7 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
-go test ./...
+go test -timeout 300s ./...
 echo "== go test -race ./..."
-go test -race ./...
+go test -race -timeout 600s ./...
 echo "OK"
