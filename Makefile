@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool tables chaos check
+.PHONY: all build test race vet fmt-check bench bench-pool tables chaos serve-smoke check
 
 all: check
 
@@ -47,4 +47,10 @@ chaos:
 	$(GO) vet ./internal/bufferpool/
 	$(GO) test -race -count=1 -timeout 300s -run TestChaosFaultStorm -v ./internal/bufferpool/
 
-check: fmt-check build vet test race
+## serve-smoke: boot the lrukd daemon on a random port, drive a load burst
+## through the wire protocol, check the hit ratio, and verify a clean
+## SIGTERM drain (DESIGN.md §11).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+check: fmt-check build vet test race serve-smoke

@@ -1,0 +1,134 @@
+// Command lrukd is the network page-service daemon: it assembles the
+// miniature customer database (LRU-K buffer pool, B-tree index, heap
+// file), loads a synthetic customer population, and serves it over the
+// wire protocol of internal/server until SIGTERM/SIGINT, then drains
+// gracefully and verifies its own shutdown leaked no goroutines.
+//
+// Usage:
+//
+//	lrukd -addr 127.0.0.1:4980 -customers 10000 -frames 404 -k 2
+//	lrukd -addr 127.0.0.1:0 ...   # free port; read it from the serving line
+//
+// On startup it prints exactly one line of the form
+//
+//	lrukd: serving on <host:port> (customers=... frames=... k=... workers=... queue=...)
+//
+// which scripts/serve_smoke.sh parses for the bound address. On a clean
+// exit it prints "lrukd: clean shutdown" and exits 0; any drain failure or
+// leaked goroutine exits 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/bufferpool"
+	"repro/internal/db"
+	"repro/internal/leakcheck"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrukd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:4980", "TCP listen address (:0 picks a free port)")
+		customers = fs.Int("customers", 10000, "customer records to load before serving")
+		frames    = fs.Int("frames", 404, "buffer pool size in pages")
+		k         = fs.Int("k", 2, "LRU-K history depth (1 = classical LRU)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "admission queue depth beyond the workers (0 = 4x workers)")
+		recCache  = fs.Int("record-cache", 0, "record cache size in records (0 = off; see DESIGN.md §11 caveat)")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful drain window on shutdown")
+		maxReq    = fs.Duration("max-request-timeout", 30*time.Second, "cap on any request's time budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Snapshot the goroutine baseline before anything is spawned, so the
+	// post-drain leak check measures only what lrukd itself started.
+	baseline := runtime.NumGoroutine()
+
+	database, err := db.Open(db.Config{
+		Frames:          *frames,
+		K:               *k,
+		RecordCacheSize: *recCache,
+		// Production-shaped fault posture: bounded transient retry and a
+		// per-stripe circuit breaker, the PR 3 machinery the server maps
+		// onto wire statuses.
+		DiskRetry: bufferpool.RetryConfig{
+			Attempts:  3,
+			BaseDelay: 500 * time.Microsecond,
+			MaxDelay:  5 * time.Millisecond,
+			Seed:      uint64(os.Getpid()),
+		},
+		DiskBreaker: bufferpool.BreakerConfig{
+			Threshold: 8,
+			Cooldown:  250 * time.Millisecond,
+			Probes:    2,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lrukd:", err)
+		return 1
+	}
+	if err := database.LoadCustomers(*customers); err != nil {
+		fmt.Fprintln(stderr, "lrukd:", err)
+		database.Close()
+		return 1
+	}
+
+	srv := server.New(database, server.Config{
+		Addr:              *addr,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DrainTimeout:      *drain,
+		MaxRequestTimeout: *maxReq,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(stderr, "lrukd:", err)
+		database.Close()
+		return 1
+	}
+	cfg := srv.Addr()
+	fmt.Fprintf(stdout, "lrukd: serving on %s (customers=%d frames=%d k=%d workers=%d queue=%d)\n",
+		cfg, *customers, *frames, *k, *workers, *queue)
+
+	<-ctx.Done()
+	fmt.Fprintln(stdout, "lrukd: draining")
+
+	code := 0
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(stderr, "lrukd: server close:", err)
+		code = 1
+	}
+	if err := database.Close(); err != nil {
+		fmt.Fprintln(stderr, "lrukd: db close:", err)
+		code = 1
+	}
+	// The drain contract: nothing we started survives shutdown. The grace
+	// period absorbs goroutines mid-exit (timers, conn teardown).
+	if err := leakcheck.Wait(baseline, 3*time.Second); err != nil {
+		fmt.Fprintln(stderr, "lrukd:", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintln(stdout, "lrukd: clean shutdown")
+	}
+	return code
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// syncBuffer lets the test read lrukd's output while run is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunServesAndDrainsCleanly is the daemon's whole life in miniature:
+// boot on a free port, answer a request, receive the shutdown signal
+// (modelled by ctx cancellation), and exit 0 having printed the clean
+// shutdown line — which includes passing its own internal leak check.
+func TestRunServesAndDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-customers", "500",
+			"-frames", "64",
+		}, &stdout, &stderr)
+	}()
+
+	// Wait for the serving line and parse the bound address from it.
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "lrukd: serving on "); ok {
+				addr = strings.Fields(rest)[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rec, err := cl.Get(context.Background(), 42)
+	if err != nil {
+		t.Fatalf("get against daemon: %v", err)
+	}
+	if len(rec) == 0 {
+		t.Fatal("daemon returned empty record")
+	}
+
+	cancel() // the test's stand-in for SIGTERM
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not exit after cancellation; stdout %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "lrukd: clean shutdown") {
+		t.Fatalf("missing clean shutdown line; stdout %q stderr %q",
+			stdout.String(), stderr.String())
+	}
+}
+
+// TestRunRejectsBadFlags exercises the usage exit path.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,218 @@
+// Command lrukload is a closed-loop load generator for lrukd: N client
+// connections each issue one request at a time (GET/UPDATE/SCAN in a
+// weighted mix) against the page service for a fixed duration, then the
+// tool fetches the server's STATS snapshot and prints a summary —
+// throughput, latency percentiles, shed/unavailable/deadline counts, and
+// the pool hit ratio.
+//
+// Usage:
+//
+//	lrukload -addr 127.0.0.1:4980 -clients 8 -duration 5s -keys 10000
+//	lrukload -addr ... -get 80 -update 20 -req-timeout 200ms
+//	lrukload -addr ... -min-hit-ratio 0.01   # exit 1 below this ratio
+//
+// Typed refusals (BUSY shed, UNAVAILABLE breaker, deadline) are counted,
+// not fatal — they are the server doing its job under load. Transport
+// errors are fatal: they mean the service broke its protocol or died.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server/client"
+	"repro/internal/stats"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// tally is one client's outcome counts plus its completed-request
+// latencies in milliseconds.
+type tally struct {
+	ok, busy, unavailable, deadline, notFound, remote uint64
+	transport                                         []error
+	latencies                                         []float64
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrukload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:4980", "lrukd address")
+		clients    = fs.Int("clients", 8, "concurrent client connections")
+		duration   = fs.Duration("duration", 2*time.Second, "run length")
+		keys       = fs.Int("keys", 10000, "customer key space [0, keys)")
+		getW       = fs.Int("get", 90, "GET weight in the op mix")
+		updateW    = fs.Int("update", 9, "UPDATE weight in the op mix")
+		scanW      = fs.Int("scan", 1, "SCAN weight in the op mix")
+		seed       = fs.Uint64("seed", 1, "RNG seed")
+		reqTimeout = fs.Duration("req-timeout", time.Second, "per-request time budget")
+		minHit     = fs.Float64("min-hit-ratio", 0, "fail unless the pool hit ratio reaches this (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *clients <= 0 || *keys <= 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "lrukload: clients, keys, and duration must be positive")
+		return 2
+	}
+	totalW := *getW + *updateW + *scanW
+	if totalW <= 0 {
+		fmt.Fprintln(stderr, "lrukload: op mix weights sum to zero")
+		return 2
+	}
+
+	tallies := make([]tally, *clients)
+	var wg sync.WaitGroup
+	end := time.Now().Add(*duration)
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tallies[i] = drive(ctx, *addr, end, *keys, *getW, *updateW, totalW, *seed+uint64(i), *reqTimeout, byte(i))
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge.
+	var sum tally
+	for _, tl := range tallies {
+		sum.ok += tl.ok
+		sum.busy += tl.busy
+		sum.unavailable += tl.unavailable
+		sum.deadline += tl.deadline
+		sum.notFound += tl.notFound
+		sum.remote += tl.remote
+		sum.transport = append(sum.transport, tl.transport...)
+		sum.latencies = append(sum.latencies, tl.latencies...)
+	}
+	ops := sum.ok + sum.busy + sum.unavailable + sum.deadline + sum.notFound + sum.remote
+
+	fmt.Fprintf(stdout, "lrukload: clients=%d duration=%v keys=%d mix get/update/scan=%d/%d/%d\n",
+		*clients, *duration, *keys, *getW, *updateW, *scanW)
+	fmt.Fprintf(stdout, "lrukload: ops=%d ok=%d busy=%d unavailable=%d deadline=%d not_found=%d remote_err=%d transport_err=%d\n",
+		ops, sum.ok, sum.busy, sum.unavailable, sum.deadline, sum.notFound, sum.remote, len(sum.transport))
+	if len(sum.latencies) > 0 {
+		fmt.Fprintf(stdout, "lrukload: throughput=%.0f ops/s latency_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+			float64(ops)/duration.Seconds(),
+			stats.Quantile(sum.latencies, 0.50),
+			stats.Quantile(sum.latencies, 0.95),
+			stats.Quantile(sum.latencies, 0.99),
+			stats.Quantile(sum.latencies, 1.0))
+	}
+	for _, err := range sum.transport {
+		fmt.Fprintln(stderr, "lrukload: transport:", err)
+	}
+
+	// One more connection for the server's own view of the run.
+	hitRatio := -1.0
+	cl, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "lrukload: stats dial:", err)
+	} else {
+		defer cl.Close()
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		reply, err := cl.Stats(sctx)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukload: stats:", err)
+		} else {
+			hitRatio = reply.DB.PoolHitRatio
+			fmt.Fprintf(stdout, "lrukload: server conns=%d requests=%d shed=%d statuses=%v\n",
+				reply.Server.Conns, reply.Server.Requests, reply.Server.Shed, reply.Server.Statuses)
+			fmt.Fprintf(stdout, "lrukload: pool hits=%d misses=%d hit_ratio=%.4f disk_reads=%d quarantined=%d\n",
+				reply.DB.Pool.Hits, reply.DB.Pool.Misses, hitRatio, reply.DB.Disk.Reads, reply.DB.Quarantined)
+		}
+	}
+
+	code := 0
+	if len(sum.transport) > 0 {
+		code = 1
+	}
+	if ops == 0 {
+		fmt.Fprintln(stderr, "lrukload: no operation completed")
+		code = 1
+	}
+	if *minHit > 0 {
+		if hitRatio < 0 {
+			fmt.Fprintln(stderr, "lrukload: hit-ratio gate set but stats unavailable")
+			code = 1
+		} else if hitRatio < *minHit {
+			fmt.Fprintf(stderr, "lrukload: pool hit ratio %.4f below required %.4f\n", hitRatio, *minHit)
+			code = 1
+		}
+	}
+	return code
+}
+
+// drive runs one closed-loop client until end (or ctx cancellation),
+// reconnecting once per transport error so a single hiccup does not idle
+// the connection's whole share of the load.
+func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte) tally {
+	var tl tally
+	rng := stats.NewRNG(seed)
+	cl, err := client.Dial(addr)
+	if err != nil {
+		tl.transport = append(tl.transport, err)
+		return tl
+	}
+	defer func() { cl.Close() }()
+	for time.Now().Before(end) && ctx.Err() == nil {
+		key := int64(rng.Intn(keys))
+		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+		began := time.Now()
+		var err error
+		switch draw := rng.Intn(totalW); {
+		case draw < getW:
+			_, err = cl.Get(rctx, key)
+		case draw < getW+updateW:
+			err = cl.Update(rctx, key, fill)
+		default:
+			_, err = cl.Scan(rctx)
+		}
+		cancel()
+		elapsed := float64(time.Since(began).Microseconds()) / 1000.0
+		var remote *client.Error
+		switch {
+		case err == nil:
+			tl.ok++
+		case errors.Is(err, client.ErrBusy):
+			tl.busy++
+		case errors.Is(err, client.ErrUnavailable):
+			tl.unavailable++
+		case errors.Is(err, context.DeadlineExceeded) && errors.As(err, &remote):
+			// Deadline refused by the server: a counted outcome.
+			tl.deadline++
+		case errors.Is(err, client.ErrNotFound):
+			tl.notFound++
+		case errors.As(err, &remote):
+			tl.remote++
+		default:
+			// Transport failure: the connection is poisoned. Record it and
+			// reconnect; repeated failures end the client.
+			tl.transport = append(tl.transport, err)
+			cl.Close()
+			cl, err = client.Dial(addr)
+			if err != nil {
+				tl.transport = append(tl.transport, err)
+				return tl
+			}
+			continue
+		}
+		tl.latencies = append(tl.latencies, elapsed)
+	}
+	return tl
+}

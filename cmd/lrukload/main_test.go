@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/leakcheck"
+	"repro/internal/server"
+)
+
+// startService boots an in-process database and page server for the load
+// generator to hit, and returns its address.
+func startService(t *testing.T, customers int) string {
+	t.Helper()
+	database, err := db.Open(db.Config{Frames: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { database.Close() })
+	if err := database.LoadCustomers(customers); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(database, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+// TestRunAgainstLiveServer drives a short mixed load and checks the
+// summary: exit 0, every op accounted for, and a hit ratio high enough to
+// clear the gate (the key space fits in the pool, so the ratio is high).
+func TestRunAgainstLiveServer(t *testing.T) {
+	leakcheck.Check(t)
+	addr := startService(t, 500)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addr", addr,
+		"-clients", "4",
+		"-duration", "300ms",
+		"-keys", "500",
+		"-min-hit-ratio", "0.01",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"lrukload: ops=", "transport_err=0", "hit_ratio="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ops=0 ") {
+		t.Fatalf("no operations completed:\n%s", out)
+	}
+}
+
+// TestRunHitRatioGateFails proves the -min-hit-ratio gate actually gates:
+// an impossible threshold must turn an otherwise clean run into exit 1.
+func TestRunHitRatioGateFails(t *testing.T) {
+	leakcheck.Check(t)
+	addr := startService(t, 200)
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addr", addr,
+		"-clients", "2",
+		"-duration", "100ms",
+		"-keys", "200",
+		"-min-hit-ratio", "1.1", // unreachable: ratios live in [0, 1]
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("unreachable gate exited %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "below required") {
+		t.Errorf("gate failure not reported: %q", stderr.String())
+	}
+}
+
+// TestRunUnreachableServer: nothing listening means every client records a
+// transport error and the run fails.
+func TestRunUnreachableServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addr", "127.0.0.1:1", // nothing listens here
+		"-clients", "1",
+		"-duration", "50ms",
+		"-keys", "10",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("unreachable server exited %d, want 1", code)
+	}
+}
+
+// TestRunRejectsBadFlags exercises the usage exit paths.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-get", "0", "-update", "0", "-scan", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("zero op mix exited %d, want 2", code)
+	}
+}

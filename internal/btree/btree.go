@@ -22,6 +22,7 @@
 package btree
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -190,9 +191,18 @@ func childFor(data []byte, k int64) policy.PageID {
 
 // Get returns the RID stored under key; ok is false if absent.
 func (t *Tree) Get(key int64) (heapfile.RID, bool, error) {
+	return t.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get charged against ctx: every node visit on the root-to-leaf
+// path is a pool FetchCtx, so an expired deadline abandons the descent
+// (including a coalesced wait on another request's in-flight read) and
+// returns the context's error. Concurrent GetCtx calls are safe once the
+// tree is loaded; Insert and Delete require external serialisation.
+func (t *Tree) GetCtx(ctx context.Context, key int64) (heapfile.RID, bool, error) {
 	id := t.root
 	for {
-		pg, err := t.pool.Fetch(id)
+		pg, err := t.pool.FetchCtx(ctx, id)
 		if err != nil {
 			return heapfile.RID{}, false, fmt.Errorf("btree get: %w", err)
 		}

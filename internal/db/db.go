@@ -27,6 +27,11 @@ import (
 // ErrClosed reports an operation on a database after Close.
 var ErrClosed = errors.New("db: database is closed")
 
+// ErrNotFound reports a lookup or update of a customer id that is not in
+// the index. It is typed so remote layers (internal/server) can map it to
+// a wire status instead of string-matching.
+var ErrNotFound = errors.New("db: customer not found")
+
 // Config sizes the database instance.
 type Config struct {
 	// Frames is the buffer pool size in pages. The paper's Example 1.1
@@ -40,6 +45,10 @@ type Config struct {
 	// RecordSize is the customer record size in bytes; the paper uses
 	// 2000, packing two records per 4 KByte page. Default 2000.
 	RecordSize int
+	// DiskModel prices (and, via its Delay hook, optionally paces) the
+	// simulated disk's operations. The zero value selects the disk's
+	// defaults (a circa-1993 device, accounting only).
+	DiskModel disk.ServiceModel
 	// PoolShards is the buffer pool's page-table latch partition count
 	// (power of two; 0 selects the pool's GOMAXPROCS-scaled default).
 	// Replacement decisions are unaffected — the replacer stays globally
@@ -120,7 +129,7 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.RecordCacheJanitor > 0 && cfg.RecordCacheSize <= 0 {
 		return nil, fmt.Errorf("db: record cache janitor requires a record cache (RecordCacheSize > 0)")
 	}
-	d := disk.NewManager(disk.ServiceModel{})
+	d := disk.NewManager(cfg.DiskModel)
 	if cfg.DiskFaults != nil {
 		d.SetFaults(cfg.DiskFaults)
 	}
@@ -225,6 +234,14 @@ func (db *DB) LoadCustomers(n int) error {
 // hit answers from memory without touching the pool; either way the caller
 // receives its own copy of the record.
 func (db *DB) Lookup(custID int64) ([]byte, error) {
+	return db.LookupCtx(context.Background(), custID)
+}
+
+// LookupCtx is Lookup charged against ctx: the index descent and the
+// record-page fetch (coalesced waits, retry backoff included) observe the
+// caller's deadline, so a server can bound a request end to end. A missing
+// id reports ErrNotFound.
+func (db *DB) LookupCtx(ctx context.Context, custID int64) ([]byte, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -235,14 +252,14 @@ func (db *DB) Lookup(custID int64) ([]byte, error) {
 			return out, nil
 		}
 	}
-	rid, ok, err := db.index.Get(custID)
+	rid, ok, err := db.index.GetCtx(ctx, custID)
 	if err != nil {
 		return nil, fmt.Errorf("db: lookup %d: %w", custID, err)
 	}
 	if !ok {
-		return nil, fmt.Errorf("db: customer %d not found", custID)
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, custID)
 	}
-	rec, err := db.customers.Get(rid)
+	rec, err := db.customers.GetCtx(ctx, rid)
 	if err != nil {
 		return nil, err
 	}
@@ -260,6 +277,11 @@ func (db *DB) Lookup(custID int64) ([]byte, error) {
 // correlated reference pair of §2.1.1: the record page is referenced once
 // by Lookup and again by the write.
 func (db *DB) UpdateCustomer(custID int64, fill byte) error {
+	return db.UpdateCustomerCtx(context.Background(), custID, fill)
+}
+
+// UpdateCustomerCtx is UpdateCustomer charged against ctx (see LookupCtx).
+func (db *DB) UpdateCustomerCtx(ctx context.Context, custID int64, fill byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -268,31 +290,37 @@ func (db *DB) UpdateCustomer(custID int64, fill byte) error {
 		// page, and a stale cached record would outlive it.
 		db.recCache.Delete(custID)
 	}
-	rid, ok, err := db.index.Get(custID)
+	rid, ok, err := db.index.GetCtx(ctx, custID)
 	if err != nil {
 		return fmt.Errorf("db: update %d: %w", custID, err)
 	}
 	if !ok {
-		return fmt.Errorf("db: customer %d not found", custID)
+		return fmt.Errorf("%w: %d", ErrNotFound, custID)
 	}
-	rec, err := db.customers.Get(rid)
+	rec, err := db.customers.GetCtx(ctx, rid)
 	if err != nil {
 		return err
 	}
 	for i := 8; i < len(rec); i++ {
 		rec[i] = fill
 	}
-	return db.customers.Update(rid, rec)
+	return db.customers.UpdateCtx(ctx, rid, rec)
 }
 
 // ScanCustomers sequentially scans the whole customer file (Example 1.2's
 // batch scan) and returns the number of records seen.
 func (db *DB) ScanCustomers() (int, error) {
+	return db.ScanCustomersCtx(context.Background())
+}
+
+// ScanCustomersCtx is ScanCustomers charged against ctx: the sweep stops
+// early when the deadline expires, reporting the context's error.
+func (db *DB) ScanCustomersCtx(ctx context.Context) (int, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
 	n := 0
-	err := db.customers.Scan(func(heapfile.RID, []byte) bool {
+	err := db.customers.ScanCtx(ctx, func(heapfile.RID, []byte) bool {
 		n++
 		return true
 	})
@@ -321,6 +349,39 @@ func (db *DB) FlushAllCtx(ctx context.Context) error {
 		return ErrClosed
 	}
 	return db.pool.FlushAllCtx(ctx)
+}
+
+// StatsSnapshot is a point-in-time aggregate of every counter the database
+// exposes — pool, disk, record cache, quarantine, and page-directory sizes
+// — in one JSON-serialisable struct. The network service serves it under
+// the STATS op; it replaces stitching together three separate getters.
+type StatsSnapshot struct {
+	Pool         bufferpool.Stats `json:"pool"`
+	PoolHitRatio float64          `json:"pool_hit_ratio"`
+	// Quarantined is the number of pages whose most recent write-back
+	// failed and that await the background writer's retry.
+	Quarantined int             `json:"quarantined"`
+	Disk        disk.Stats      `json:"disk"`
+	RecordCache core.CacheStats `json:"record_cache"`
+	IndexPages  int             `json:"index_pages"`
+	DataPages   int             `json:"data_pages"`
+}
+
+// StatsSnapshot collects the combined counter aggregate. The counters are
+// read without a global pause, so under concurrency the snapshot is
+// per-counter exact but not mutually atomic — fine for monitoring, which
+// is its job. It remains readable after Close.
+func (db *DB) StatsSnapshot() StatsSnapshot {
+	s := db.pool.Stats()
+	return StatsSnapshot{
+		Pool:         s,
+		PoolHitRatio: s.HitRatio(),
+		Quarantined:  db.pool.Quarantined(),
+		Disk:         db.disk.Stats(),
+		RecordCache:  db.RecordCacheStats(),
+		IndexPages:   len(db.index.Pages()),
+		DataPages:    len(db.customers.Pages()),
+	}
 }
 
 // RecordCacheStats returns the record cache's counters; the zero value

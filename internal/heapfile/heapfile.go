@@ -19,9 +19,11 @@
 package heapfile
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bufferpool"
 	"repro/internal/disk"
@@ -38,6 +40,10 @@ const (
 	// below 4096, so the high bit is free; the slot keeps its (offset,
 	// length) so a later insert can reuse the dead region.
 	tombstone = 0x8000
+	// latchStripes is the number of page-latch partitions (power of two).
+	// Concurrent record operations on different pages never contend; two
+	// operations on the same page serialise reader/writer style.
+	latchStripes = 64
 )
 
 // slotDead reports whether a slot offset denotes a deleted or never-used
@@ -61,6 +67,12 @@ type RID struct {
 func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 
 // File is a heap file of variable-length records.
+//
+// Concurrency: Get, Update, and Scan are safe to call concurrently (with
+// each other and themselves) — record bytes are accessed under a striped
+// page latch, taken after the pool pin so it is never held across disk
+// I/O. Insert and Delete mutate the page directory and must be serialised
+// externally (the db layer loads single-threaded before serving).
 type File struct {
 	pool *bufferpool.Pool
 	// pages is the in-memory page directory. A production system would
@@ -71,6 +83,14 @@ type File struct {
 	// before allocating a fresh page, so deletions reclaim space across
 	// the whole file rather than only on the newest page.
 	reuse []policy.PageID
+	// latches guard record bytes within a page: readers (Get, Scan) share,
+	// writers (Insert, Update, Delete) exclude. Keyed by page-id hash.
+	latches [latchStripes]sync.RWMutex
+}
+
+// latchFor returns the latch stripe guarding page id's bytes.
+func (f *File) latchFor(id policy.PageID) *sync.RWMutex {
+	return &f.latches[uint64(id)&(latchStripes-1)]
 }
 
 // New returns an empty heap file over the pool.
@@ -174,7 +194,10 @@ func (f *File) Insert(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, fmt.Errorf("heapfile insert: %w", err)
 		}
+		lk := f.latchFor(id)
+		lk.Lock()
 		slot, ok := insertIntoPage(pg.Data(), rec)
+		lk.Unlock()
 		if ok {
 			pg.Unpin(true)
 			return RID{Page: id, Slot: slot}, nil
@@ -191,7 +214,11 @@ func (f *File) Insert(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, fmt.Errorf("heapfile insert: %w", err)
 		}
-		if slot, ok := insertIntoPage(pg.Data(), rec); ok {
+		lk := f.latchFor(id)
+		lk.Lock()
+		slot, ok := insertIntoPage(pg.Data(), rec)
+		lk.Unlock()
+		if ok {
 			pg.Unpin(true)
 			return RID{Page: id, Slot: slot}, nil
 		}
@@ -201,13 +228,16 @@ func (f *File) Insert(rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, fmt.Errorf("heapfile insert: %w", err)
 	}
+	id := pg.ID()
+	lk := f.latchFor(id)
+	lk.Lock()
 	initPage(pg.Data())
 	slot, ok := insertIntoPage(pg.Data(), rec)
+	lk.Unlock()
 	if !ok {
 		pg.Unpin(false)
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
 	}
-	id := pg.ID()
 	pg.Unpin(true)
 	f.pages = append(f.pages, id)
 	return RID{Page: id, Slot: slot}, nil
@@ -215,11 +245,21 @@ func (f *File) Insert(rec []byte) (RID, error) {
 
 // Get returns a copy of the record at rid.
 func (f *File) Get(rid RID) ([]byte, error) {
-	pg, err := f.pool.Fetch(rid.Page)
+	return f.GetCtx(context.Background(), rid)
+}
+
+// GetCtx is Get charged against ctx: the page fetch (including a coalesced
+// wait behind another request's in-flight read, and any transient-fault
+// retry backoff) observes the deadline.
+func (f *File) GetCtx(ctx context.Context, rid RID) ([]byte, error) {
+	pg, err := f.pool.FetchCtx(ctx, rid.Page)
 	if err != nil {
 		return nil, fmt.Errorf("heapfile get %v: %w", rid, err)
 	}
 	defer pg.Unpin(false)
+	lk := f.latchFor(rid.Page)
+	lk.RLock()
+	defer lk.RUnlock()
 	data := pg.Data()
 	numSlots, _ := pageHeader(data)
 	if rid.Slot >= numSlots {
@@ -238,27 +278,40 @@ func (f *File) Get(rid RID) ([]byte, error) {
 // larger than the old one (ErrUpdateTooLarge otherwise); shrinking updates
 // keep the slot's original allocation.
 func (f *File) Update(rid RID, rec []byte) error {
-	pg, err := f.pool.Fetch(rid.Page)
+	return f.UpdateCtx(context.Background(), rid, rec)
+}
+
+// UpdateCtx is Update charged against ctx (see GetCtx). The in-place write
+// happens under the page's exclusive latch, so a concurrent GetCtx of the
+// same page sees either the old or the new bytes, never a torn record.
+func (f *File) UpdateCtx(ctx context.Context, rid RID, rec []byte) error {
+	pg, err := f.pool.FetchCtx(ctx, rid.Page)
 	if err != nil {
 		return fmt.Errorf("heapfile update %v: %w", rid, err)
 	}
+	lk := f.latchFor(rid.Page)
+	lk.Lock()
 	data := pg.Data()
 	numSlots, _ := pageHeader(data)
 	if rid.Slot >= numSlots {
+		lk.Unlock()
 		pg.Unpin(false)
 		return fmt.Errorf("%w: %v", ErrInvalidRID, rid)
 	}
 	off, length := slotAt(data, rid.Slot)
 	if slotDead(off) {
+		lk.Unlock()
 		pg.Unpin(false)
 		return fmt.Errorf("%w: %v (deleted)", ErrInvalidRID, rid)
 	}
 	if len(rec) > int(length) {
+		lk.Unlock()
 		pg.Unpin(false)
 		return fmt.Errorf("%w: %d > %d bytes", ErrUpdateTooLarge, len(rec), length)
 	}
 	copy(data[off:off+uint16(len(rec))], rec)
 	setSlot(data, rid.Slot, off, uint16(len(rec)))
+	lk.Unlock()
 	pg.Unpin(true)
 	return nil
 }
@@ -270,20 +323,25 @@ func (f *File) Delete(rid RID) error {
 	if err != nil {
 		return fmt.Errorf("heapfile delete %v: %w", rid, err)
 	}
+	lk := f.latchFor(rid.Page)
+	lk.Lock()
 	data := pg.Data()
 	numSlots, _ := pageHeader(data)
 	if rid.Slot >= numSlots {
+		lk.Unlock()
 		pg.Unpin(false)
 		return fmt.Errorf("%w: %v", ErrInvalidRID, rid)
 	}
 	off, length := slotAt(data, rid.Slot)
 	if slotDead(off) {
+		lk.Unlock()
 		pg.Unpin(false)
 		return fmt.Errorf("%w: %v (already deleted)", ErrInvalidRID, rid)
 	}
 	// Tombstone the slot, keeping its region so a later insert can reclaim
 	// the space.
 	setSlot(data, rid.Slot, off|tombstone, length)
+	lk.Unlock()
 	pg.Unpin(true)
 	// Remember the page as a reuse candidate (dedup against the tail).
 	if n := len(f.reuse); n == 0 || f.reuse[n-1] != rid.Page {
@@ -296,11 +354,25 @@ func (f *File) Delete(rid RID) error {
 // access pattern of Example 1.2) until fn returns false. The record slice
 // passed to fn is only valid during the call.
 func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {
+	return f.ScanCtx(context.Background(), fn)
+}
+
+// ScanCtx is Scan charged against ctx: every page fetch observes the
+// deadline, and the sweep also checks the context between pages so a
+// cancelled scan stops promptly even when every page hits. fn runs under
+// the page's shared latch — keep it short, and do not call back into the
+// file from inside it.
+func (f *File) ScanCtx(ctx context.Context, fn func(rid RID, rec []byte) bool) error {
 	for _, id := range f.pages {
-		pg, err := f.pool.Fetch(id)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("heapfile scan: %w", err)
+		}
+		pg, err := f.pool.FetchCtx(ctx, id)
 		if err != nil {
 			return fmt.Errorf("heapfile scan: %w", err)
 		}
+		lk := f.latchFor(id)
+		lk.RLock()
 		data := pg.Data()
 		numSlots, _ := pageHeader(data)
 		for s := uint16(0); s < numSlots; s++ {
@@ -309,10 +381,12 @@ func (f *File) Scan(fn func(rid RID, rec []byte) bool) error {
 				continue
 			}
 			if !fn(RID{Page: id, Slot: s}, data[off:off+length]) {
+				lk.RUnlock()
 				pg.Unpin(false)
 				return nil
 			}
 		}
+		lk.RUnlock()
 		pg.Unpin(false)
 	}
 	return nil

@@ -12,6 +12,7 @@
 package leakcheck
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -24,20 +25,31 @@ func Check(t *testing.T) {
 	t.Helper()
 	base := runtime.NumGoroutine()
 	t.Cleanup(func() {
-		deadline := time.Now().Add(2 * time.Second)
-		var n int
-		for {
-			n = runtime.NumGoroutine()
-			if n <= base {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(5 * time.Millisecond)
+		if err := Wait(base, 2*time.Second); err != nil {
+			t.Error(err)
 		}
-		buf := make([]byte, 1<<20)
-		buf = buf[:runtime.Stack(buf, true)]
-		t.Errorf("leakcheck: %d goroutines at cleanup, want <= %d; stacks:\n%s", n, base, buf)
 	})
+}
+
+// Wait polls until the goroutine count returns to the base level or the
+// grace period expires, and reports the overshoot (with full stacks) as an
+// error. It is the non-test form of Check, for long-running binaries —
+// cmd/lrukd uses it to prove a drained shutdown leaked nothing before
+// printing its clean-exit line.
+func Wait(base int, grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leakcheck: %d goroutines, want <= %d; stacks:\n%s", n, base, buf)
 }

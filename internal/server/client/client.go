@@ -1,0 +1,234 @@
+// Package client is the Go client for the network page service
+// (internal/server): one TCP connection, one outstanding request at a
+// time, synchronous call per operation. Server-side refusals come back as
+// typed errors (ErrBusy, ErrUnavailable, ...) so callers — the load
+// generator above all — can tell load shedding from breaker blackouts from
+// real failures with errors.Is.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// Typed mirrors of the wire statuses. A non-OK reply is returned as an
+// *Error whose Is method matches the corresponding sentinel; StatusDeadline
+// additionally matches context.DeadlineExceeded, so the caller's usual
+// deadline handling just works.
+var (
+	ErrBusy        = errors.New("client: server busy (load shed)")
+	ErrUnavailable = errors.New("client: disk unavailable (server circuit breaker open)")
+	ErrNotFound    = errors.New("client: customer not found")
+	ErrShutdown    = errors.New("client: server shutting down")
+	ErrBadRequest  = errors.New("client: server rejected request as malformed")
+	ErrRemote      = errors.New("client: server internal error")
+)
+
+// Error is a non-OK reply from the server.
+type Error struct {
+	Status wire.Status
+	Msg    string
+}
+
+// Error renders the status and the server's message.
+func (e *Error) Error() string {
+	return fmt.Sprintf("client: server replied %s: %s", e.Status, e.Msg)
+}
+
+// Is maps the status onto the package sentinels (and StatusDeadline onto
+// context.DeadlineExceeded).
+func (e *Error) Is(target error) bool {
+	switch e.Status {
+	case wire.StatusBusy:
+		return target == ErrBusy
+	case wire.StatusUnavailable:
+		return target == ErrUnavailable
+	case wire.StatusDeadline:
+		return target == context.DeadlineExceeded
+	case wire.StatusNotFound:
+		return target == ErrNotFound
+	case wire.StatusShutdown:
+		return target == ErrShutdown
+	case wire.StatusBadRequest:
+		return target == ErrBadRequest
+	case wire.StatusInternal:
+		return target == ErrRemote
+	}
+	return false
+}
+
+// writeSlack is how long past the request's own deadline the client keeps
+// the connection readable: the server answers an expired budget with a
+// prompt StatusDeadline reply, and cutting the read at exactly the context
+// deadline would turn that reply into a spurious transport error.
+const writeSlack = 2 * time.Second
+
+// Options tunes a client.
+type Options struct {
+	// DialTimeout bounds connection establishment. Zero selects 5s.
+	DialTimeout time.Duration
+	// MaxFrame guards response frames. Zero selects wire.MaxFrameDefault.
+	MaxFrame uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = wire.MaxFrameDefault
+	}
+	return o
+}
+
+// Client is one connection to the page service. Methods are safe for
+// concurrent use but serialise on the connection; open one client per
+// in-flight request for parallel load.
+type Client struct {
+	opts Options
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// dead poisons the client after a transport error: the stream may be
+	// desynchronised, so every later call fails fast with the first error.
+	dead error
+}
+
+// Dial connects with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to the service at addr.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		opts: opts,
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead == nil {
+		c.dead = errors.New("client: closed")
+	}
+	return c.conn.Close()
+}
+
+// do performs one request/response exchange.
+func (c *Client) do(ctx context.Context, req wire.Request) (wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return wire.Response{}, c.dead
+	}
+	if err := ctx.Err(); err != nil {
+		return wire.Response{}, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		req.Timeout = time.Until(d)
+		if req.Timeout <= 0 {
+			return wire.Response{}, context.DeadlineExceeded
+		}
+		_ = c.conn.SetDeadline(d.Add(writeSlack))
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteFrame(c.bw, wire.EncodeRequest(req)); err != nil {
+		return wire.Response{}, c.poison("write", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Response{}, c.poison("write", err)
+	}
+	payload, err := wire.ReadFrame(c.br, c.opts.MaxFrame)
+	if err != nil {
+		return wire.Response{}, c.poison("read", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return wire.Response{}, c.poison("decode", err)
+	}
+	if resp.Status != wire.StatusOK {
+		return resp, &Error{Status: resp.Status, Msg: string(resp.Body)}
+	}
+	return resp, nil
+}
+
+// poison records a transport failure and fails the client permanently;
+// callers should reconnect.
+func (c *Client) poison(stage string, err error) error {
+	err = fmt.Errorf("client: %s: %w", stage, err)
+	c.dead = err
+	_ = c.conn.Close()
+	return err
+}
+
+// Get fetches customer custID's record.
+func (c *Client) Get(ctx context.Context, custID int64) ([]byte, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpGet, CustID: custID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Update overwrites customer custID's filler bytes with fill.
+func (c *Client) Update(ctx context.Context, custID int64, fill byte) error {
+	_, err := c.do(ctx, wire.Request{Op: wire.OpUpdate, CustID: custID, Fill: fill})
+	return err
+}
+
+// Scan runs a full sequential scan and returns the record count.
+func (c *Client) Scan(ctx context.Context) (int, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpScan})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Body) != 8 {
+		return 0, c.failf("scan reply body %d bytes, want 8", len(resp.Body))
+	}
+	return int(binary.BigEndian.Uint64(resp.Body)), nil
+}
+
+// Stats fetches the server and database counter snapshot.
+func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return wire.StatsReply{}, err
+	}
+	var reply wire.StatsReply
+	if err := json.Unmarshal(resp.Body, &reply); err != nil {
+		return wire.StatsReply{}, c.failf("stats reply: %v", err)
+	}
+	return reply, nil
+}
+
+// Flush asks the server to write every dirty page back to disk.
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.do(ctx, wire.Request{Op: wire.OpFlush})
+	return err
+}
+
+// failf reports a malformed OK reply (a server bug, not a transport
+// failure) without poisoning the connection.
+func (c *Client) failf(format string, args ...any) error {
+	return fmt.Errorf("client: "+format, args...)
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bufferpool"
+	"repro/internal/db"
+	"repro/internal/disk"
+	"repro/internal/leakcheck"
+	"repro/internal/server/client"
+)
+
+// TestOverloadShedsAndBreakerSurfaces is the end-to-end overload story,
+// run under -race:
+//
+//  1. Saturation: with 2 workers, a 2-deep admission queue, and a slowed
+//     disk, a burst of concurrent requests must split into admitted ones
+//     that all complete and shed ones that fail fast with StatusBusy —
+//     and the BUSY replies must arrive promptly (shedding does no
+//     database work), while the burst is still in flight.
+//  2. Blackout: with every disk operation failing, repeated misses on one
+//     page trip that stripe's circuit breaker, and the client observes
+//     the typed UNAVAILABLE status end to end.
+//  3. Recovery: the disk heals, the breaker re-admits traffic through its
+//     half-open probes, and a full flush drains the quarantine — the
+//     server keeps serving throughout.
+func TestOverloadShedsAndBreakerSurfaces(t *testing.T) {
+	leakcheck.Check(t)
+	const (
+		customers = 512
+		burst     = 24
+	)
+	var slow atomic.Bool
+	dbCfg := db.Config{
+		Frames: 16,
+		DiskModel: disk.ServiceModel{Delay: func(int64) {
+			if slow.Load() {
+				time.Sleep(50 * time.Millisecond)
+			}
+		}},
+		DiskBreaker: bufferpool.BreakerConfig{
+			Threshold: 4,
+			Cooldown:  50 * time.Millisecond,
+			Probes:    1,
+		},
+	}
+	srv, database := startServer(t, dbCfg, Config{Workers: 2, QueueDepth: 2}, customers)
+
+	// --- Phase 1: saturate the admission queue. ---
+	slow.Store(true)
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, burst)
+	var start sync.WaitGroup
+	start.Add(1)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := client.Dial(srv.Addr().String())
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			defer cl.Close()
+			start.Wait() // fire the whole burst at once
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			began := time.Now()
+			// Distinct early keys: cold pages, so admitted requests hold
+			// their worker for at least one slowed disk read.
+			_, err = cl.Get(ctx, int64(i*2))
+			results[i] = outcome{err: err, elapsed: time.Since(began)}
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	slow.Store(false)
+
+	var ok, busy int
+	for i, r := range results {
+		switch {
+		case r.err == nil:
+			ok++
+		case errors.Is(r.err, client.ErrBusy):
+			busy++
+			// A shed reply costs no database work; it must not have waited
+			// behind the slow disk.
+			if r.elapsed > 2*time.Second {
+				t.Errorf("request %d: BUSY took %v, want prompt", i, r.elapsed)
+			}
+		default:
+			t.Errorf("request %d: unexpected error %v", i, r.err)
+		}
+	}
+	// Capacity during the burst is workers + queue = 4 slots against 24
+	// simultaneous requests: both populations must be present.
+	if busy == 0 {
+		t.Error("saturation shed nothing: no BUSY replies")
+	}
+	if ok == 0 {
+		t.Error("saturation completed nothing: every request was shed")
+	}
+	t.Logf("burst of %d: %d completed, %d shed busy", burst, ok, busy)
+
+	// --- Phase 2: blackout trips the breaker; clients see UNAVAILABLE. ---
+	database.SetDiskFaults(disk.NewFaultPlan(1, disk.FaultRule{}))
+	cl := dial(t, srv)
+	coldKey := int64(3) // early key: its leaf/heap pages are long evicted
+	sawUnavailable := false
+	for attempt := 0; attempt < 100; attempt++ {
+		_, err := cl.Get(context.Background(), coldKey)
+		if err == nil {
+			t.Fatal("get succeeded during total blackout")
+		}
+		if errors.Is(err, client.ErrUnavailable) {
+			sawUnavailable = true
+			break
+		}
+		// Until the stripe trips, failures surface as internal errors
+		// (the injected fault); anything else is a bug.
+		if !errors.Is(err, client.ErrRemote) {
+			t.Fatalf("blackout attempt %d: unexpected error %v", attempt, err)
+		}
+	}
+	if !sawUnavailable {
+		t.Fatal("breaker never surfaced UNAVAILABLE to the client")
+	}
+
+	// --- Phase 3: heal and recover. ---
+	database.SetDiskFaults(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := database.FlushAll()
+		if err == nil && database.PoolQuarantined() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no recovery after heal: flush err %v, quarantined %d",
+				err, database.PoolQuarantined())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The same server keeps serving after the storm.
+	rec, err := cl.Get(context.Background(), coldKey)
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if len(rec) == 0 {
+		t.Fatal("empty record after recovery")
+	}
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Shed == 0 {
+		t.Error("server counted no shed requests")
+	}
+	if stats.Server.Statuses["busy"] == 0 || stats.Server.Statuses["unavailable"] == 0 {
+		t.Errorf("status counters missing overload outcomes: %v", stats.Server.Statuses)
+	}
+	if stats.DB.Pool.BreakerTrips == 0 {
+		t.Error("pool recorded no breaker trip")
+	}
+	if stats.DB.Pool.ReadsRejected == 0 {
+		t.Error("pool recorded no breaker-rejected reads")
+	}
+}

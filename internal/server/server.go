@@ -1,0 +1,420 @@
+// Package server puts the db layer behind a TCP socket: the network page
+// service of a disaggregated buffer deployment, where many remote clients
+// hammer one shared LRU-K pool. The wire format lives in wire; this
+// package is the part that makes it production-shaped rather than an echo
+// loop:
+//
+//   - Admission control: requests pass through a bounded queue drained by a
+//     fixed worker pool. A full queue sheds immediately with StatusBusy —
+//     the reply costs no database work, so an overloaded server stays
+//     responsive instead of building an unbounded backlog.
+//   - Deadline propagation: each request's time budget becomes a
+//     context.WithTimeout charged to every db operation, so the pool's
+//     coalesced-waiter abandonment and retry budgets (DESIGN.md §10) are
+//     exercised by real remote deadlines.
+//   - Typed failure mapping: an open disk circuit breaker surfaces as
+//     StatusUnavailable, expired deadlines as StatusDeadline, a draining
+//     server as StatusShutdown — clients can tell "back off" from "retry
+//     elsewhere" from "give up".
+//   - Connection hygiene: per-frame read deadlines, write deadlines, and a
+//     max-frame guard bound what one peer can cost.
+//   - Graceful drain: Close stops accepting, lets in-flight requests
+//     complete up to a deadline, then hard-closes stragglers; lifecycle
+//     tests hold it to zero leaked goroutines via internal/leakcheck.
+//
+// See DESIGN.md §11 for the full state machine.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufferpool"
+	"repro/internal/db"
+	"repro/internal/server/wire"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Addr is the TCP listen address; ":0" forms pick a free port
+	// (read it back from Addr() after Start).
+	Addr string
+	// Workers is the worker-pool size — the hard bound on concurrent
+	// database operations. Zero selects GOMAXPROCS.
+	Workers int
+	// QueueDepth is the admission queue capacity beyond the workers; a
+	// request arriving with the queue full is shed with StatusBusy. Zero
+	// selects 4x Workers.
+	QueueDepth int
+	// MaxFrame is the largest accepted request frame; larger length
+	// prefixes are rejected before any allocation. Zero selects
+	// wire.MaxFrameDefault.
+	MaxFrame uint32
+	// IdleTimeout bounds the wait for the next request frame on an open
+	// connection. Zero selects 60s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Zero selects 10s.
+	WriteTimeout time.Duration
+	// MaxRequestTimeout caps the per-request time budget; it also applies
+	// to requests that declare none, so no operation runs unbounded. Zero
+	// selects 30s.
+	MaxRequestTimeout time.Duration
+	// DrainTimeout bounds Close's graceful phase: how long in-flight
+	// connections get to finish their current request before being
+	// hard-closed. Zero selects 5s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.MaxFrameDefault
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxRequestTimeout <= 0 {
+		c.MaxRequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// task is one admitted request travelling from a connection handler to a
+// worker; reply is buffered so the worker never blocks publishing the
+// result.
+type task struct {
+	req   wire.Request
+	reply chan wire.Response
+}
+
+// Server is the network page service over one DB.
+type Server struct {
+	cfg Config
+	db  *db.DB
+
+	ln    net.Listener
+	queue chan *task
+	done  chan struct{} // closed when drain begins
+
+	mu    sync.Mutex // guards conns and the closed handshake below
+	conns map[net.Conn]struct{}
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	closed   atomic.Bool
+	closeMu  sync.Mutex
+	closeErr error
+
+	// flushGate lets FLUSH act as a checkpoint barrier: record operations
+	// hold it shared, a flush exclusively, so a flush never snapshots page
+	// bytes mid-update.
+	flushGate sync.RWMutex
+
+	connsAccepted atomic.Uint64
+	requests      atomic.Uint64
+	shed          atomic.Uint64
+	statusCounts  [wire.NumStatuses]atomic.Uint64
+}
+
+// New returns an unstarted server over database.
+func New(database *db.DB, cfg Config) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		db:    database,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start binds the listener and launches the worker pool and accept loop.
+func (s *Server) Start() error {
+	if s.ln != nil {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.queue = make(chan *task, s.cfg.QueueDepth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close drains and stops the server: stop accepting, nudge idle
+// connections off their reads, let in-flight requests finish within
+// DrainTimeout, then hard-close whatever remains and reap the worker pool.
+// It is idempotent and does not close the database.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return s.closeErr
+	}
+	if s.ln == nil {
+		s.closed.Store(true)
+		return nil
+	}
+	s.closed.Store(true)
+	close(s.done)
+	err := s.ln.Close()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+
+	// Wake every handler blocked waiting for a next frame; handlers mid-
+	// request keep running and deliver their response first.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.DrainTimeout):
+		// Graceful window over: sever the stragglers. Their in-flight
+		// database work still completes (operations are deadline-bounded);
+		// only the response write is forfeited.
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+
+	// All producers are gone; closing the queue lets the workers run it
+	// dry and exit.
+	close(s.queue)
+	s.workerWG.Wait()
+	s.acceptWG.Wait()
+	s.closeErr = err
+	return err
+}
+
+// Stats snapshots the server's own counters.
+func (s *Server) Stats() wire.ServerStats {
+	st := wire.ServerStats{
+		Conns:    s.connsAccepted.Load(),
+		Requests: s.requests.Load(),
+		Shed:     s.shed.Load(),
+		Statuses: make(map[string]uint64, wire.NumStatuses),
+	}
+	for i := range s.statusCounts {
+		if n := s.statusCounts[i].Load(); n > 0 {
+			st.Statuses[wire.Status(i).String()] = n
+		}
+	}
+	return st
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (fd pressure): brief pause, retry.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		s.connsAccepted.Add(1)
+		s.mu.Lock()
+		if s.closed.Load() {
+			// Lost the race with Close's sweep: refuse rather than leak an
+			// untracked connection.
+			s.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		_ = c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		if s.closed.Load() {
+			return
+		}
+		_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		payload, err := wire.ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			// An oversized frame gets a reply before the cut; EOF, timeouts,
+			// and drain-nudged deadline errors just close.
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				s.reply(c, bw, wire.Response{Status: wire.StatusBadRequest, Body: []byte(err.Error())})
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			// The stream may be desynchronised; answer and close.
+			s.reply(c, bw, wire.Response{Status: wire.StatusBadRequest, Body: []byte(err.Error())})
+			return
+		}
+		s.requests.Add(1)
+
+		var resp wire.Response
+		switch {
+		case s.closed.Load():
+			resp = wire.Response{Status: wire.StatusShutdown, Body: []byte("server draining")}
+		default:
+			t := &task{req: req, reply: make(chan wire.Response, 1)}
+			select {
+			case s.queue <- t:
+				resp = <-t.reply
+			default:
+				// Admission queue full: shed now, cheaply. This is the
+				// whole point of bounding the queue — the reply path does
+				// no database work, so overload cannot snowball.
+				s.shed.Add(1)
+				resp = wire.Response{Status: wire.StatusBusy, Body: []byte("server busy: admission queue full")}
+			}
+		}
+		if err := s.reply(c, bw, resp); err != nil {
+			return
+		}
+	}
+}
+
+// reply writes one response frame under the write deadline and records its
+// status.
+func (s *Server) reply(c net.Conn, bw *bufio.Writer, resp wire.Response) error {
+	s.statusCounts[resp.Status].Add(1)
+	_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := wire.WriteFrame(bw, wire.AppendResponse(nil, resp)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		t.reply <- s.execute(t.req)
+	}
+}
+
+// execute runs one admitted request against the database under its
+// deadline and maps the outcome onto the wire.
+func (s *Server) execute(req wire.Request) wire.Response {
+	budget := req.Timeout
+	if budget <= 0 || budget > s.cfg.MaxRequestTimeout {
+		budget = s.cfg.MaxRequestTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	switch req.Op {
+	case wire.OpGet:
+		s.flushGate.RLock()
+		rec, err := s.db.LookupCtx(ctx, req.CustID)
+		s.flushGate.RUnlock()
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Body: rec}
+	case wire.OpScan:
+		s.flushGate.RLock()
+		n, err := s.db.ScanCustomersCtx(ctx)
+		s.flushGate.RUnlock()
+		if err != nil {
+			return errResponse(err)
+		}
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], uint64(n))
+		return wire.Response{Status: wire.StatusOK, Body: body[:]}
+	case wire.OpUpdate:
+		s.flushGate.RLock()
+		err := s.db.UpdateCustomerCtx(ctx, req.CustID, req.Fill)
+		s.flushGate.RUnlock()
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	case wire.OpStats:
+		body, err := json.Marshal(wire.StatsReply{Server: s.Stats(), DB: s.db.StatsSnapshot()})
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Body: body}
+	case wire.OpFlush:
+		s.flushGate.Lock()
+		err := s.db.FlushAllCtx(ctx)
+		s.flushGate.Unlock()
+		if err != nil {
+			return errResponse(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+	}
+	return wire.Response{Status: wire.StatusBadRequest, Body: []byte(fmt.Sprintf("unknown op %d", req.Op))}
+}
+
+// errResponse maps a storage-layer error onto its wire status. Order
+// matters only for specificity: breaker and shutdown conditions are typed
+// sentinels, deadline covers both expiry and cancellation, and anything
+// unrecognised is internal.
+func errResponse(err error) wire.Response {
+	status := wire.StatusInternal
+	switch {
+	case errors.Is(err, bufferpool.ErrDiskUnavailable):
+		status = wire.StatusUnavailable
+	case errors.Is(err, db.ErrClosed) || errors.Is(err, bufferpool.ErrClosed):
+		status = wire.StatusShutdown
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		status = wire.StatusDeadline
+	case errors.Is(err, db.ErrNotFound):
+		status = wire.StatusNotFound
+	}
+	return wire.Response{Status: status, Body: []byte(err.Error())}
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeRequest: arbitrary bytes must never panic the decoder; any
+// payload that decodes must re-encode byte-identically (the header and
+// bodies have no redundant encodings).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Op: OpGet, CustID: 12345, Timeout: time.Second}))
+	f.Add(EncodeRequest(Request{Op: OpUpdate, CustID: -9, Fill: 0x7F}))
+	f.Add(EncodeRequest(Request{Op: OpScan}))
+	f.Add(EncodeRequest(Request{Op: OpStats}))
+	f.Add(EncodeRequest(Request{Op: OpFlush, Timeout: 30 * time.Second}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpGet)})
+	f.Add(bytes.Repeat([]byte{0xFF}, 18))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		again := EncodeRequest(req)
+		if !bytes.Equal(again, data) {
+			t.Fatalf("decode(%x) = %+v, but re-encode = %x", data, req, again)
+		}
+	})
+}
+
+// FuzzReadFrame: an arbitrary byte stream must never panic the reader or
+// allocate past the max-frame guard, and whatever reads back must carry
+// the advertised length.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, []byte("hello"))
+	f.Add(seed.Bytes(), uint32(64))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}, uint32(16))
+	f.Add([]byte{0, 0, 0, 0}, uint32(0))
+	f.Add([]byte{0, 0, 0, 2, 0xAA}, uint32(1024))
+	f.Fuzz(func(t *testing.T, data []byte, max uint32) {
+		if max > 1<<20 {
+			max %= 1 << 20 // keep worst-case allocation bounded in the harness
+		}
+		payload, err := ReadFrame(bytes.NewReader(data), max)
+		if err != nil {
+			return
+		}
+		if uint32(len(payload)) > max {
+			t.Fatalf("reader returned %d bytes past the %d-byte guard", len(payload), max)
+		}
+		if len(data) < 4 {
+			t.Fatal("successful read from a short stream")
+		}
+		if want := binary.BigEndian.Uint32(data[:4]); uint32(len(payload)) != want {
+			t.Fatalf("payload %d bytes, frame advertised %d", len(payload), want)
+		}
+		// A read frame re-frames to the same bytes it consumed.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:4+len(payload)]) {
+			t.Fatal("frame did not round-trip")
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package wire defines the page service's binary protocol: length-prefixed
+// frames on a TCP stream, a fixed request header, and single-byte status
+// codes on every reply. The format is deliberately small — five operations,
+// no negotiation — because the interesting engineering lives behind it
+// (admission control, shedding, deadline propagation), not in the codec.
+//
+// Frame:
+//
+//	bytes 0-3   payload length, big-endian uint32 (bounded by the reader's
+//	            max-frame guard; an oversized prefix is rejected before any
+//	            allocation)
+//	bytes 4...  payload
+//
+// Request payload:
+//
+//	byte  0     op (OpGet, OpScan, OpUpdate, OpStats, OpFlush)
+//	bytes 1-8   per-request time budget in milliseconds, big-endian uint64
+//	            (0 = none; the server caps it and runs the operation under
+//	            a context with that deadline)
+//	bytes 9...  op-specific body:
+//	              GET    8-byte big-endian uint64 customer id
+//	              UPDATE 8-byte big-endian uint64 customer id + 1 fill byte
+//	              SCAN, STATS, FLUSH  empty
+//
+// Response payload:
+//
+//	byte  0     status (StatusOK ... StatusInternal)
+//	bytes 1...  body: on StatusOK the op's result (GET record bytes, SCAN
+//	            8-byte big-endian count, STATS JSON StatsReply, UPDATE and
+//	            FLUSH empty); on any other status a UTF-8 error message.
+//
+// Decoding is strict: unknown ops, short bodies, and trailing bytes are
+// errors, never panics — FuzzDecodeRequest holds the codec to that.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/db"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// The protocol's operations.
+const (
+	OpGet Op = iota + 1
+	OpScan
+	OpUpdate
+	OpStats
+	OpFlush
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpScan:
+		return "SCAN"
+	case OpUpdate:
+		return "UPDATE"
+	case OpStats:
+		return "STATS"
+	case OpFlush:
+		return "FLUSH"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status is the single-byte reply code.
+type Status uint8
+
+// Reply statuses. The server maps the storage layer's typed errors onto
+// these: an open disk circuit breaker (bufferpool.ErrDiskUnavailable)
+// becomes StatusUnavailable, an expired request context StatusDeadline, a
+// closed database StatusShutdown; StatusBusy is minted by the server
+// itself when the admission queue is full, without touching the database.
+const (
+	StatusOK          Status = 0
+	StatusBusy        Status = 1 // shed at admission: queue full
+	StatusUnavailable Status = 2 // disk circuit breaker open
+	StatusDeadline    Status = 3 // request deadline expired or cancelled
+	StatusNotFound    Status = 4 // no such customer
+	StatusShutdown    Status = 5 // server draining or database closed
+	StatusBadRequest  Status = 6 // malformed frame or unknown op
+	StatusInternal    Status = 7 // anything else
+	numStatuses              = 8
+)
+
+// NumStatuses is the count of defined status codes (for per-status
+// counters).
+const NumStatuses = numStatuses
+
+// String names the status for diagnostics and stats maps.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusDeadline:
+		return "deadline"
+	case StatusNotFound:
+		return "not_found"
+	case StatusShutdown:
+		return "shutdown"
+	case StatusBadRequest:
+		return "bad_request"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// MaxFrameDefault is the default max-frame guard: comfortably larger than
+// any record (a record fits one 4 KByte page) or stats JSON, small enough
+// that a hostile length prefix cannot balloon allocation.
+const MaxFrameDefault = 64 << 10
+
+// Framing and decoding errors.
+var (
+	// ErrFrameTooLarge reports a length prefix above the reader's guard;
+	// the frame body is not read (and never allocated).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrBadRequest reports a request payload that does not decode.
+	ErrBadRequest = errors.New("wire: malformed request")
+	// ErrBadResponse reports a response payload that does not decode.
+	ErrBadResponse = errors.New("wire: malformed response")
+)
+
+const (
+	frameHeader = 4
+	reqHeader   = 1 + 8 // op + millis budget
+)
+
+// WriteFrame writes one length-prefixed frame. Callers typically pass a
+// *bufio.Writer and flush after the response is complete.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, refusing any payload longer than max before
+// allocating for it — the defence against a hostile or corrupt length
+// prefix.
+func ReadFrame(r io.Reader, max uint32) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > max {
+		return nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Request is one decoded operation.
+type Request struct {
+	Op Op
+	// Timeout is the client's time budget for the operation; zero means
+	// none (the server applies its own cap either way).
+	Timeout time.Duration
+	// CustID is the customer key for OpGet and OpUpdate.
+	CustID int64
+	// Fill is the filler byte for OpUpdate.
+	Fill byte
+}
+
+// AppendRequest appends the encoded request payload to dst.
+func AppendRequest(dst []byte, req Request) []byte {
+	millis := uint64(0)
+	if req.Timeout > 0 {
+		millis = uint64(req.Timeout / time.Millisecond)
+		if millis == 0 {
+			millis = 1 // a positive sub-millisecond budget must not decay to "none"
+		}
+	}
+	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, millis)
+	switch req.Op {
+	case OpGet:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.CustID))
+	case OpUpdate:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.CustID))
+		dst = append(dst, req.Fill)
+	}
+	return dst
+}
+
+// EncodeRequest encodes the request payload.
+func EncodeRequest(req Request) []byte { return AppendRequest(nil, req) }
+
+// DecodeRequest decodes a request payload. Unknown ops, short bodies, and
+// trailing garbage all fail with ErrBadRequest.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) < reqHeader {
+		return Request{}, fmt.Errorf("%w: %d-byte payload, want >= %d", ErrBadRequest, len(p), reqHeader)
+	}
+	req := Request{Op: Op(p[0])}
+	millis := binary.BigEndian.Uint64(p[1:9])
+	const maxMillis = uint64(1<<63-1) / uint64(time.Millisecond)
+	if millis > maxMillis {
+		return Request{}, fmt.Errorf("%w: time budget %dms overflows", ErrBadRequest, millis)
+	}
+	req.Timeout = time.Duration(millis) * time.Millisecond
+	body := p[reqHeader:]
+	switch req.Op {
+	case OpGet:
+		if len(body) != 8 {
+			return Request{}, fmt.Errorf("%w: GET body %d bytes, want 8", ErrBadRequest, len(body))
+		}
+		req.CustID = int64(binary.BigEndian.Uint64(body))
+	case OpUpdate:
+		if len(body) != 9 {
+			return Request{}, fmt.Errorf("%w: UPDATE body %d bytes, want 9", ErrBadRequest, len(body))
+		}
+		req.CustID = int64(binary.BigEndian.Uint64(body[:8]))
+		req.Fill = body[8]
+	case OpScan, OpStats, OpFlush:
+		if len(body) != 0 {
+			return Request{}, fmt.Errorf("%w: %v body %d bytes, want 0", ErrBadRequest, req.Op, len(body))
+		}
+	default:
+		return Request{}, fmt.Errorf("%w: unknown op %d", ErrBadRequest, p[0])
+	}
+	return req, nil
+}
+
+// Response is one decoded reply.
+type Response struct {
+	Status Status
+	// Body is the op result on StatusOK, a UTF-8 error message otherwise.
+	Body []byte
+}
+
+// AppendResponse appends the encoded response payload to dst.
+func AppendResponse(dst []byte, resp Response) []byte {
+	dst = append(dst, byte(resp.Status))
+	return append(dst, resp.Body...)
+}
+
+// EncodeResponse encodes the response payload.
+func EncodeResponse(resp Response) []byte { return AppendResponse(nil, resp) }
+
+// DecodeResponse decodes a response payload.
+func DecodeResponse(p []byte) (Response, error) {
+	if len(p) < 1 {
+		return Response{}, fmt.Errorf("%w: empty payload", ErrBadResponse)
+	}
+	if Status(p[0]) >= numStatuses {
+		return Response{}, fmt.Errorf("%w: unknown status %d", ErrBadResponse, p[0])
+	}
+	return Response{Status: Status(p[0]), Body: p[1:]}, nil
+}
+
+// ServerStats is the network layer's own counter block, reported next to
+// the database's snapshot in a StatsReply.
+type ServerStats struct {
+	// Conns is the number of connections accepted so far.
+	Conns uint64 `json:"conns"`
+	// Requests is the number of well-framed requests read.
+	Requests uint64 `json:"requests"`
+	// Shed is the number of requests refused at admission with StatusBusy
+	// (a subset of the "busy" entry in Statuses).
+	Shed uint64 `json:"shed"`
+	// Statuses counts replies by status name.
+	Statuses map[string]uint64 `json:"statuses"`
+}
+
+// StatsReply is the STATS op's JSON body: the server's counters plus the
+// database's combined snapshot.
+type StatsReply struct {
+	Server ServerStats      `json:"server"`
+	DB     db.StatsSnapshot `json:"db"`
+}

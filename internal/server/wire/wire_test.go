@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpGet, CustID: 42},
+		{Op: OpGet, CustID: -1, Timeout: 250 * time.Millisecond},
+		{Op: OpUpdate, CustID: 7, Fill: 0xAB, Timeout: time.Second},
+		{Op: OpScan},
+		{Op: OpStats, Timeout: 30 * time.Second},
+		{Op: OpFlush},
+	}
+	for _, want := range cases {
+		got, err := DecodeRequest(EncodeRequest(want))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Op, err)
+		}
+		if got != want {
+			t.Errorf("round trip %v: got %+v, want %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestRequestSubMillisecondBudgetSurvives(t *testing.T) {
+	// A positive budget below 1ms must not encode as "no deadline".
+	got, err := DecodeRequest(EncodeRequest(Request{Op: OpScan, Timeout: 100 * time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timeout != time.Millisecond {
+		t.Errorf("sub-millisecond budget decoded as %v, want 1ms", got.Timeout)
+	}
+}
+
+func TestDecodeRequestRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"short header":       {byte(OpGet), 0, 0},
+		"unknown op":         append([]byte{99}, make([]byte, 8)...),
+		"zero op":            append([]byte{0}, make([]byte, 8)...),
+		"GET short body":     append([]byte{byte(OpGet)}, make([]byte, 8+4)...),
+		"GET trailing":       append([]byte{byte(OpGet)}, make([]byte, 8+9)...),
+		"UPDATE short":       append([]byte{byte(OpUpdate)}, make([]byte, 8+8)...),
+		"SCAN trailing":      append([]byte{byte(OpScan)}, make([]byte, 8+1)...),
+		"FLUSH trailing":     append([]byte{byte(OpFlush)}, make([]byte, 8+2)...),
+		"overflowing budget": {byte(OpScan), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, p := range cases {
+		if _, err := DecodeRequest(p); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range []Response{
+		{Status: StatusOK, Body: []byte("payload")},
+		{Status: StatusBusy, Body: []byte("queue full")},
+		{Status: StatusInternal, Body: nil},
+	} {
+		got, err := DecodeResponse(EncodeResponse(want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Status != want.Status || !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := DecodeResponse(nil); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("empty response: err = %v, want ErrBadResponse", err)
+	}
+	if _, err := DecodeResponse([]byte{200}); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("unknown status: err = %v, want ErrBadResponse", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte{0xEE}, 4096)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, MaxFrameDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame round trip: got %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, MaxFrameDefault); err != io.EOF {
+		t.Errorf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameGuards(t *testing.T) {
+	// Oversized length prefix: rejected before the body is read.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 64); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A hostile prefix claiming 4 GiB must fail without reading a body.
+	r := strings.NewReader("\xff\xff\xff\xff")
+	if _, err := ReadFrame(r, MaxFrameDefault); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("hostile prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Truncated payload: io.ErrUnexpectedEOF, not a hang or panic.
+	if _, err := ReadFrame(strings.NewReader("\x00\x00\x00\x10abc"), MaxFrameDefault); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated payload: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Truncated header likewise.
+	if _, err := ReadFrame(strings.NewReader("\x00\x00"), MaxFrameDefault); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated header: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStatusNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Status(0); s < NumStatuses; s++ {
+		name := s.String()
+		if strings.HasPrefix(name, "status(") {
+			t.Errorf("status %d has no name", s)
+		}
+		if seen[name] {
+			t.Errorf("duplicate status name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -19,4 +19,6 @@ echo "== go test ./..."
 go test -timeout 300s ./...
 echo "== go test -race ./..."
 go test -race -timeout 600s ./...
+echo "== serve-smoke"
+sh scripts/serve_smoke.sh
 echo "OK"
