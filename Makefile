@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool tables chaos serve-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-obs tables chaos serve-smoke obs-smoke check
 
 all: check
 
@@ -47,10 +47,21 @@ chaos:
 	$(GO) vet ./internal/bufferpool/
 	$(GO) test -race -count=1 -timeout 300s -run TestChaosFaultStorm -v ./internal/bufferpool/
 
+## bench-obs: hot-path cost of one counter increment plus one histogram
+## observation, enabled vs disabled (DESIGN.md §12 quotes the numbers).
+bench-obs:
+	$(GO) test -bench BenchmarkObs -run '^$$' ./internal/obs/
+
 ## serve-smoke: boot the lrukd daemon on a random port, drive a load burst
 ## through the wire protocol, check the hit ratio, and verify a clean
 ## SIGTERM drain (DESIGN.md §11).
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-check: fmt-check build vet test race serve-smoke
+## obs-smoke: boot lrukd with the observability plane armed, then check
+## /metrics families across every layer, the /trace ring, pprof, the
+## structured log line, and a clean drain (DESIGN.md §12).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
+check: fmt-check build vet test race serve-smoke obs-smoke

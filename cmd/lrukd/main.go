@@ -13,16 +13,26 @@
 //
 //	lrukd: serving on <host:port> (customers=... frames=... k=... workers=... queue=...)
 //
-// which scripts/serve_smoke.sh parses for the bound address. On a clean
-// exit it prints "lrukd: clean shutdown" and exits 0; any drain failure or
-// leaked goroutine exits 1.
+// which scripts/serve_smoke.sh parses for the bound address. With
+// -obs-addr it additionally prints
+//
+//	lrukd: observability on <host:port>
+//
+// and serves /metrics (Prometheus text), /trace (the eviction trace ring
+// as JSON) and /debug/pprof/* on that second listener;
+// -obs-log-interval adds a periodic structured stats line on stderr. On a
+// clean exit it prints "lrukd: clean shutdown" and exits 0; any drain
+// failure or leaked goroutine exits 1.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -32,6 +42,7 @@ import (
 	"repro/internal/bufferpool"
 	"repro/internal/db"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -55,6 +66,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		recCache  = fs.Int("record-cache", 0, "record cache size in records (0 = off; see DESIGN.md §11 caveat)")
 		drain     = fs.Duration("drain", 5*time.Second, "graceful drain window on shutdown")
 		maxReq    = fs.Duration("max-request-timeout", 30*time.Second, "cap on any request's time budget")
+		obsAddr   = fs.String("obs-addr", "", "observability HTTP address serving /metrics, /trace and /debug/pprof (empty = off)")
+		obsLog    = fs.Duration("obs-log-interval", 0, "period between structured stats log lines on stderr (0 = off; needs -obs-addr)")
+		traceSize = fs.Int("trace-size", 512, "eviction trace ring capacity in records (with -obs-addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,10 +78,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// post-drain leak check measures only what lrukd itself started.
 	baseline := runtime.NumGoroutine()
 
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
 	database, err := db.Open(db.Config{
-		Frames:          *frames,
-		K:               *k,
-		RecordCacheSize: *recCache,
+		Frames:            *frames,
+		K:                 *k,
+		RecordCacheSize:   *recCache,
+		Obs:               reg,
+		EvictionTraceSize: *traceSize,
 		// Production-shaped fault posture: bounded transient retry and a
 		// per-stripe circuit breaker, the PR 3 machinery the server maps
 		// onto wire statuses.
@@ -99,6 +120,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		QueueDepth:        *queue,
 		DrainTimeout:      *drain,
 		MaxRequestTimeout: *maxReq,
+		Obs:               reg,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(stderr, "lrukd:", err)
@@ -109,10 +131,47 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "lrukd: serving on %s (customers=%d frames=%d k=%d workers=%d queue=%d)\n",
 		cfg, *customers, *frames, *k, *workers, *queue)
 
+	// The observability plane is a separate HTTP listener: /metrics and
+	// pprof never compete with page traffic for the wire protocol's workers,
+	// and an operator can firewall the two ports independently.
+	var obsSrv *http.Server
+	var stopLogger func()
+	if reg != nil {
+		mux := obs.Handler(reg)
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(database.EvictionTrace())
+		})
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukd: obs listen:", err)
+			_ = srv.Close()
+			database.Close()
+			return 1
+		}
+		obsSrv = &http.Server{Handler: mux}
+		go func() { _ = obsSrv.Serve(ln) }()
+		fmt.Fprintf(stdout, "lrukd: observability on %s\n", ln.Addr())
+		if *obsLog > 0 {
+			stopLogger = obs.StartLogger(stderr, reg, *obsLog)
+		}
+	}
+
 	<-ctx.Done()
 	fmt.Fprintln(stdout, "lrukd: draining")
 
 	code := 0
+	if stopLogger != nil {
+		stopLogger()
+	}
+	if obsSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := obsSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stderr, "lrukd: obs close:", err)
+			code = 1
+		}
+		cancel()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(stderr, "lrukd: server close:", err)
 		code = 1

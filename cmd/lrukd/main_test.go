@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +79,113 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 	}
 
 	cancel() // the test's stand-in for SIGTERM
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("run did not exit after cancellation; stdout %q", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "lrukd: clean shutdown") {
+		t.Fatalf("missing clean shutdown line; stdout %q stderr %q",
+			stdout.String(), stderr.String())
+	}
+}
+
+// TestRunObservabilityPlane boots the daemon with -obs-addr, drives a
+// little traffic, and asserts the second listener serves /metrics with the
+// expected families and /trace with JSON — then that shutdown still passes
+// the internal leak check (the obs server and logger must both stop).
+func TestRunObservabilityPlane(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-obs-addr", "127.0.0.1:0",
+			"-obs-log-interval", "50ms",
+			"-customers", "300",
+			"-frames", "32",
+		}, &stdout, &stderr)
+	}()
+
+	var addr, obsAddr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" || obsAddr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("missing serving lines; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "lrukd: serving on "); ok {
+				addr = strings.Fields(rest)[0]
+			}
+			if rest, ok := strings.CutPrefix(line, "lrukd: observability on "); ok {
+				obsAddr = strings.Fields(rest)[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := int64(0); i < 50; i++ {
+		if _, err := cl.Get(context.Background(), i%300); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+
+	resp, err := http.Get("http://" + obsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, family := range []string{
+		"lruk_pool_hits_total",
+		"lruk_disk_read_seconds_count",
+		"lruk_policy_evictions_total",
+		"lruk_server_request_seconds_count",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	resp, err = http.Get("http://" + obsAddr + "/trace")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var trace []map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&trace)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if len(trace) == 0 {
+		t.Error("eviction trace is empty after a working set larger than the pool")
+	}
+
+	// Let at least one structured log line land on stderr.
+	logDeadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(stderr.String(), "obs ts=") {
+		if time.Now().After(logDeadline) {
+			t.Fatalf("no structured log line; stderr %q", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
 	select {
 	case code := <-codeCh:
 		if code != 0 {

@@ -2,8 +2,12 @@
 // connections each issue one request at a time (GET/UPDATE/SCAN in a
 // weighted mix) against the page service for a fixed duration, then the
 // tool fetches the server's STATS snapshot and prints a summary —
-// throughput, latency percentiles, shed/unavailable/deadline counts, and
-// the pool hit ratio.
+// throughput, a per-opcode latency table (client-side obs histograms, the
+// same geometry the server exposes on /metrics), shed/unavailable/deadline
+// counts, and the pool hit ratio. When the daemon runs with -obs-addr, the
+// STATS reply carries the server's own histogram summaries and the table
+// gains the server-side view — queue wait and per-op execution time — so
+// client-observed and server-observed latency can be read side by side.
 //
 // Usage:
 //
@@ -28,9 +32,20 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server/client"
 	"repro/internal/stats"
 )
+
+// The load mix's opcodes, indexing each tally's latency histograms.
+const (
+	opGet = iota
+	opUpdate
+	opScan
+	numLoadOps
+)
+
+var opNames = [numLoadOps]string{"get", "update", "scan"}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -39,12 +54,22 @@ func main() {
 	os.Exit(code)
 }
 
-// tally is one client's outcome counts plus its completed-request
-// latencies in milliseconds.
+// tally is one client's outcome counts plus its per-opcode latency
+// histograms (nanosecond observations; each client owns its own set, so
+// recording never contends, and the fixed geometry makes the final merge a
+// bucket-wise sum).
 type tally struct {
 	ok, busy, unavailable, deadline, notFound, remote uint64
 	transport                                         []error
-	latencies                                         []float64
+	lat                                               [numLoadOps]*obs.Histogram
+}
+
+func newTally() tally {
+	var tl tally
+	for i := range tl.lat {
+		tl.lat[i] = obs.NewHistogram()
+	}
+	return tl
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -87,8 +112,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	wg.Wait()
 
-	// Merge.
+	// Merge: outcome counts arithmetically, latency histograms bucket-wise
+	// (snapshots of the shared geometry sum exactly).
 	var sum tally
+	var perOp [numLoadOps]obs.HistSnapshot
+	var overall obs.HistSnapshot
 	for _, tl := range tallies {
 		sum.ok += tl.ok
 		sum.busy += tl.busy
@@ -97,7 +125,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sum.notFound += tl.notFound
 		sum.remote += tl.remote
 		sum.transport = append(sum.transport, tl.transport...)
-		sum.latencies = append(sum.latencies, tl.latencies...)
+		for i := range tl.lat {
+			s := tl.lat[i].Snapshot()
+			perOp[i].Merge(s)
+			overall.Merge(s)
+		}
 	}
 	ops := sum.ok + sum.busy + sum.unavailable + sum.deadline + sum.notFound + sum.remote
 
@@ -105,13 +137,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		*clients, *duration, *keys, *getW, *updateW, *scanW)
 	fmt.Fprintf(stdout, "lrukload: ops=%d ok=%d busy=%d unavailable=%d deadline=%d not_found=%d remote_err=%d transport_err=%d\n",
 		ops, sum.ok, sum.busy, sum.unavailable, sum.deadline, sum.notFound, sum.remote, len(sum.transport))
-	if len(sum.latencies) > 0 {
+	if overall.Count > 0 {
 		fmt.Fprintf(stdout, "lrukload: throughput=%.0f ops/s latency_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 			float64(ops)/duration.Seconds(),
-			stats.Quantile(sum.latencies, 0.50),
-			stats.Quantile(sum.latencies, 0.95),
-			stats.Quantile(sum.latencies, 0.99),
-			stats.Quantile(sum.latencies, 1.0))
+			nsToMillis(overall.Quantile(0.50)),
+			nsToMillis(overall.Quantile(0.95)),
+			nsToMillis(overall.Quantile(0.99)),
+			nsToMillis(float64(overall.Max)))
+		fmt.Fprintf(stdout, "lrukload: %-10s %10s %10s %10s %10s %10s\n",
+			"client_ms", "count", "p50", "p95", "p99", "max")
+		for i, name := range opNames {
+			if perOp[i].Count == 0 {
+				continue
+			}
+			printLatencyRow(stdout, name, perOp[i].Count,
+				nsToMillis(perOp[i].Quantile(0.50)), nsToMillis(perOp[i].Quantile(0.95)),
+				nsToMillis(perOp[i].Quantile(0.99)), nsToMillis(float64(perOp[i].Max)))
+		}
+		printLatencyRow(stdout, "total", overall.Count,
+			nsToMillis(overall.Quantile(0.50)), nsToMillis(overall.Quantile(0.95)),
+			nsToMillis(overall.Quantile(0.99)), nsToMillis(float64(overall.Max)))
 	}
 	for _, err := range sum.transport {
 		fmt.Fprintln(stderr, "lrukload: transport:", err)
@@ -135,6 +180,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				reply.Server.Conns, reply.Server.Requests, reply.Server.Shed, reply.Server.Statuses)
 			fmt.Fprintf(stdout, "lrukload: pool hits=%d misses=%d hit_ratio=%.4f disk_reads=%d quarantined=%d\n",
 				reply.DB.Pool.Hits, reply.DB.Pool.Misses, hitRatio, reply.DB.Disk.Reads, reply.DB.Quarantined)
+			printServerSummaries(stdout, reply.Obs)
 		}
 	}
 
@@ -158,11 +204,49 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
+// nsToMillis converts a nanosecond histogram value to milliseconds.
+func nsToMillis(ns float64) float64 { return ns / 1e6 }
+
+// printLatencyRow emits one line of the latency table.
+func printLatencyRow(w io.Writer, name string, count uint64, p50, p95, p99, max float64) {
+	fmt.Fprintf(w, "lrukload:   %-8s %10d %10.3f %10.3f %10.3f %10.3f\n",
+		name, count, p50, p95, p99, max)
+}
+
+// printServerSummaries renders the server's own histogram digests from the
+// STATS reply (present only when lrukd runs with -obs-addr): per-op
+// execution time and queue wait, in milliseconds, next to the client-side
+// table above. The gap between the two is wire plus queueing.
+func printServerSummaries(w io.Writer, summaries map[string]obs.HistSummary) {
+	if len(summaries) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "lrukload: %-10s %10s %10s %10s %10s %10s\n",
+		"server_ms", "count", "p50", "p95", "p99", "max")
+	const secToMs = 1e3
+	for _, name := range opNames {
+		sum, ok := summaries[`lruk_server_request_seconds{op="`+name+`"}`]
+		if !ok || sum.Count == 0 {
+			continue
+		}
+		printLatencyRow(w, name, sum.Count,
+			sum.P50*secToMs, sum.P95*secToMs, sum.P99*secToMs, sum.Max*secToMs)
+	}
+	if sum, ok := summaries["lruk_server_queue_wait_seconds"]; ok && sum.Count > 0 {
+		printLatencyRow(w, "queue", sum.Count,
+			sum.P50*secToMs, sum.P95*secToMs, sum.P99*secToMs, sum.Max*secToMs)
+	}
+	if sum, ok := summaries["lruk_pool_fetch_seconds"]; ok && sum.Count > 0 {
+		printLatencyRow(w, "fetch", sum.Count,
+			sum.P50*secToMs, sum.P95*secToMs, sum.P99*secToMs, sum.Max*secToMs)
+	}
+}
+
 // drive runs one closed-loop client until end (or ctx cancellation),
 // reconnecting once per transport error so a single hiccup does not idle
 // the connection's whole share of the load.
 func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte) tally {
-	var tl tally
+	tl := newTally()
 	rng := stats.NewRNG(seed)
 	cl, err := client.Dial(addr)
 	if err != nil {
@@ -175,16 +259,19 @@ func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW,
 		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
 		began := time.Now()
 		var err error
+		var op int
 		switch draw := rng.Intn(totalW); {
 		case draw < getW:
+			op = opGet
 			_, err = cl.Get(rctx, key)
 		case draw < getW+updateW:
+			op = opUpdate
 			err = cl.Update(rctx, key, fill)
 		default:
+			op = opScan
 			_, err = cl.Scan(rctx)
 		}
 		cancel()
-		elapsed := float64(time.Since(began).Microseconds()) / 1000.0
 		var remote *client.Error
 		switch {
 		case err == nil:
@@ -202,7 +289,9 @@ func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW,
 			tl.remote++
 		default:
 			// Transport failure: the connection is poisoned. Record it and
-			// reconnect; repeated failures end the client.
+			// reconnect; repeated failures end the client. The aborted
+			// request's latency is not recorded — it measured the failure,
+			// not the service.
 			tl.transport = append(tl.transport, err)
 			cl.Close()
 			cl, err = client.Dial(addr)
@@ -212,7 +301,7 @@ func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW,
 			}
 			continue
 		}
-		tl.latencies = append(tl.latencies, elapsed)
+		tl.lat[op].ObserveSince(began)
 	}
 	return tl
 }

@@ -8,14 +8,16 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 // startService boots an in-process database and page server for the load
-// generator to hit, and returns its address.
-func startService(t *testing.T, customers int) string {
+// generator to hit, and returns its address. A non-nil registry arms the
+// full observability stack on both.
+func startService(t *testing.T, customers int, reg *obs.Registry) string {
 	t.Helper()
-	database, err := db.Open(db.Config{Frames: 128})
+	database, err := db.Open(db.Config{Frames: 128, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +25,7 @@ func startService(t *testing.T, customers int) string {
 	if err := database.LoadCustomers(customers); err != nil {
 		t.Fatal(err)
 	}
-	srv := server.New(database, server.Config{Addr: "127.0.0.1:0"})
+	srv := server.New(database, server.Config{Addr: "127.0.0.1:0", Obs: reg})
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func startService(t *testing.T, customers int) string {
 // clear the gate (the key space fits in the pool, so the ratio is high).
 func TestRunAgainstLiveServer(t *testing.T) {
 	leakcheck.Check(t)
-	addr := startService(t, 500)
+	addr := startService(t, 500, nil)
 
 	var stdout, stderr bytes.Buffer
 	code := run(context.Background(), []string{
@@ -60,11 +62,36 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	}
 }
 
+// TestRunShowsServerSummaries: against an instrumented service, the final
+// report carries both latency tables — client-observed per op and the
+// server's own histogram digests from the STATS reply.
+func TestRunShowsServerSummaries(t *testing.T) {
+	leakcheck.Check(t)
+	addr := startService(t, 300, obs.NewRegistry())
+
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-addr", addr,
+		"-clients", "2",
+		"-duration", "200ms",
+		"-keys", "300",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"client_ms", "server_ms", "lrukload:   get", "lrukload:   total", "lrukload:   queue", "lrukload:   fetch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRunHitRatioGateFails proves the -min-hit-ratio gate actually gates:
 // an impossible threshold must turn an otherwise clean run into exit 1.
 func TestRunHitRatioGateFails(t *testing.T) {
 	leakcheck.Check(t)
-	addr := startService(t, 200)
+	addr := startService(t, 200, nil)
 
 	var stdout, stderr bytes.Buffer
 	code := run(context.Background(), []string{

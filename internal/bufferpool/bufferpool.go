@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -245,6 +246,34 @@ type Config struct {
 	// quarantine is empty and doubles this delay, capped, while drains make
 	// no progress). Zero selects 10ms. The writer runs only after Start.
 	WriterInterval time.Duration
+	// Metrics holds the pool's optional latency/shape instruments. Each nil
+	// histogram disables its measurement entirely (its timing calls are
+	// skipped, not just discarded), so the zero value keeps the hot path
+	// identical to the uninstrumented pool.
+	Metrics Metrics
+}
+
+// Metrics are the pool's optional observability instruments. Counters are
+// not here — the per-shard atomics already exist and are exposed by Stats
+// (and at scrape time by internal/db's collectors); these histograms cover
+// what a counter cannot: how long fetches take and what shape evictions
+// have.
+type Metrics struct {
+	// FetchLatency records wall nanoseconds of every fetch, hits and misses
+	// alike.
+	FetchLatency *obs.Histogram
+	// MissLatency records wall nanoseconds of fetches that ran the miss
+	// protocol themselves: frame obtention (eviction sweep and write-backs
+	// included) plus the disk read with its retry ladder.
+	MissLatency *obs.Histogram
+	// CoalesceWait records wall nanoseconds coalesced waiters spent parked
+	// on another fetch's in-flight disk read.
+	CoalesceWait *obs.Histogram
+	// SweepLength records, per eviction sweep that could not be satisfied
+	// from the free list, how many victims the sweep examined before a
+	// frame was secured (or the sweep failed). Values above 1 mean victims
+	// were re-pinned under the sweep or failed their write-back.
+	SweepLength *obs.Histogram
 }
 
 func defaultShards() int {
@@ -277,6 +306,7 @@ type Pool struct {
 
 	retry   *retrier
 	breaker *breaker // nil when disabled
+	metrics Metrics
 
 	// closed gates every public operation after Close; in-flight operations
 	// complete normally.
@@ -335,6 +365,7 @@ func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool
 		quarantined:    make(map[policy.PageID]struct{}),
 		retry:          newRetrier(cfg.Retry),
 		breaker:        newBreaker(cfg.Breaker, d.NumStripes(), time.Now),
+		metrics:        cfg.Metrics,
 		writerStop:     make(chan struct{}),
 		writerDone:     make(chan struct{}),
 		writerKick:     make(chan struct{}, 1),
@@ -480,6 +511,16 @@ func (p *Pool) Fetch(id policy.PageID) (*Page, error) {
 // accounting), a wait on a victim's write-back is interruptible, and the
 // miss path's disk retry backoff is charged against ctx.
 func (p *Pool) FetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
+	if p.metrics.FetchLatency == nil {
+		return p.fetchCtx(ctx, id)
+	}
+	start := time.Now()
+	pg, err := p.fetchCtx(ctx, id)
+	p.metrics.FetchLatency.ObserveSince(start)
+	return pg, err
+}
+
+func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -492,9 +533,16 @@ func (p *Pool) FetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 		f := sh.table[id]
 		if f == nil {
 			sh.mu.RUnlock()
+			var missStart time.Time
+			if p.metrics.MissLatency != nil {
+				missStart = time.Now()
+			}
 			pg, retry, err := p.fetchMiss(ctx, sh, id)
 			if retry {
 				continue
+			}
+			if p.metrics.MissLatency != nil {
+				p.metrics.MissLatency.ObserveSince(missStart)
 			}
 			return pg, err
 		}
@@ -516,8 +564,15 @@ func (p *Pool) FetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 			f.pins.Add(1)
 			ready := f.ready
 			sh.mu.RUnlock()
+			var waitStart time.Time
+			if p.metrics.CoalesceWait != nil {
+				waitStart = time.Now()
+			}
 			select {
 			case <-ready:
+				if p.metrics.CoalesceWait != nil {
+					p.metrics.CoalesceWait.ObserveSince(waitStart)
+				}
 			case <-ctx.Done():
 				// Abandon the load: it was joined (a miss, coalesced), and
 				// the loader finishes it on our behalf — abandonPin settles
@@ -711,13 +766,17 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 	var (
 		werrs    []error
 		deferred []deferredVictim
+		examined int64
 	)
 	// Failed victims re-enter the replacer only at sweep end, whichever way
-	// the sweep exits.
+	// the sweep exits. The sweep length is recorded however the sweep ends
+	// (the fast free-list path above never reaches here, so every recorded
+	// sweep actually consulted the replacer).
 	defer func() {
 		for _, dv := range deferred {
 			p.restoreVictim(dv.id, dv.f)
 		}
+		p.metrics.SweepLength.Observe(examined)
 	}()
 	for {
 		if err := ctx.Err(); err != nil {
@@ -728,7 +787,9 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 			return nil, err
 		}
 		victim, ok := p.replacer.Evict()
-		if !ok {
+		if ok {
+			examined++
+		} else {
 			// A failed load or a DeletePage may have freed a frame since the
 			// first check.
 			if f := p.freePop(); f != nil {
@@ -823,6 +884,11 @@ func (p *Pool) Quarantined() int {
 	defer p.quarMu.Unlock()
 	return len(p.quarantined)
 }
+
+// BreakerOpenStripes returns how many disk stripes currently have an open
+// circuit (fail-fast; past-cooldown stripes count until a probe closes
+// them). Zero when the breaker is disabled.
+func (p *Pool) BreakerOpenStripes() int { return p.breaker.openStripes() }
 
 // restoreVictim re-registers a page in the replacer after an eviction
 // attempt was abandoned (the page was pinned, or its write-back failed):

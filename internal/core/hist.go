@@ -95,6 +95,15 @@ type histTable struct {
 	// onPurge, when set, is called for each history block the retention
 	// demon drops; the generic cache uses it to release key bindings.
 	onPurge func(policy.PageID)
+
+	// tracer, when set, receives collapse/purge decisions (evictions are
+	// reported by the owning Replacer, which knows the K-distance). Called
+	// under whatever lock serialises this table.
+	tracer PolicyTracer
+	// collapses and purges count §2.1.1 collapses and §2.1.2 purges; plain
+	// uint64s because the table is externally serialised.
+	collapses uint64
+	purges    uint64
 }
 
 func newHistTable(k int, crp, rip policy.Tick) *histTable {
@@ -112,6 +121,7 @@ func (t *histTable) reset() {
 	t.pages = make(map[policy.PageID]*hist)
 	t.index.Clear()
 	t.retire, t.retireHead = nil, 0
+	t.collapses, t.purges = 0, 0
 }
 
 // tick advances the logical clock by one reference and runs the retention
@@ -141,6 +151,10 @@ func (t *histTable) touchResident(p policy.PageID, h *hist, now policy.Tick, ind
 	if t.crp > 0 && now-h.last <= t.crp {
 		// A correlated reference: only LAST moves (§2.1.1).
 		h.last = now
+		t.collapses++
+		if t.tracer != nil {
+			t.tracer.TraceCollapse(p, now)
+		}
 		return
 	}
 	// A new, uncorrelated reference: close the correlated period by
@@ -278,10 +292,20 @@ func (t *histTable) purge() {
 			// entry was queued; a fresher entry governs it.
 			continue
 		}
-		delete(t.pages, head.page)
-		if t.onPurge != nil {
-			t.onPurge(head.page)
-		}
+		t.dropHistory(head.page)
+	}
+}
+
+// dropHistory deletes page's history control block and fires the purge
+// hooks and counter.
+func (t *histTable) dropHistory(page policy.PageID) {
+	delete(t.pages, page)
+	t.purges++
+	if t.tracer != nil {
+		t.tracer.TracePurge(page, t.clock)
+	}
+	if t.onPurge != nil {
+		t.onPurge(page)
 	}
 }
 
@@ -300,10 +324,7 @@ func (t *histTable) dropOldestRetained() bool {
 		if !ok || h.resident || h.last != head.last {
 			continue // stale queue entry; a fresher one governs the page
 		}
-		delete(t.pages, head.page)
-		if t.onPurge != nil {
-			t.onPurge(head.page)
-		}
+		t.dropHistory(head.page)
 		return true
 	}
 	return false

@@ -23,6 +23,8 @@ type Replacer struct {
 	table *histTable
 	// evictable tracks which resident pages are currently in the index.
 	evictable map[policy.PageID]bool
+	// evictions counts victim selections (see PolicyStats).
+	evictions uint64
 }
 
 // NewReplacer returns an LRU-K replacer for a pool with the given history
@@ -104,6 +106,13 @@ func (r *Replacer) Evict() (policy.PageID, bool) {
 		return policy.InvalidPage, false
 	}
 	h := r.table.pages[victim]
+	r.evictions++
+	if tr := r.table.tracer; tr != nil {
+		// Capture the Backward K-distance (Definition 2.1) that justified
+		// the choice before the block leaves residency.
+		kdist, finite := r.table.backwardKDistance(victim)
+		tr.TraceEvict(victim, r.table.clock, kdist, !finite)
+	}
 	r.table.index.Delete(h.key(victim))
 	delete(r.evictable, victim)
 	r.table.evictResident(victim, h)
@@ -130,3 +139,19 @@ func (r *Replacer) Size() int { return len(r.evictable) }
 
 // HistorySize returns the number of retained history control blocks.
 func (r *Replacer) HistorySize() int { return r.table.historyLen() }
+
+// SetTracer installs (or, with nil, removes) a PolicyTracer receiving this
+// replacer's eviction, collapse and purge decisions.
+func (r *Replacer) SetTracer(tr PolicyTracer) { r.table.tracer = tr }
+
+// PolicyStats returns the replacer's cumulative decision counts and current
+// table sizes.
+func (r *Replacer) PolicyStats() PolicyStats {
+	return PolicyStats{
+		Evictions:     r.evictions,
+		Collapses:     r.table.collapses,
+		Purges:        r.table.purges,
+		HistoryBlocks: r.table.historyLen(),
+		Evictable:     len(r.evictable),
+	}
+}

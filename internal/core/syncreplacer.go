@@ -90,6 +90,21 @@ func (s *SyncReplacer) HistorySize() int {
 	return s.r.HistorySize()
 }
 
+// SetTracer installs a PolicyTracer on the wrapped replacer; the tracer is
+// invoked under this wrapper's mutex.
+func (s *SyncReplacer) SetTracer(tr PolicyTracer) {
+	s.mu.Lock()
+	s.r.SetTracer(tr)
+	s.mu.Unlock()
+}
+
+// PolicyStats returns the wrapped replacer's decision counts.
+func (s *SyncReplacer) PolicyStats() PolicyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.PolicyStats()
+}
+
 // ShardedReplacer partitions pages by hash across independently locked
 // LRU-K sub-replacers, the same latch-partitioning scheme Cache uses for
 // its shards. Victim order is per-shard rather than global: Evict sweeps
@@ -209,4 +224,28 @@ func (r *ShardedReplacer) HistorySize() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// SetTracer installs a PolicyTracer on every shard; the implementation must
+// tolerate concurrent calls from different shard locks.
+func (r *ShardedReplacer) SetTracer(tr PolicyTracer) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.r.SetTracer(tr)
+		s.mu.Unlock()
+	}
+}
+
+// PolicyStats sums decision counts and table sizes across all shards.
+func (r *ShardedReplacer) PolicyStats() PolicyStats {
+	var total PolicyStats
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		st := s.r.PolicyStats()
+		s.mu.Unlock()
+		total.add(st)
+	}
+	return total
 }

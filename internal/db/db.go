@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/heapfile"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -78,6 +79,17 @@ type Config struct {
 	// its janitor at this interval; db.Close stops it. Requires
 	// RecordCacheSize > 0.
 	RecordCacheJanitor time.Duration
+	// Obs, when non-nil, instruments the whole stack into this registry:
+	// the pool's fetch/miss/coalesce/sweep histograms, the disk's
+	// per-stripe read/write latency, the LRU-K policy's decision counters
+	// and eviction trace, and scrape-time collectors over every counter
+	// StatsSnapshot reports (see DESIGN.md §12 for the catalog). Nil (the
+	// default) leaves every hot path uninstrumented.
+	Obs *obs.Registry
+	// EvictionTraceSize caps the policy decision trace ring (evictions,
+	// CRP collapses, RIP purges). Zero selects 512. Only used when Obs is
+	// set.
+	EvictionTraceSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,9 +107,13 @@ type DB struct {
 	cfg       Config
 	disk      *disk.Manager
 	pool      *bufferpool.Pool
+	replacer  *core.SyncReplacer
 	customers *heapfile.File
 	index     *btree.Tree
 	rids      map[int64]heapfile.RID // loader's check table, not an access path
+
+	// evTrace is the policy decision ring (nil unless Config.Obs is set).
+	evTrace *obs.EvictionTrace
 
 	// recCache, when enabled, answers repeat Lookups without touching the
 	// pool; janitorStop tears down its background sweeper.
@@ -133,13 +149,22 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.DiskFaults != nil {
 		d.SetFaults(cfg.DiskFaults)
 	}
-	pool := bufferpool.NewWithConfig(d, cfg.Frames,
-		core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions),
+	repl := core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions)
+	var poolMetrics bufferpool.Metrics
+	if cfg.Obs != nil {
+		// Latency instruments must exist before the pool and disk serve
+		// their first operation; scrape-time collectors are registered
+		// after assembly (registerObs below).
+		poolMetrics = newPoolMetrics(cfg.Obs)
+		d.SetMetrics(newDiskMetrics(cfg.Obs, d))
+	}
+	pool := bufferpool.NewWithConfig(d, cfg.Frames, repl,
 		bufferpool.Config{
 			Shards:         cfg.PoolShards,
 			Retry:          cfg.DiskRetry,
 			Breaker:        cfg.DiskBreaker,
 			WriterInterval: cfg.WriterInterval,
+			Metrics:        poolMetrics,
 		})
 	file := heapfile.New(pool)
 	idx, err := btree.New(pool)
@@ -150,6 +175,7 @@ func Open(cfg Config) (*DB, error) {
 		cfg:       cfg,
 		disk:      d,
 		pool:      pool,
+		replacer:  repl,
 		customers: file,
 		index:     idx,
 		rids:      make(map[int64]heapfile.RID),
@@ -181,6 +207,18 @@ func Open(cfg Config) (*DB, error) {
 			}
 			db.janitorStop = stop
 		}
+	}
+	if cfg.Obs != nil {
+		// Registered after the record cache exists so its collectors are
+		// included; the trace ring and hot-path histograms were armed
+		// before the first I/O above.
+		size := cfg.EvictionTraceSize
+		if size <= 0 {
+			size = 512
+		}
+		db.evTrace = obs.NewEvictionTrace(size)
+		repl.SetTracer(policyTraceAdapter{trace: db.evTrace})
+		db.registerObs(cfg.Obs)
 	}
 	pool.Start()
 	return db, nil
@@ -360,11 +398,15 @@ type StatsSnapshot struct {
 	PoolHitRatio float64          `json:"pool_hit_ratio"`
 	// Quarantined is the number of pages whose most recent write-back
 	// failed and that await the background writer's retry.
-	Quarantined int             `json:"quarantined"`
-	Disk        disk.Stats      `json:"disk"`
-	RecordCache core.CacheStats `json:"record_cache"`
-	IndexPages  int             `json:"index_pages"`
-	DataPages   int             `json:"data_pages"`
+	Quarantined int `json:"quarantined"`
+	// BreakerOpenStripes is how many disk stripes currently refuse I/O
+	// with an open circuit (0 with the breaker disabled or healthy).
+	BreakerOpenStripes int              `json:"breaker_open_stripes"`
+	Policy             core.PolicyStats `json:"policy"`
+	Disk               disk.Stats       `json:"disk"`
+	RecordCache        core.CacheStats  `json:"record_cache"`
+	IndexPages         int              `json:"index_pages"`
+	DataPages          int              `json:"data_pages"`
 }
 
 // StatsSnapshot collects the combined counter aggregate. The counters are
@@ -374,13 +416,15 @@ type StatsSnapshot struct {
 func (db *DB) StatsSnapshot() StatsSnapshot {
 	s := db.pool.Stats()
 	return StatsSnapshot{
-		Pool:         s,
-		PoolHitRatio: s.HitRatio(),
-		Quarantined:  db.pool.Quarantined(),
-		Disk:         db.disk.Stats(),
-		RecordCache:  db.RecordCacheStats(),
-		IndexPages:   len(db.index.Pages()),
-		DataPages:    len(db.customers.Pages()),
+		Pool:               s,
+		PoolHitRatio:       s.HitRatio(),
+		Quarantined:        db.pool.Quarantined(),
+		BreakerOpenStripes: db.pool.BreakerOpenStripes(),
+		Policy:             db.replacer.PolicyStats(),
+		Disk:               db.disk.Stats(),
+		RecordCache:        db.RecordCacheStats(),
+		IndexPages:         len(db.index.Pages()),
+		DataPages:          len(db.customers.Pages()),
 	}
 }
 

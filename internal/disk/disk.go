@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
@@ -90,6 +92,9 @@ type Manager struct {
 	lastOp atomic.Int64
 	// faults is the armed fault-injection plan; nil injects nothing.
 	faults atomic.Pointer[FaultPlan]
+	// metrics is the armed latency instrumentation; nil (the default)
+	// records nothing and costs one pointer load per operation.
+	metrics atomic.Pointer[Metrics]
 
 	reads         atomic.Uint64
 	writes        atomic.Uint64
@@ -166,8 +171,36 @@ func (m *Manager) Deallocate(p policy.PageID) error {
 // already past their fault check complete normally.
 func (m *Manager) SetFaults(p *FaultPlan) { m.faults.Store(p) }
 
+// Metrics are the disk's optional latency instruments: wall-clock Read and
+// Write time — inclusive of the ServiceModel's injected Delay and of latch
+// waits, which is the point: the histogram shows what callers actually
+// experienced, split by stripe so one slow or breaker-tripped device region
+// stands out from the other 31.
+type Metrics struct {
+	ReadLatency  [numStripes]*obs.Histogram
+	WriteLatency [numStripes]*obs.Histogram
+}
+
+// SetMetrics arms (or, with nil, disarms) latency instrumentation. Like
+// SetFaults it may be called at any time; operations in flight finish under
+// whichever instrumentation they started with.
+func (m *Manager) SetMetrics(mm *Metrics) { m.metrics.Store(mm) }
+
 // Read copies page p into buf, which must hold PageSize bytes.
 func (m *Manager) Read(p policy.PageID, buf []byte) error {
+	mm := m.metrics.Load()
+	if mm == nil {
+		return m.read(p, buf)
+	}
+	start := time.Now()
+	err := m.read(p, buf)
+	// Faulted and rejected reads are recorded too: an error return still
+	// occupied the caller for this long.
+	mm.ReadLatency[m.StripeOf(p)].ObserveSince(start)
+	return err
+}
+
+func (m *Manager) read(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: read buffer of %d bytes, want %d", len(buf), PageSize)
 	}
@@ -195,6 +228,17 @@ func (m *Manager) Read(p policy.PageID, buf []byte) error {
 
 // Write stores buf as the new contents of page p.
 func (m *Manager) Write(p policy.PageID, buf []byte) error {
+	mm := m.metrics.Load()
+	if mm == nil {
+		return m.write(p, buf)
+	}
+	start := time.Now()
+	err := m.write(p, buf)
+	mm.WriteLatency[m.StripeOf(p)].ObserveSince(start)
+	return err
+}
+
+func (m *Manager) write(p policy.PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("disk: write buffer of %d bytes, want %d", len(buf), PageSize)
 	}

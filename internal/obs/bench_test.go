@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsOverhead measures the combined cost of one hot-path record:
+// a counter increment plus a histogram observation — exactly what an
+// instrumented pool fetch pays per operation (the time.Now() calls are
+// benchmarked separately below, since the caller pays them only when
+// metrics are configured). The budget documented in DESIGN.md §12 is
+// ~50 ns; TestObsOverheadGuard enforces a CI-noise-tolerant ceiling.
+func BenchmarkObsOverhead(b *testing.B) {
+	c := NewCounter()
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			c.Inc()
+			h.Observe(v)
+			v = (v + 4097) & (1<<20 - 1)
+		}
+	})
+}
+
+// BenchmarkObsOverheadDisabled measures the same record against nil
+// instruments — the disabled configuration every un-instrumented caller
+// runs. This must be a couple of predictable branches.
+func BenchmarkObsOverheadDisabled(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			c.Inc()
+			h.Observe(v)
+			v = (v + 4097) & (1<<20 - 1)
+		}
+	})
+}
+
+// BenchmarkObsTimedRecord adds the two time.Now() calls an instrumented
+// latency path pays around the work it measures.
+func BenchmarkObsTimedRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		h.ObserveSince(start)
+	}
+}
+
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < 100000; i++ {
+		h.Observe(int64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		_ = s.Quantile(0.99)
+	}
+}

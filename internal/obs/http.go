@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability HTTP mux for a registry:
+//
+//	/metrics        Prometheus text exposition of every family
+//	/debug/pprof/*  the standard runtime profiles (CPU, heap, goroutine,
+//	                block, mutex, trace) via net/http/pprof
+//
+// The pprof handlers are mounted explicitly rather than through the
+// package's DefaultServeMux side effect, so importing obs never exposes
+// profiles on a mux the caller did not ask for. Additional endpoints (an
+// eviction-trace dump, say) can be added to the returned mux.
+func Handler(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	scrapes := r.Counter("lruk_obs_scrapes_total",
+		"Number of /metrics scrapes served.", nil)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		scrapes.Inc()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

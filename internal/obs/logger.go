@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StartLogger launches a goroutine that writes one structured logfmt line
+// per interval to w: every counter and gauge as `name=value` (labels
+// folded into the key), every histogram as `name_count`, `name_p99` and
+// `name_max` in its exposition unit. The line is a cheap flight recorder —
+// greppable, diffable, no scrape infrastructure required — and is off by
+// default (callers only start it when the operator asks for an interval).
+//
+// The returned stop function is idempotent and does not return until the
+// logger goroutine has exited.
+func StartLogger(w io.Writer, r *Registry, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(exited)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				fmt.Fprintln(w, LogLine(r))
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}
+
+// LogLine renders the registry's current state as one logfmt line,
+// beginning with `obs ts=<RFC3339>`.
+func LogLine(r *Registry) string {
+	var b strings.Builder
+	b.WriteString("obs ts=")
+	b.WriteString(time.Now().UTC().Format(time.RFC3339))
+	fams := r.snapshotFamilies()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		r.mu.Lock()
+		series := make([]*series, len(f.series))
+		copy(series, f.series)
+		r.mu.Unlock()
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		for _, s := range series {
+			key := logKey(f.name, s.labels)
+			switch f.kind {
+			case KindCounter:
+				v := 0.0
+				switch {
+				case s.cFunc != nil:
+					v = s.cFunc()
+				case s.counter != nil:
+					v = float64(s.counter.Value())
+				}
+				fmt.Fprintf(&b, " %s=%s", key, formatFloat(v))
+			case KindGauge:
+				v := 0.0
+				switch {
+				case s.gFunc != nil:
+					v = s.gFunc()
+				case s.gauge != nil:
+					v = float64(s.gauge.Value())
+				}
+				fmt.Fprintf(&b, " %s=%s", key, formatFloat(v))
+			case KindHistogram:
+				if s.hist == nil {
+					continue
+				}
+				sum := s.hist.Summary()
+				fmt.Fprintf(&b, " %s_count=%d %s_p99=%s %s_max=%s",
+					key, sum.Count, key, formatFloat(sum.P99), key, formatFloat(sum.Max))
+			}
+		}
+	}
+	return b.String()
+}
+
+// logKey folds a series' labels into a flat logfmt-safe key:
+// name{op="get"} becomes name_op_get.
+func logKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	flat := strings.NewReplacer(`="`, "_", `"`, "", ",", "_", " ", "_").Replace(labels)
+	return name + "_" + flat
+}

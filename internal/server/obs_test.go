@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics parses every /metrics sample line into a map keyed `name`
+// or `name{labels}`.
+func scrapeMetrics(t *testing.T, srv *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, perr := strconv.ParseFloat(line[idx+1:], 64)
+		if perr != nil {
+			t.Fatalf("malformed value in %q: %v", line, perr)
+		}
+		out[line[:idx]] = v
+	}
+	return out
+}
+
+// TestServerObsMetrics shares one registry between the database and the
+// server, drives the full remote path, and asserts the server's families
+// reconcile with its own Stats() — and that the STATS wire reply carries
+// the same histogram summaries an operator would scrape.
+func TestServerObsMetrics(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	srv, _ := startServer(t,
+		db.Config{Frames: 32, Obs: reg},
+		Config{Workers: 2, Obs: reg},
+		64)
+	cl := dial(t, srv)
+	ctx := context.Background()
+
+	for i := int64(0); i < 40; i++ {
+		if _, err := cl.Get(ctx, i%64); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if i%4 == 0 {
+			if err := cl.Update(ctx, i%64, byte(i)); err != nil {
+				t.Fatalf("update %d: %v", i, err)
+			}
+		}
+	}
+	if _, err := cl.Scan(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(obs.Handler(reg))
+	defer hs.Close()
+	vals := scrapeMetrics(t, hs)
+	serverStats := srv.Stats()
+
+	// Counter collectors read the same atomics Stats() snapshots.
+	for name, want := range map[string]uint64{
+		"lruk_server_conns_total":                  serverStats.Conns,
+		"lruk_server_requests_total":               serverStats.Requests,
+		"lruk_server_shed_total":                   serverStats.Shed,
+		`lruk_server_responses_total{status="ok"}`: serverStats.Statuses["ok"],
+	} {
+		got, ok := vals[name]
+		if !ok {
+			t.Errorf("/metrics missing %s", name)
+			continue
+		}
+		if got != float64(want) {
+			t.Errorf("%s = %v, Stats says %d", name, got, want)
+		}
+	}
+
+	// Per-op latency: every admitted request was timed under its opcode;
+	// the shed count is zero here, so counts sum to the request total.
+	var timed float64
+	for _, op := range []string{"get", "scan", "update", "stats", "flush"} {
+		key := `lruk_server_request_seconds_count{op="` + op + `"}`
+		v, ok := vals[key]
+		if !ok {
+			t.Errorf("/metrics missing %s", key)
+			continue
+		}
+		if op == "get" && v < 40 {
+			t.Errorf("get latency count %v, want >= 40", v)
+		}
+		timed += v
+	}
+	if timed != float64(serverStats.Requests) {
+		t.Errorf("per-op latency counts sum to %v, requests = %d", timed, serverStats.Requests)
+	}
+	if v := vals["lruk_server_queue_wait_seconds_count"]; v != float64(serverStats.Requests) {
+		t.Errorf("queue wait count %v, want %d", v, serverStats.Requests)
+	}
+
+	// The STATS reply exposes the registry's histogram summaries: same keys
+	// as /metrics, and the server's own families ride along with the pool's.
+	if stats.Obs == nil {
+		t.Fatal("STATS reply carries no obs summaries despite a configured registry")
+	}
+	for _, key := range []string{
+		`lruk_server_request_seconds{op="get"}`,
+		"lruk_server_queue_wait_seconds",
+		"lruk_pool_fetch_seconds",
+	} {
+		sum, ok := stats.Obs[key]
+		if !ok {
+			t.Errorf("STATS obs summaries missing %s", key)
+			continue
+		}
+		if sum.Count == 0 {
+			t.Errorf("STATS obs summary %s has zero count", key)
+		}
+		if sum.P99 < sum.P50 || sum.Max < sum.P99 {
+			t.Errorf("STATS obs summary %s not monotone: %+v", key, sum)
+		}
+	}
+}
+
+// TestServerObsDisabled asserts the uninstrumented server neither times
+// requests nor attaches summaries to STATS.
+func TestServerObsDisabled(t *testing.T) {
+	leakcheck.Check(t)
+	srv, _ := startServer(t, db.Config{Frames: 32}, Config{}, 16)
+	cl := dial(t, srv)
+	if _, err := cl.Get(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Obs != nil {
+		t.Fatalf("STATS reply carries obs summaries without a registry: %d keys", len(stats.Obs))
+	}
+	if srv.histFor(0) != nil || srv.histFor(99) != nil {
+		t.Error("histFor out-of-range op must be nil")
+	}
+}

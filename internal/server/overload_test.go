@@ -112,8 +112,16 @@ func TestOverloadShedsAndBreakerSurfaces(t *testing.T) {
 	t.Logf("burst of %d: %d completed, %d shed busy", burst, ok, busy)
 
 	// --- Phase 2: blackout trips the breaker; clients see UNAVAILABLE. ---
-	database.SetDiskFaults(disk.NewFaultPlan(1, disk.FaultRule{}))
+	// Churn the 16-frame pool with late keys first so the cold key's leaf
+	// and heap pages are certainly evicted — the burst alone may not have
+	// (under load, most of it is shed before touching the database).
 	cl := dial(t, srv)
+	for id := int64(customers - 64); id < customers; id++ {
+		if _, err := cl.Get(context.Background(), id); err != nil {
+			t.Fatalf("churn get %d: %v", id, err)
+		}
+	}
+	database.SetDiskFaults(disk.NewFaultPlan(1, disk.FaultRule{}))
 	coldKey := int64(3) // early key: its leaf/heap pages are long evicted
 	sawUnavailable := false
 	for attempt := 0; attempt < 100; attempt++ {
@@ -149,10 +157,24 @@ func TestOverloadShedsAndBreakerSurfaces(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	// The same server keeps serving after the storm.
-	rec, err := cl.Get(context.Background(), coldKey)
-	if err != nil {
-		t.Fatalf("get after recovery: %v", err)
+	// The same server keeps serving after the storm. A stripe whose breaker
+	// tripped on reads re-admits only through a half-open probe after its
+	// cooldown, so the first gets may still see UNAVAILABLE — retry until a
+	// probe lands.
+	var rec []byte
+	for {
+		var err error
+		rec, err = cl.Get(context.Background(), coldKey)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, client.ErrUnavailable) {
+			t.Fatalf("get after recovery: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never re-admitted reads after heal: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if len(rec) == 0 {
 		t.Fatal("empty record after recovery")

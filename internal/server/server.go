@@ -34,12 +34,14 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bufferpool"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 )
 
@@ -72,6 +74,12 @@ type Config struct {
 	// connections get to finish their current request before being
 	// hard-closed. Zero selects 5s.
 	DrainTimeout time.Duration
+	// Obs, when non-nil, registers the server's metric families into this
+	// registry: per-opcode request latency, admission queue wait and depth,
+	// accepted/shed/status counters. The same registry's histogram
+	// summaries ride on every STATS reply. Nil leaves the request path
+	// uninstrumented.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +113,9 @@ func (c Config) withDefaults() Config {
 type task struct {
 	req   wire.Request
 	reply chan wire.Response
+	// enqueued is when the task entered the admission queue; the zero value
+	// means queue-wait instrumentation is off.
+	enqueued time.Time
 }
 
 // Server is the network page service over one DB.
@@ -136,15 +147,54 @@ type Server struct {
 	requests      atomic.Uint64
 	shed          atomic.Uint64
 	statusCounts  [wire.NumStatuses]atomic.Uint64
+
+	// reg is the optional metrics registry; opLatency (indexed by wire.Op)
+	// and queueWait are nil without it, disabling their timings.
+	reg       *obs.Registry
+	opLatency [wire.NumOps + 1]*obs.Histogram
+	queueWait *obs.Histogram
 }
 
 // New returns an unstarted server over database.
 func New(database *db.DB, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:   cfg.withDefaults(),
 		db:    database,
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
+	}
+	if r := s.cfg.Obs; r != nil {
+		s.registerObs(r)
+	}
+	return s
+}
+
+// registerObs installs the server's metric families: latency histograms the
+// request path records into, and scrape-time collectors over the counters
+// the server maintains anyway.
+func (s *Server) registerObs(r *obs.Registry) {
+	s.reg = r
+	for op := wire.OpGet; int(op) <= wire.NumOps; op++ {
+		s.opLatency[op] = r.LatencyHistogram("lruk_server_request_seconds",
+			"Request execution latency by opcode (database work only; queue wait excluded).",
+			obs.Labels{"op": strings.ToLower(op.String())})
+	}
+	s.queueWait = r.LatencyHistogram("lruk_server_queue_wait_seconds",
+		"Time admitted requests spent in the admission queue before a worker picked them up.", nil)
+	r.GaugeFunc("lruk_server_queue_depth", "Requests sitting in the admission queue right now.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	r.CounterFunc("lruk_server_conns_total", "Connections accepted.", nil,
+		func() float64 { return float64(s.connsAccepted.Load()) })
+	r.CounterFunc("lruk_server_requests_total", "Well-framed requests read.", nil,
+		func() float64 { return float64(s.requests.Load()) })
+	r.CounterFunc("lruk_server_shed_total", "Requests shed at admission with StatusBusy.", nil,
+		func() float64 { return float64(s.shed.Load()) })
+	for i := range s.statusCounts {
+		st := wire.Status(i)
+		idx := i
+		r.CounterFunc("lruk_server_responses_total", "Responses sent, by status.",
+			obs.Labels{"status": st.String()},
+			func() float64 { return float64(s.statusCounts[idx].Load()) })
 	}
 }
 
@@ -310,6 +360,9 @@ func (s *Server) handleConn(c net.Conn) {
 			resp = wire.Response{Status: wire.StatusShutdown, Body: []byte("server draining")}
 		default:
 			t := &task{req: req, reply: make(chan wire.Response, 1)}
+			if s.queueWait != nil {
+				t.enqueued = time.Now()
+			}
 			select {
 			case s.queue <- t:
 				resp = <-t.reply
@@ -341,8 +394,30 @@ func (s *Server) reply(c net.Conn, bw *bufio.Writer, resp wire.Response) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.queue {
-		t.reply <- s.execute(t.req)
+		if !t.enqueued.IsZero() {
+			s.queueWait.ObserveSince(t.enqueued)
+		}
+		var start time.Time
+		hist := s.histFor(t.req.Op)
+		if hist != nil {
+			start = time.Now()
+		}
+		resp := s.execute(t.req)
+		if hist != nil {
+			hist.ObserveSince(start)
+		}
+		t.reply <- resp
 	}
+}
+
+// histFor returns the op's latency histogram, nil when uninstrumented or
+// the op is unknown (an unknown op still gets a BadRequest reply, just no
+// latency series).
+func (s *Server) histFor(op wire.Op) *obs.Histogram {
+	if int(op) >= len(s.opLatency) {
+		return nil
+	}
+	return s.opLatency[op]
 }
 
 // execute runs one admitted request against the database under its
@@ -383,7 +458,11 @@ func (s *Server) execute(req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusOK}
 	case wire.OpStats:
-		body, err := json.Marshal(wire.StatsReply{Server: s.Stats(), DB: s.db.StatsSnapshot()})
+		reply := wire.StatsReply{Server: s.Stats(), DB: s.db.StatsSnapshot()}
+		if s.reg != nil {
+			reply.Obs = s.reg.HistogramSummaries()
+		}
+		body, err := json.Marshal(reply)
 		if err != nil {
 			return errResponse(err)
 		}

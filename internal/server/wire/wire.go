@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/obs"
 )
 
 // Op identifies a request operation.
@@ -54,6 +55,10 @@ const (
 	OpStats
 	OpFlush
 )
+
+// NumOps is the count of defined operations; op values run 1..NumOps, so
+// per-op tables are sized NumOps+1 and indexed by the op directly.
+const NumOps = int(OpFlush)
 
 // String names the op for diagnostics.
 func (o Op) String() string {
@@ -285,8 +290,13 @@ type ServerStats struct {
 }
 
 // StatsReply is the STATS op's JSON body: the server's counters plus the
-// database's combined snapshot.
+// database's combined snapshot, and — when the server runs with an obs
+// registry — every histogram's summary, keyed `name` or `name{labels}`
+// exactly as /metrics exposes it. Remote tooling (lrukload's percentile
+// report) reads the same distributions an operator would scrape.
 type StatsReply struct {
 	Server ServerStats      `json:"server"`
 	DB     db.StatsSnapshot `json:"db"`
+	// Obs is nil when the server has no registry configured.
+	Obs map[string]obs.HistSummary `json:"obs,omitempty"`
 }

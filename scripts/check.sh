@@ -21,4 +21,6 @@ echo "== go test -race ./..."
 go test -race -timeout 600s ./...
 echo "== serve-smoke"
 sh scripts/serve_smoke.sh
+echo "== obs-smoke"
+sh scripts/obs_smoke.sh
 echo "OK"

@@ -1,0 +1,35 @@
+// Command httpget is a minimal HTTP GET for the smoke scripts: it fetches
+// one URL and writes the body to stdout, exiting non-zero on any error or
+// non-200 status. It exists so the scripts need nothing beyond the go
+// toolchain — no curl, no wget.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "httpget: %s: %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+#!/bin/sh
+# End-to-end smoke test of the observability plane: boot lrukd with a
+# second (obs) listener, drive a load burst, then require that
+#   - /metrics serves Prometheus text containing every layer's families
+#     (pool, disk, policy, server) plus histogram summary quantiles,
+#   - /trace serves a non-empty JSON eviction trace,
+#   - /debug/pprof/ answers,
+#   - the structured log line appears on stderr,
+# and finally that the daemon still drains cleanly (obs server and logger
+# both stopped, leak check passed).
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build lrukd + lrukload"
+go build -o "$tmp/lrukd" ./cmd/lrukd
+go build -o "$tmp/lrukload" ./cmd/lrukload
+
+echo "== start lrukd with the obs plane"
+"$tmp/lrukd" -addr 127.0.0.1:0 -obs-addr 127.0.0.1:0 \
+    -obs-log-interval 500ms -customers 2000 -frames 128 \
+    >"$tmp/lrukd.log" 2>"$tmp/lrukd.err" &
+daemon_pid=$!
+
+addr=""
+obs_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^lrukd: serving on \([^ ]*\).*/\1/p' "$tmp/lrukd.log")
+    obs_addr=$(sed -n 's/^lrukd: observability on \([^ ]*\).*/\1/p' "$tmp/lrukd.log")
+    [ -n "$addr" ] && [ -n "$obs_addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "lrukd died during startup:"
+        cat "$tmp/lrukd.log" "$tmp/lrukd.err"
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ] || [ -z "$obs_addr" ]; then
+    echo "lrukd never printed both serving lines:"
+    cat "$tmp/lrukd.log"
+    exit 1
+fi
+echo "   lrukd at $addr, obs at $obs_addr (pid $daemon_pid)"
+
+echo "== load burst"
+"$tmp/lrukload" -addr "$addr" -clients 4 -duration 1s -keys 2000 \
+    -min-hit-ratio 0.01 >"$tmp/load.log"
+if ! grep -q "server_ms" "$tmp/load.log"; then
+    echo "lrukload report lacks the server-side latency table:"
+    cat "$tmp/load.log"
+    exit 1
+fi
+
+# fetch <path> <outfile>: plain-HTTP GET without curl/wget, so the smoke
+# runs anywhere the go toolchain does.
+fetch() {
+    go run ./scripts/internal/httpget "http://$obs_addr$1" >"$2"
+}
+
+echo "== scrape /metrics"
+fetch /metrics "$tmp/metrics"
+for family in \
+    lruk_pool_hits_total \
+    lruk_pool_fetch_seconds_count \
+    lruk_pool_sweep_victims_count \
+    lruk_disk_read_seconds_count \
+    lruk_policy_evictions_total \
+    lruk_policy_trace_records_total \
+    lruk_server_request_seconds_count \
+    lruk_server_queue_wait_seconds_count \
+    lruk_record_cache_hits_total~absent \
+    quantile=\"0.99\"; do
+    case $family in
+    *~absent)
+        # No record cache was configured, so its families must not appear:
+        # the exposition reflects the deployment, not every possible metric.
+        name=${family%~absent}
+        if grep -q "$name" "$tmp/metrics"; then
+            echo "/metrics exposes $name despite no record cache"
+            exit 1
+        fi
+        ;;
+    *)
+        if ! grep -q "$family" "$tmp/metrics"; then
+            echo "/metrics missing $family:"
+            head -40 "$tmp/metrics"
+            exit 1
+        fi
+        ;;
+    esac
+done
+
+echo "== fetch /trace"
+fetch /trace "$tmp/trace"
+if ! grep -q '"kind":"evict"' "$tmp/trace"; then
+    echo "/trace holds no eviction records:"
+    head -c 400 "$tmp/trace"
+    exit 1
+fi
+
+echo "== probe /debug/pprof/"
+fetch /debug/pprof/ "$tmp/pprof"
+if ! grep -q "goroutine" "$tmp/pprof"; then
+    echo "/debug/pprof/ index looks wrong:"
+    head -20 "$tmp/pprof"
+    exit 1
+fi
+
+echo "== wait for a structured log line"
+i=0
+while ! grep -q "obs ts=" "$tmp/lrukd.err"; do
+    if [ $i -ge 50 ]; then
+        echo "no structured log line on stderr after 5s"
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+    echo "lrukd exited $status:"
+    cat "$tmp/lrukd.log" "$tmp/lrukd.err"
+    exit 1
+fi
+if ! grep -q "lrukd: clean shutdown" "$tmp/lrukd.log"; then
+    echo "lrukd exited 0 but never declared a clean shutdown:"
+    cat "$tmp/lrukd.log"
+    exit 1
+fi
+echo "obs-smoke OK"
