@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool bench-obs tables chaos serve-smoke obs-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke check
 
 all: check
 
@@ -64,4 +64,16 @@ serve-smoke:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
-check: fmt-check build vet test race serve-smoke obs-smoke
+## crash-smoke: kill -9 durability test — boot lrukd on a file-backed
+## data dir, drive a ledger-recorded update load, SIGKILL mid-run,
+## restart on the same dir, and verify every acknowledged update
+## survived WAL recovery (DESIGN.md §13).
+crash-smoke:
+	sh scripts/crash_smoke.sh
+
+## bench-save: run the storage backend benchmarks (sim vs durable file
+## store) and snapshot the results into BENCH_storage.json.
+bench-save:
+	sh scripts/bench_save.sh
+
+check: fmt-check build vet test race serve-smoke obs-smoke crash-smoke

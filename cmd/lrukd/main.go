@@ -8,6 +8,14 @@
 //
 //	lrukd -addr 127.0.0.1:4980 -customers 10000 -frames 404 -k 2
 //	lrukd -addr 127.0.0.1:0 ...   # free port; read it from the serving line
+//	lrukd -backend=file -data-dir=/var/lib/lrukd ...   # durable store
+//
+// With -backend=file the customer pages live in a WAL-protected page file
+// under -data-dir: the first start loads and checkpoints the population,
+// and every restart recovers the dataset (acknowledged updates included)
+// instead of reloading, printing
+//
+//	lrukd: recovered <dir> (replayed=... torn_tail=... customers=...)
 //
 // On startup it prints exactly one line of the form
 //
@@ -44,6 +52,8 @@ import (
 	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/storage/file"
 )
 
 func main() {
@@ -58,6 +68,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:4980", "TCP listen address (:0 picks a free port)")
+		backend   = fs.String("backend", "sim", "storage backend: sim (in-memory simulated disk) or file (durable page file with WAL)")
+		dataDir   = fs.String("data-dir", "", "data directory for -backend=file (created if missing)")
 		customers = fs.Int("customers", 10000, "customer records to load before serving")
 		frames    = fs.Int("frames", 404, "buffer pool size in pages")
 		k         = fs.Int("k", 2, "LRU-K history depth (1 = classical LRU)")
@@ -83,7 +95,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		reg = obs.NewRegistry()
 	}
 
+	// Backend selection: the default simulated disk, or the durable
+	// file-backed store. The database owns whichever backend it is handed
+	// and closes it on Close.
+	var store storage.Backend
+	switch *backend {
+	case "sim":
+		if *dataDir != "" {
+			fmt.Fprintln(stderr, "lrukd: -data-dir requires -backend=file")
+			return 2
+		}
+	case "file":
+		if *dataDir == "" {
+			fmt.Fprintln(stderr, "lrukd: -backend=file requires -data-dir")
+			return 2
+		}
+		s, err := file.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukd:", err)
+			return 1
+		}
+		store = s
+	default:
+		fmt.Fprintf(stderr, "lrukd: unknown backend %q (want sim or file)\n", *backend)
+		return 2
+	}
+
 	database, err := db.Open(db.Config{
+		Backend:           store,
 		Frames:            *frames,
 		K:                 *k,
 		RecordCacheSize:   *recCache,
@@ -106,12 +145,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "lrukd:", err)
+		if store != nil {
+			_ = store.Close()
+		}
 		return 1
 	}
-	if err := database.LoadCustomers(*customers); err != nil {
-		fmt.Fprintln(stderr, "lrukd:", err)
-		database.Close()
-		return 1
+	if database.Attached() {
+		// Durable reopen: recovery replayed the WAL and the catalog
+		// re-anchored the dataset; there is nothing to load.
+		if ri, ok := database.Recovery(); ok {
+			fmt.Fprintf(stdout, "lrukd: recovered %s (replayed=%d torn_tail=%v customers=%d)\n",
+				*dataDir, ri.Replayed, ri.TailDropped, database.CustomerCount())
+		}
+		*customers = database.CustomerCount()
+	} else {
+		if err := database.LoadCustomers(*customers); err != nil {
+			fmt.Fprintln(stderr, "lrukd:", err)
+			database.Close()
+			return 1
+		}
+		if *backend == "file" {
+			// Checkpoint the freshly loaded dataset: the catalog is
+			// published and the WAL truncated, so the population phase is
+			// not replayed on every subsequent start.
+			if err := database.FlushAll(); err != nil {
+				fmt.Fprintln(stderr, "lrukd:", err)
+				database.Close()
+				return 1
+			}
+		}
 	}
 
 	srv := server.New(database, server.Config{

@@ -14,6 +14,16 @@
 //	lrukload -addr 127.0.0.1:4980 -clients 8 -duration 5s -keys 10000
 //	lrukload -addr ... -get 80 -update 20 -req-timeout 200ms
 //	lrukload -addr ... -min-hit-ratio 0.01   # exit 1 below this ratio
+//	lrukload -addr ... -ledger led.json      # crash-test load (see below)
+//	lrukload -addr ... -ledger led.json -verify
+//
+// The -ledger / -verify pair is the durability crash test
+// (scripts/crash_smoke.sh): -ledger drives an updates-only workload over a
+// client-partitioned key space, recording each key's last acknowledged
+// fill byte and lone in-flight update, and tolerates the server dying
+// mid-run; -verify audits a restarted server against that file — every
+// key must hold its last acknowledged value (or its single pending one),
+// proving no acknowledged update was lost to the crash.
 //
 // Typed refusals (BUSY shed, UNAVAILABLE breaker, deadline) are counted,
 // not fatal — they are the server doing its job under load. Transport
@@ -86,13 +96,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 1, "RNG seed")
 		reqTimeout = fs.Duration("req-timeout", time.Second, "per-request time budget")
 		minHit     = fs.Float64("min-hit-ratio", 0, "fail unless the pool hit ratio reaches this (0 disables)")
+		ledger     = fs.String("ledger", "", "crash-test ledger path: run an updates-only workload recording acknowledged fills per key (see -verify)")
+		verify     = fs.Bool("verify", false, "verify a restarted server against the -ledger file instead of generating load")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *verify {
+		if *ledger == "" {
+			fmt.Fprintln(stderr, "lrukload: -verify requires -ledger")
+			return 2
+		}
+		return runVerify(ctx, *ledger, *addr, *reqTimeout, stdout, stderr)
+	}
 	if *clients <= 0 || *keys <= 0 || *duration <= 0 {
 		fmt.Fprintln(stderr, "lrukload: clients, keys, and duration must be positive")
 		return 2
+	}
+	if *ledger != "" {
+		return runLedgerLoad(ctx, *ledger, *addr, *clients, time.Now().Add(*duration), *keys, *seed, *reqTimeout, stdout, stderr)
 	}
 	totalW := *getW + *updateW + *scanW
 	if totalW <= 0 {

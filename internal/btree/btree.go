@@ -28,17 +28,17 @@ import (
 	"fmt"
 
 	"repro/internal/bufferpool"
-	"repro/internal/disk"
 	"repro/internal/heapfile"
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
 
 const (
 	nodeHeader       = 16
 	internalEntry    = 16
 	leafEntry        = 20
-	maxInternalLimit = (disk.PageSize - nodeHeader) / internalEntry // 255
-	maxLeafLimit     = (disk.PageSize - nodeHeader) / leafEntry     // 204
+	maxInternalLimit = (storage.PageSize - nodeHeader) / internalEntry // 255
+	maxLeafLimit     = (storage.PageSize - nodeHeader) / leafEntry     // 204
 )
 
 // ErrCorrupt reports a structurally invalid node page.
@@ -81,6 +81,45 @@ func NewWithOrder(pool *bufferpool.Pool, maxLeaf, maxInternal int) (*Tree, error
 	t.root = pg.ID()
 	t.pages = append(t.pages, t.root)
 	pg.Unpin(true)
+	return t, nil
+}
+
+// Attach re-opens an existing tree whose node pages already live in the
+// pool's storage backend (a durable store after crash recovery). It walks
+// the tree breadth-first from root with the page-size-derived fanout,
+// rebuilding the node-page directory and the key count from the leaves.
+func Attach(pool *bufferpool.Pool, root policy.PageID) (*Tree, error) {
+	if pool == nil {
+		return nil, errors.New("btree: nil pool")
+	}
+	t := &Tree{pool: pool, root: root, maxLeaf: maxLeafLimit, maxInternal: maxInternalLimit}
+	queue := []policy.PageID{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		pg, err := pool.Fetch(id)
+		if err != nil {
+			return nil, fmt.Errorf("btree attach: %w", err)
+		}
+		data := pg.Data()
+		if data[0] > 1 {
+			pg.Unpin(false)
+			return nil, fmt.Errorf("%w: page %d has node type %d", ErrCorrupt, id, data[0])
+		}
+		t.pages = append(t.pages, id)
+		if isLeaf(data) {
+			t.count += numKeys(data)
+		} else {
+			n := numKeys(data)
+			for i := 0; i < n; i++ {
+				queue = append(queue, internalChild(data, i))
+			}
+			if rm := policy.PageID(extra(data)); rm >= 0 {
+				queue = append(queue, rm)
+			}
+		}
+		pg.Unpin(false)
+	}
 	return t, nil
 }
 

@@ -7,15 +7,15 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/heapfile"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage/sim"
 )
 
 func newTree(t *testing.T, frames, maxLeaf, maxInternal int) *Tree {
 	t.Helper()
-	d := disk.NewManager(disk.ServiceModel{})
+	d := sim.New(sim.ServiceModel{})
 	pool := bufferpool.New(d, frames, core.NewReplacer(2, core.Options{}))
 	tr, err := NewWithOrder(pool, maxLeaf, maxInternal)
 	if err != nil {
@@ -29,7 +29,7 @@ func ridFor(k int64) heapfile.RID {
 }
 
 func TestNewValidation(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := sim.New(sim.ServiceModel{})
 	pool := bufferpool.New(d, 8, core.NewReplacer(1, core.Options{}))
 	if _, err := NewWithOrder(nil, 4, 4); err == nil {
 		t.Error("nil pool accepted")
@@ -304,7 +304,7 @@ func TestQuickInsertLookup(t *testing.T) {
 // TestSurvivesTinyPool: the tree works through constant eviction as long
 // as the pool can hold a root-to-leaf path plus split allocations.
 func TestSurvivesTinyPool(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := sim.New(sim.ServiceModel{})
 	pool := bufferpool.New(d, 8, core.NewReplacer(2, core.Options{}))
 	tr, err := NewWithOrder(pool, 4, 4)
 	if err != nil {

@@ -7,9 +7,10 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // BenchmarkPoolParallel compares the seed's single-latch pool (Serial)
@@ -28,7 +29,7 @@ func BenchmarkPoolParallel(b *testing.B) {
 		dirtyPc = 10 // percent of private-page ops that dirty the page
 	)
 	// 1 simulated ms = 1 real µs: a ~10.1 ms random I/O sleeps ~10 µs.
-	model := disk.ServiceModel{
+	model := sim.ServiceModel{
 		SeekMicros:     10000,
 		TransferMicros: 100,
 		Delay: func(micros int64) {
@@ -40,12 +41,12 @@ func BenchmarkPoolParallel(b *testing.B) {
 	}
 	builders := []struct {
 		name  string
-		build func(d *disk.Manager) pool
+		build func(d *storage.Faulty) pool
 	}{
-		{"serial", func(d *disk.Manager) pool {
+		{"serial", func(d *storage.Faulty) pool {
 			return serialBench{NewSerial(d, frames, core.NewReplacer(2, core.Options{}))}
 		}},
-		{"sharded", func(d *disk.Manager) pool {
+		{"sharded", func(d *storage.Faulty) pool {
 			return poolBench{NewWithConfig(d, frames,
 				core.NewShardedReplacer(16, 2, core.Options{}), Config{})}
 		}},
@@ -53,7 +54,7 @@ func BenchmarkPoolParallel(b *testing.B) {
 	for _, workers := range []int{1, 4, 8, 16} {
 		for _, impl := range builders {
 			b.Run(fmt.Sprintf("impl=%s/goroutines=%d", impl.name, workers), func(b *testing.B) {
-				d := disk.NewManager(model)
+				d := newFaultyDisk(model)
 				for i := 0; i < pages; i++ {
 					d.Allocate()
 				}

@@ -1,8 +1,11 @@
 // Package bufferpool implements a database buffer-pool manager in the
-// mould of the paper's setting: a fixed set of page frames over a disk,
-// with pin/unpin reference counting, dirty-page write-back, and a pluggable
-// replacement policy. The LRU-K replacer of internal/core plugs in directly
-// (core.NewReplacer); classical LRU is core.NewReplacer(1, ...).
+// mould of the paper's setting: a fixed set of page frames over a storage
+// backend, with pin/unpin reference counting, dirty-page write-back, and a
+// pluggable replacement policy. The LRU-K replacer of internal/core plugs
+// in directly (core.NewReplacer); classical LRU is core.NewReplacer(1,
+// ...). The pool depends only on storage.Backend: the simulated disk
+// (storage/sim) and the durable file store (storage/file) slot in
+// interchangeably.
 //
 // The pool is built for the paper's multi-user OLTP setting (§1, §4.2):
 // the page table is partitioned into independently latched shards keyed by
@@ -23,10 +26,20 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
+
+// ErrDiskUnavailable is the pool-level name for storage.ErrUnavailable: an
+// operation refused locally because the circuit breaker for its storage
+// stripe is open. Kept as an alias so pool callers (the server's status
+// mapping, load generators) need not import the storage package.
+var ErrDiskUnavailable = storage.ErrUnavailable
+
+// BreakerConfig aliases storage.BreakerConfig; the pool installs the
+// breaker as a storage wrapper around whatever backend it is given.
+type BreakerConfig = storage.BreakerConfig
 
 // Replacer selects eviction victims among unpinned pages. core.Replacer
 // implements it.
@@ -287,7 +300,10 @@ func defaultShards() int {
 
 // Pool is the concurrent buffer-pool manager.
 type Pool struct {
-	disk     *disk.Manager
+	// backend is the I/O path: the configured storage backend, wrapped in
+	// the circuit breaker when one is enabled.
+	backend  storage.Backend
+	breaker  *storage.Breaker // typed handle into backend's breaker stage; nil when disabled
 	replacer Replacer
 	frames   []frame
 	shards   []shard
@@ -305,7 +321,6 @@ type Pool struct {
 	quarantined map[policy.PageID]struct{}
 
 	retry   *retrier
-	breaker *breaker // nil when disabled
 	metrics Metrics
 
 	// closed gates every public operation after Close; in-flight operations
@@ -324,18 +339,21 @@ type Pool struct {
 	writerInterval time.Duration
 }
 
-// New returns a pool of numFrames frames over d using the given replacer
-// and the default shard count.
-func New(d *disk.Manager, numFrames int, r Replacer) *Pool {
-	return NewWithConfig(d, numFrames, r, Config{})
+// New returns a pool of numFrames frames over backend b using the given
+// replacer and the default shard count.
+func New(b storage.Backend, numFrames int, r Replacer) *Pool {
+	return NewWithConfig(b, numFrames, r, Config{})
 }
 
-// NewWithConfig returns a pool of numFrames frames over d using the given
-// replacer. If r does not implement ConcurrentReplacer it is wrapped
-// behind a single mutex, which preserves its exact victim order.
-func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool {
-	if d == nil {
-		panic("bufferpool: nil disk manager")
+// NewWithConfig returns a pool of numFrames frames over backend b using the
+// given replacer. If r does not implement ConcurrentReplacer it is wrapped
+// behind a single mutex, which preserves its exact victim order. When
+// cfg.Breaker is enabled the pool wraps b in storage.WithBreaker, so every
+// read and write — the retry ladder's attempts individually — passes
+// through the per-stripe circuit.
+func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Pool {
+	if b == nil {
+		panic("bufferpool: nil storage backend")
 	}
 	if numFrames <= 0 {
 		panic(fmt.Sprintf("bufferpool: frame count must be positive, got %d", numFrames))
@@ -356,7 +374,8 @@ func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool
 		cfg.WriterInterval = 10 * time.Millisecond
 	}
 	p := &Pool{
-		disk:           d,
+		backend:        b,
+		breaker:        storage.WithBreaker(b, cfg.Breaker, time.Now),
 		replacer:       r,
 		frames:         make([]frame, numFrames),
 		shards:         make([]shard, cfg.Shards),
@@ -364,18 +383,20 @@ func NewWithConfig(d *disk.Manager, numFrames int, r Replacer, cfg Config) *Pool
 		free:           make([]*frame, 0, numFrames),
 		quarantined:    make(map[policy.PageID]struct{}),
 		retry:          newRetrier(cfg.Retry),
-		breaker:        newBreaker(cfg.Breaker, d.NumStripes(), time.Now),
 		metrics:        cfg.Metrics,
 		writerStop:     make(chan struct{}),
 		writerDone:     make(chan struct{}),
 		writerKick:     make(chan struct{}, 1),
 		writerInterval: cfg.WriterInterval,
 	}
+	if p.breaker != nil {
+		p.backend = p.breaker
+	}
 	for i := range p.shards {
 		p.shards[i].table = make(map[policy.PageID]*frame)
 	}
 	for i := range p.frames {
-		p.frames[i].data = make([]byte, disk.PageSize)
+		p.frames[i].data = make([]byte, storage.PageSize)
 		p.free = append(p.free, &p.frames[i])
 	}
 	return p
@@ -480,7 +501,12 @@ func (p *Pool) NewPageCtx(ctx context.Context) (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	id := p.disk.Allocate()
+	id, err := p.backend.Allocate()
+	if err != nil {
+		f.state.Store(frameFree)
+		p.freePush(f)
+		return nil, fmt.Errorf("bufferpool: allocating page: %w", err)
+	}
 	clear(f.data)
 	f.page = id
 	f.pins.Store(1)
@@ -654,11 +680,11 @@ func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
 // every latch and publish. retry is true when another goroutine installed
 // the page first and the caller must re-run the fetch.
 func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
-	if !p.breaker.ready(p.disk.StripeOf(id)) {
+	if !p.breaker.Ready(p.backend.StripeOf(id)) {
 		// Fail fast while the stripe's circuit is open: no frame is
 		// claimed, no victim written back, no waiters queued behind a disk
 		// that is not answering. Still a miss — the page was not resident —
-		// but no disk attempt is made.
+		// but no storage attempt is made.
 		sh.misses.Add(1)
 		sh.readsRejected.Add(1)
 		return nil, false, fmt.Errorf("fetching page %d: %w", id, ErrDiskUnavailable)
@@ -885,10 +911,10 @@ func (p *Pool) Quarantined() int {
 	return len(p.quarantined)
 }
 
-// BreakerOpenStripes returns how many disk stripes currently have an open
-// circuit (fail-fast; past-cooldown stripes count until a probe closes
+// BreakerOpenStripes returns how many storage stripes currently have an
+// open circuit (fail-fast; past-cooldown stripes count until a probe closes
 // them). Zero when the breaker is disabled.
-func (p *Pool) BreakerOpenStripes() int { return p.breaker.openStripes() }
+func (p *Pool) BreakerOpenStripes() int { return p.breaker.OpenStripes() }
 
 // restoreVictim re-registers a page in the replacer after an eviction
 // attempt was abandoned (the page was pinned, or its write-back failed):
@@ -988,12 +1014,20 @@ func (p *Pool) flushFrame(ctx context.Context, id policy.PageID, f *frame) error
 	return nil
 }
 
-// FlushPage writes page id back to disk if dirty. The page stays resident.
+// FlushPage writes page id back to storage if dirty. The page stays
+// resident.
 func (p *Pool) FlushPage(id policy.PageID) error {
+	return p.FlushPageCtx(context.Background(), id)
+}
+
+// FlushPageCtx is FlushPage charged against ctx: the write-back and its
+// retry backoff observe the caller's deadline. On a durable backend a nil
+// return means the page image has reached the write-ahead log (group
+// commit included), which is the backend's acknowledged-write contract.
+func (p *Pool) FlushPageCtx(ctx context.Context, id policy.PageID) error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
-	ctx := context.Background()
 	f, ok := p.pinResident(ctx, id)
 	if !ok {
 		return fmt.Errorf("flush page %d: %w", id, ErrPageNotResident)
@@ -1002,11 +1036,15 @@ func (p *Pool) FlushPage(id policy.PageID) error {
 	return p.flushFrame(ctx, id, f)
 }
 
-// FlushAll writes every dirty resident page back to disk. A failed
-// write-back does not stop the sweep: every shard is visited, every
-// flushable page flushed, and the failures are returned joined (errors.Is
-// unwraps them individually). Failed pages stay dirty and resident, so a
-// retry after the fault clears loses nothing.
+// FlushAll writes every dirty resident page back to storage and then asks
+// the backend for its durability barrier (storage.Backend.Flush — a
+// checkpoint, on the durable file backend). A failed write-back does not
+// stop the sweep: every shard is visited, every flushable page flushed, and
+// the failures are returned joined (errors.Is unwraps them individually).
+// Failed pages stay dirty and resident, so a retry after the fault clears
+// loses nothing. The barrier runs only when the sweep completed cleanly: a
+// checkpoint must not declare durability over pages whose write-back
+// failed.
 func (p *Pool) FlushAll() error {
 	if p.closed.Load() {
 		return ErrClosed
@@ -1050,7 +1088,13 @@ func (p *Pool) flushAll(ctx context.Context) error {
 			p.releasePin(id, f, false)
 		}
 	}
-	return errors.Join(errs...)
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	if err := p.backend.Flush(ctx); err != nil {
+		return fmt.Errorf("bufferpool: storage flush barrier: %w", err)
+	}
+	return nil
 }
 
 // DeletePage evicts page id from the pool (it must be unpinned) and
@@ -1088,7 +1132,7 @@ func (p *Pool) DeletePage(id policy.PageID) error {
 		p.freePush(f)
 		break
 	}
-	return p.disk.Deallocate(id)
+	return p.backend.Deallocate(id)
 }
 
 // Stats returns a snapshot of pool counters, aggregated from the per-shard
@@ -1110,7 +1154,7 @@ func (p *Pool) Stats() Stats {
 		s.ReadsRejected += sh.readsRejected.Load()
 		s.WritesRejected += sh.writesRejected.Load()
 	}
-	s.BreakerTrips = p.breaker.tripCount()
+	s.BreakerTrips = p.breaker.Trips()
 	return s
 }
 

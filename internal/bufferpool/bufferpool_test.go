@@ -1,6 +1,7 @@
 package bufferpool
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,19 +9,27 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
-func newPool(t *testing.T, frames, k int) (*Pool, *disk.Manager) {
+// newFaultyDisk builds the simulated backend wrapped in fault injection —
+// the handle pool tests drive faults, raw I/O, and ledger assertions
+// through, exactly as the old disk.Manager was.
+func newFaultyDisk(model sim.ServiceModel) *storage.Faulty {
+	return storage.WithFaults(sim.New(model))
+}
+
+func newPool(t *testing.T, frames, k int) (*Pool, *storage.Faulty) {
 	t.Helper()
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	return New(d, frames, core.NewReplacer(k, core.Options{})), d
 }
 
 func TestNewValidation(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	r := core.NewReplacer(2, core.Options{})
 	for _, f := range []func(){
 		func() { New(nil, 4, r) },
@@ -77,8 +86,8 @@ func TestDirtyWriteBackOnEviction(t *testing.T) {
 	if p.Resident(first) {
 		t.Fatal("first page still resident in 1-frame pool")
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(first, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), first, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:9]) != "persisted" {
@@ -177,8 +186,8 @@ func TestFlushPageAndAll(t *testing.T) {
 	if err := p.FlushPage(id); err != nil {
 		t.Fatal(err)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(id, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), id, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:7]) != "flushed" {
@@ -202,7 +211,7 @@ func TestFlushPageAndAll(t *testing.T) {
 	if err := p.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Read(pg2.ID(), buf); err != nil {
+	if err := d.Read(context.Background(), pg2.ID(), buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:4]) != "also" {
@@ -260,14 +269,14 @@ func TestStatsHitRatio(t *testing.T) {
 // replacer yields a higher pool hit ratio than LRU-1.
 func TestLRUKReplacerBeatsLRUInPool(t *testing.T) {
 	run := func(k int) float64 {
-		d := disk.NewManager(disk.ServiceModel{})
+		d := newFaultyDisk(sim.ServiceModel{})
 		hot := make([]policy.PageID, 20)
 		cold := make([]policy.PageID, 2000)
 		for i := range hot {
-			hot[i] = d.Allocate()
+			hot[i] = storage.MustAllocate(d)
 		}
 		for i := range cold {
-			cold[i] = d.Allocate()
+			cold[i] = storage.MustAllocate(d)
 		}
 		p := New(d, 25, core.NewReplacer(k, core.Options{}))
 		r := stats.NewRNG(99)
@@ -306,14 +315,14 @@ func TestNumFrames(t *testing.T) {
 // overlapping page sets, checking data integrity: each page holds its own
 // id, written once at creation.
 func TestConcurrentFetchUnpin(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	const pages = 64
 	ids := make([]policy.PageID, pages)
 	for i := range ids {
-		ids[i] = d.Allocate()
-		buf := make([]byte, disk.PageSize)
+		ids[i] = storage.MustAllocate(d)
+		buf := make([]byte, storage.PageSize)
 		binary.LittleEndian.PutUint64(buf, uint64(ids[i]))
-		if err := d.Write(ids[i], buf); err != nil {
+		if err := d.Write(context.Background(), ids[i], buf); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package bufferpool
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"sync"
@@ -8,9 +9,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // TestMissCoalescingSingleRead verifies the in-flight miss protocol: with
@@ -21,16 +23,16 @@ func TestMissCoalescingSingleRead(t *testing.T) {
 	blocked := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	d := disk.NewManager(disk.ServiceModel{Delay: func(int64) {
+	d := newFaultyDisk(sim.ServiceModel{Delay: func(int64) {
 		if gate.Load() {
 			once.Do(func() { close(blocked) })
 			<-release
 		}
 	}})
-	id := d.Allocate()
-	buf := make([]byte, disk.PageSize)
+	id := storage.MustAllocate(d)
+	buf := make([]byte, storage.PageSize)
 	binary.LittleEndian.PutUint64(buf, 0xfeedface)
-	if err := d.Write(id, buf); err != nil {
+	if err := d.Write(context.Background(), id, buf); err != nil {
 		t.Fatal(err)
 	}
 	gate.Store(true)
@@ -115,12 +117,12 @@ func TestPoolMatchesSerialOnDeterministicTrace(t *testing.T) {
 	// disk stats at the trace end, and only the I/O counts after FlushAll.
 	type outcome struct {
 		pool       Stats
-		trace      disk.Stats
+		trace      storage.Stats
 		finalReads uint64
 		finalWrite uint64
 	}
 	runSerial := func() outcome {
-		d := disk.NewManager(disk.ServiceModel{})
+		d := newFaultyDisk(sim.ServiceModel{})
 		for i := 0; i < pages; i++ {
 			d.Allocate()
 		}
@@ -147,7 +149,7 @@ func TestPoolMatchesSerialOnDeterministicTrace(t *testing.T) {
 		return outcome{p.Stats(), trace, d.Stats().Reads, d.Stats().Writes}
 	}
 	runConcurrent := func(shards int) outcome {
-		d := disk.NewManager(disk.ServiceModel{})
+		d := newFaultyDisk(sim.ServiceModel{})
 		for i := 0; i < pages; i++ {
 			d.Allocate()
 		}
@@ -204,21 +206,21 @@ func TestPoolConcurrentStressRace(t *testing.T) {
 		iters      = 4000
 		frames     = 48
 	)
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	shared := make([]policy.PageID, sharedN)
-	buf := make([]byte, disk.PageSize)
+	buf := make([]byte, storage.PageSize)
 	for i := range shared {
-		shared[i] = d.Allocate()
+		shared[i] = storage.MustAllocate(d)
 		binary.LittleEndian.PutUint64(buf, uint64(shared[i]))
-		if err := d.Write(shared[i], buf); err != nil {
+		if err := d.Write(context.Background(), shared[i], buf); err != nil {
 			t.Fatal(err)
 		}
 	}
 	private := make([]policy.PageID, goroutines)
 	for i := range private {
-		private[i] = d.Allocate()
+		private[i] = storage.MustAllocate(d)
 		clear(buf)
-		if err := d.Write(private[i], buf); err != nil {
+		if err := d.Write(context.Background(), private[i], buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -298,7 +300,7 @@ func TestPoolConcurrentStressRace(t *testing.T) {
 	ds := d.Stats() // capture before the verification reads below
 	// Every private counter must equal that goroutine's successful writes.
 	for g, id := range private {
-		if err := d.Read(id, buf); err != nil {
+		if err := d.Read(context.Background(), id, buf); err != nil {
 			t.Fatal(err)
 		}
 		if got := binary.LittleEndian.Uint64(buf); got != writes[g] {
@@ -324,7 +326,7 @@ func TestPoolConcurrentStressRace(t *testing.T) {
 // hold no pages and the pool no residents.
 func TestPoolConcurrentNewDelete(t *testing.T) {
 	const goroutines = 8
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	p := NewWithConfig(d, 32, core.NewSyncReplacer(2, core.Options{}), Config{Shards: 8})
 	var wg sync.WaitGroup
 	errs := make(chan error, goroutines)
@@ -380,14 +382,14 @@ func TestWriteBackVictimNotReadableStale(t *testing.T) {
 	inWrite := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	d := disk.NewManager(disk.ServiceModel{Delay: func(int64) {
+	d := newFaultyDisk(sim.ServiceModel{Delay: func(int64) {
 		if gate.Load() {
 			once.Do(func() { close(inWrite) })
 			<-release
 		}
 	}})
-	victim := d.Allocate()
-	other := d.Allocate()
+	victim := storage.MustAllocate(d)
+	other := storage.MustAllocate(d)
 	p := New(d, 1, core.NewSyncReplacer(2, core.Options{})) // one frame: every miss evicts
 
 	pg, err := p.Fetch(victim)
@@ -437,7 +439,7 @@ func TestWriteBackVictimNotReadableStale(t *testing.T) {
 // TestConfigValidation covers the new constructor's shard checks and the
 // automatic wrapping of non-concurrent replacers.
 func TestConfigValidation(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	func() {
 		defer func() {
 			if recover() == nil {

@@ -1,14 +1,16 @@
 package bufferpool
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/policy"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // frameAccounting counts free-list frames and table-reachable frames. On a
@@ -37,14 +39,14 @@ func checkFrameInvariant(t *testing.T, p *Pool) {
 
 // allocPages allocates n disk pages, each stamped with a recognisable
 // byte, and returns their ids.
-func allocPages(t *testing.T, d *disk.Manager, n int) []policy.PageID {
+func allocPages(t *testing.T, d *storage.Faulty, n int) []policy.PageID {
 	t.Helper()
 	ids := make([]policy.PageID, n)
-	buf := make([]byte, disk.PageSize)
+	buf := make([]byte, storage.PageSize)
 	for i := range ids {
-		ids[i] = d.Allocate()
+		ids[i] = storage.MustAllocate(d)
 		buf[0] = byte(i + 1)
-		if err := d.Write(ids[i], buf); err != nil {
+		if err := d.Write(context.Background(), ids[i], buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -55,7 +57,7 @@ func allocPages(t *testing.T, d *disk.Manager, n int) []policy.PageID {
 // victim whose write-back fails must not fail the unrelated fetch — the
 // pool quarantines the poisoned page and evicts the next victim instead.
 func TestWriteBackFaultSkipsVictim(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 3)
 	a, b, c := ids[0], ids[1], ids[2]
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
@@ -72,7 +74,7 @@ func TestWriteBackFaultSkipsVictim(t *testing.T) {
 	}
 	pg.Unpin(false) // clean second choice
 
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{a}}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Pages: []policy.PageID{a}}))
 
 	// The fetch of c must succeed by skipping poisoned a and evicting b.
 	pg, err = p.Fetch(c)
@@ -107,8 +109,8 @@ func TestWriteBackFaultSkipsVictim(t *testing.T) {
 	if got := p.Quarantined(); got != 0 {
 		t.Errorf("Quarantined = %d after successful flush, want 0", got)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(a, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), a, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:8]) != "precious" {
@@ -121,7 +123,7 @@ func TestWriteBackFaultSkipsVictim(t *testing.T) {
 // rather than loop, and the pool must stay fully intact.
 func TestWriteBackFaultBoundedAttempts(t *testing.T) {
 	const frames = 6
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, frames+1)
 	p := New(d, frames, core.NewSyncReplacer(2, core.Options{}))
 	for _, id := range ids[:frames] {
@@ -132,13 +134,13 @@ func TestWriteBackFaultBoundedAttempts(t *testing.T) {
 		pg.Data()[0]++
 		pg.Unpin(true)
 	}
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite}))
 
 	_, err := p.Fetch(ids[frames])
 	if err == nil {
 		t.Fatal("fetch succeeded with every write-back poisoned")
 	}
-	if !errors.Is(err, disk.ErrInjectedFault) {
+	if !errors.Is(err, storage.ErrInjectedFault) {
 		t.Errorf("error %v does not unwrap to the injected fault", err)
 	}
 	if errors.Is(err, ErrNoFreeFrame) {
@@ -176,7 +178,7 @@ func TestWriteBackFaultBoundedAttempts(t *testing.T) {
 // TestQuarantineRetriedOnNextSweep: a transiently poisoned victim fails
 // one sweep and is written back successfully by the next.
 func TestQuarantineRetriedOnNextSweep(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 2)
 	a, b := ids[0], ids[1]
 	p := New(d, 1, core.NewSyncReplacer(2, core.Options{}))
@@ -188,7 +190,7 @@ func TestQuarantineRetriedOnNextSweep(t *testing.T) {
 	pg.Unpin(true)
 
 	// One transient write fault: the first sweep fails, the retry works.
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{a}, Count: 1}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Pages: []policy.PageID{a}, Count: 1}))
 	if _, err := p.Fetch(b); err == nil {
 		t.Fatal("single-frame fetch succeeded though its only victim was poisoned")
 	}
@@ -207,8 +209,8 @@ func TestQuarantineRetriedOnNextSweep(t *testing.T) {
 	if s.WriteErrors != 1 || s.WriteBacks != 1 {
 		t.Errorf("WriteErrors = %d, WriteBacks = %d, want 1 and 1", s.WriteErrors, s.WriteBacks)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(a, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), a, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:8]) != "survives" {
@@ -221,7 +223,7 @@ func TestQuarantineRetriedOnNextSweep(t *testing.T) {
 // flushing what it can and returning the failures joined, instead of
 // aborting on the first error.
 func TestFlushAllAggregatesErrors(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 3)
 	a, b, c := ids[0], ids[1], ids[2]
 	p := New(d, 4, core.NewSyncReplacer(2, core.Options{}))
@@ -233,21 +235,21 @@ func TestFlushAllAggregatesErrors(t *testing.T) {
 		pg.Data()[1] = byte(0xA0 + i)
 		pg.Unpin(true)
 	}
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{a, b}}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Pages: []policy.PageID{a, b}}))
 
 	err := p.FlushAll()
 	if err == nil {
 		t.Fatal("FlushAll reported success with two poisoned pages")
 	}
-	if !errors.Is(err, disk.ErrInjectedFault) {
+	if !errors.Is(err, storage.ErrInjectedFault) {
 		t.Errorf("joined error %v does not unwrap to the injected fault", err)
 	}
 	if s := p.Stats(); s.WriteErrors != 2 {
 		t.Errorf("WriteErrors = %d, want 2 (every dirty page attempted)", s.WriteErrors)
 	}
 	// The unpoisoned page was flushed despite the earlier failures.
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(c, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), c, buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf[1] != 0xA2 {
@@ -259,7 +261,7 @@ func TestFlushAllAggregatesErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, id := range []policy.PageID{a, b} {
-		if err := d.Read(id, buf); err != nil {
+		if err := d.Read(context.Background(), id, buf); err != nil {
 			t.Fatal(err)
 		}
 		if buf[1] != byte(0xA0+i) {
@@ -271,12 +273,12 @@ func TestFlushAllAggregatesErrors(t *testing.T) {
 // TestFetchReadFaultAccounting: a failed miss read counts as a miss and a
 // read error, returns its frame, and the next fetch recovers.
 func TestFetchReadFaultAccounting(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Count: 1}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Count: 1}))
 
-	if _, err := p.Fetch(ids[0]); !errors.Is(err, disk.ErrInjectedFault) {
+	if _, err := p.Fetch(ids[0]); !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("fetch under read fault: %v", err)
 	}
 	s := p.Stats()
@@ -310,7 +312,7 @@ func TestCoalescedWaitersReadFault(t *testing.T) {
 	blocked := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	d := disk.NewManager(disk.ServiceModel{Delay: func(int64) {
+	d := newFaultyDisk(sim.ServiceModel{Delay: func(int64) {
 		if gate.Load() {
 			once.Do(func() { close(blocked) })
 			<-release
@@ -318,7 +320,7 @@ func TestCoalescedWaitersReadFault(t *testing.T) {
 	}})
 	ids := allocPages(t, d, 1)
 	id := ids[0]
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Count: 1}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Count: 1}))
 	gate.Store(true)
 
 	p := New(d, 4, core.NewSyncReplacer(2, core.Options{}))
@@ -327,7 +329,7 @@ func TestCoalescedWaitersReadFault(t *testing.T) {
 	var failures atomic.Uint64
 	fetch := func() {
 		defer wg.Done()
-		if _, err := p.Fetch(id); errors.Is(err, disk.ErrInjectedFault) {
+		if _, err := p.Fetch(id); errors.Is(err, storage.ErrInjectedFault) {
 			failures.Add(1)
 		} else {
 			t.Errorf("fetch of doomed page: %v, want injected fault", err)
@@ -372,7 +374,7 @@ func TestCoalescedWaitersReadFault(t *testing.T) {
 // TestFlushPageFaultKeepsDirty: a failed FlushPage leaves the page dirty
 // and resident so nothing is lost, and counts one write error.
 func TestFlushPageFaultKeepsDirty(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	id := ids[0]
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
@@ -383,8 +385,8 @@ func TestFlushPageFaultKeepsDirty(t *testing.T) {
 	copy(pg.Data(), []byte("dirtydata"))
 	pg.Unpin(true)
 
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Count: 1}))
-	if err := p.FlushPage(id); !errors.Is(err, disk.ErrInjectedFault) {
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Count: 1}))
+	if err := p.FlushPage(id); !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("FlushPage under write fault: %v", err)
 	}
 	if s := p.Stats(); s.WriteErrors != 1 || s.WriteBacks != 0 {
@@ -394,8 +396,8 @@ func TestFlushPageFaultKeepsDirty(t *testing.T) {
 	if err := p.FlushPage(id); err != nil {
 		t.Fatal(err)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(id, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), id, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:9]) != "dirtydata" {
@@ -411,7 +413,7 @@ func TestFlushPageFaultKeepsDirty(t *testing.T) {
 // the victim in the replacer — losing the entry made the page permanently
 // unevictable (a frame leak).
 func TestSerialWriteBackFaultRestoresVictim(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 2)
 	a, b := ids[0], ids[1]
 	p := NewSerial(d, 1, core.NewReplacer(2, core.Options{}))
@@ -422,8 +424,8 @@ func TestSerialWriteBackFaultRestoresVictim(t *testing.T) {
 	pg.Data()[0]++
 	pg.Unpin(true)
 
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Count: 1}))
-	if _, err := p.Fetch(b); !errors.Is(err, disk.ErrInjectedFault) {
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Count: 1}))
+	if _, err := p.Fetch(b); !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("Serial fetch with poisoned victim: %v", err)
 	}
 	if s := p.Stats(); s.WriteErrors != 1 {

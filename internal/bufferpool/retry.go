@@ -7,19 +7,20 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/disk"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
-// This file wraps the pool's disk reads and writes in transient-fault
+// This file wraps the pool's storage reads and writes in transient-fault
 // retry with capped exponential backoff and deterministic seeded jitter,
-// layered under the circuit breaker: every attempt asks the breaker for
-// admission and reports its outcome, and every backoff sleep is charged
-// against the caller's context, so a deadline bounds the whole retry
-// ladder rather than each rung.
+// layered over the circuit breaker: each attempt goes through the pool's
+// backend stack (where an enabled breaker admits and records it), and every
+// backoff sleep is charged against the caller's context, so a deadline
+// bounds the whole retry ladder rather than each rung. A breaker refusal is
+// permanent under storage.IsTransient and ends the ladder immediately.
 
-// RetryConfig tunes transient-fault retry for pool↔disk operations.
+// RetryConfig tunes transient-fault retry for pool↔storage operations.
 type RetryConfig struct {
 	// Attempts is the maximum number of disk attempts per logical read or
 	// write, the first included. Zero or one disables retry.
@@ -95,23 +96,19 @@ func (p *Pool) retrySleep(ctx context.Context, attempt int) error {
 	}
 }
 
-// readPage reads page id from disk through the breaker and the retry
-// ladder. Transient failures are retried up to the configured attempts
-// with backoff charged against ctx; permanent errors and breaker refusals
-// return immediately. Each retried attempt counts once in ReadRetries.
+// readPage reads page id from storage through the backend stack (breaker
+// included) and the retry ladder. Transient failures are retried up to the
+// configured attempts with backoff charged against ctx; permanent errors
+// and breaker refusals return immediately. Each retried attempt counts once
+// in ReadRetries.
 func (p *Pool) readPage(ctx context.Context, id policy.PageID, buf []byte) error {
-	stripe := p.disk.StripeOf(id)
 	sh := p.shardOf(id)
 	for attempt := 1; ; attempt++ {
-		if !p.breaker.allow(stripe) {
-			return fmt.Errorf("read page %d: %w", id, ErrDiskUnavailable)
-		}
-		err := p.disk.Read(id, buf)
-		p.breaker.record(stripe, err == nil)
+		err := p.backend.Read(ctx, id, buf)
 		if err == nil {
 			return nil
 		}
-		if !disk.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
+		if !storage.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
 			return err
 		}
 		if serr := p.retrySleep(ctx, attempt); serr != nil {
@@ -121,22 +118,17 @@ func (p *Pool) readPage(ctx context.Context, id policy.PageID, buf []byte) error
 	}
 }
 
-// writePage writes page id to disk through the breaker and the retry
-// ladder, mirroring readPage. Each retried attempt counts once in
+// writePage writes page id to storage through the backend stack and the
+// retry ladder, mirroring readPage. Each retried attempt counts once in
 // WriteRetries.
 func (p *Pool) writePage(ctx context.Context, id policy.PageID, buf []byte) error {
-	stripe := p.disk.StripeOf(id)
 	sh := p.shardOf(id)
 	for attempt := 1; ; attempt++ {
-		if !p.breaker.allow(stripe) {
-			return fmt.Errorf("write page %d: %w", id, ErrDiskUnavailable)
-		}
-		err := p.disk.Write(id, buf)
-		p.breaker.record(stripe, err == nil)
+		err := p.backend.Write(ctx, id, buf)
 		if err == nil {
 			return nil
 		}
-		if !disk.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
+		if !storage.IsTransient(err) || attempt >= p.retry.cfg.Attempts {
 			return err
 		}
 		if serr := p.retrySleep(ctx, attempt); serr != nil {

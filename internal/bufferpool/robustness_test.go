@@ -8,19 +8,20 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/leakcheck"
 	"repro/internal/policy"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // gatedDisk returns a manager whose reads and writes park on gate while
 // armed, signalling entry on entered — the scaffolding for freezing a load
 // mid-flight so a coalesced waiter can be cancelled deterministically.
-func gatedDisk() (d *disk.Manager, arm *atomic.Bool, entered chan struct{}, gate chan struct{}) {
+func gatedDisk() (d *storage.Faulty, arm *atomic.Bool, entered chan struct{}, gate chan struct{}) {
 	arm = &atomic.Bool{}
 	entered = make(chan struct{}, 16)
 	gate = make(chan struct{})
-	d = disk.NewManager(disk.ServiceModel{Delay: func(int64) {
+	d = newFaultyDisk(sim.ServiceModel{Delay: func(int64) {
 		if arm.Load() {
 			entered <- struct{}{}
 			<-gate
@@ -30,7 +31,7 @@ func gatedDisk() (d *disk.Manager, arm *atomic.Bool, entered chan struct{}, gate
 }
 
 func TestFetchExpiredContext(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
 
@@ -120,7 +121,7 @@ func TestCoalescedWaiterAbandonFailedLoad(t *testing.T) {
 	ids := allocPages(t, d, 1)
 	a := ids[0]
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Pages: []policy.PageID{a}}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Pages: []policy.PageID{a}}))
 
 	arm.Store(true)
 	loaded := make(chan error, 1)
@@ -138,7 +139,7 @@ func TestCoalescedWaiterAbandonFailedLoad(t *testing.T) {
 
 	arm.Store(false)
 	close(gate)
-	if err := <-loaded; !errors.Is(err, disk.ErrInjectedFault) {
+	if err := <-loaded; !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("loader error = %v, want injected fault", err)
 	}
 	if p.Resident(a) {
@@ -166,7 +167,7 @@ func TestCoalescedWaiterAbandonFailedLoad(t *testing.T) {
 // it must hand the page back to the replacer, or the frame could never be
 // evicted again.
 func TestAbandonLastPinRestoresEvictability(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 2)
 	a, b := ids[0], ids[1]
 	p := New(d, 1, core.NewSyncReplacer(2, core.Options{}))
@@ -192,14 +193,14 @@ func TestAbandonLastPinRestoresEvictability(t *testing.T) {
 }
 
 func TestRetryTransientFaultRecovers(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	a := ids[0]
 	p := NewWithConfig(d, 2, core.NewSyncReplacer(2, core.Options{}), Config{
 		Retry: RetryConfig{Attempts: 4, BaseDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond, Seed: 7},
 	})
 	// The first two read attempts fault; the third succeeds.
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Pages: []policy.PageID{a}, Count: 2}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Pages: []policy.PageID{a}, Count: 2}))
 
 	pg, err := p.Fetch(a)
 	if err != nil {
@@ -223,13 +224,13 @@ func TestRetryTransientFaultRecovers(t *testing.T) {
 
 func TestRetryPermanentErrorNotRetried(t *testing.T) {
 	headCrash := errors.New("disk: head crash")
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	a := ids[0]
 	p := NewWithConfig(d, 2, core.NewSyncReplacer(2, core.Options{}), Config{
 		Retry: RetryConfig{Attempts: 5, BaseDelay: 50 * time.Microsecond},
 	})
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Pages: []policy.PageID{a}, Err: headCrash}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Pages: []policy.PageID{a}, Err: headCrash}))
 
 	if _, err := p.Fetch(a); !errors.Is(err, headCrash) {
 		t.Fatalf("fetch error = %v, want the permanent fault", err)
@@ -248,13 +249,13 @@ func TestRetryPermanentErrorNotRetried(t *testing.T) {
 // attempts, the caller's deadline — not the retry budget — must end the
 // ladder, promptly and mid-backoff.
 func TestRetryBackoffChargedToContext(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	a := ids[0]
 	p := NewWithConfig(d, 2, core.NewSyncReplacer(2, core.Options{}), Config{
 		Retry: RetryConfig{Attempts: 1 << 20, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
 	})
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead, Pages: []policy.PageID{a}}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Pages: []policy.PageID{a}}))
 
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
 	defer cancel()
@@ -264,7 +265,7 @@ func TestRetryBackoffChargedToContext(t *testing.T) {
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("error = %v, want wrapped context.DeadlineExceeded", err)
 	}
-	if !errors.Is(err, disk.ErrInjectedFault) {
+	if !errors.Is(err, storage.ErrInjectedFault) {
 		t.Fatalf("error = %v does not preserve the underlying disk fault", err)
 	}
 	if elapsed > 2*time.Second {
@@ -282,7 +283,7 @@ func TestRetryBackoffChargedToContext(t *testing.T) {
 // fail fast with ErrDiskUnavailable (no disk attempt) while hits keep
 // serving; healing the disk lets half-open probes close the circuit.
 func TestBreakerFailFastAndRecovery(t *testing.T) {
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 2)
 	a, b := ids[0], ids[1]
 	p := NewWithConfig(d, 4, core.NewSyncReplacer(2, core.Options{}), Config{
@@ -296,9 +297,9 @@ func TestBreakerFailFastAndRecovery(t *testing.T) {
 	}
 	pg.Unpin(false)
 
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpRead}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead}))
 	for i := 0; i < 2; i++ {
-		if _, err := p.Fetch(a); !errors.Is(err, disk.ErrInjectedFault) {
+		if _, err := p.Fetch(a); !errors.Is(err, storage.ErrInjectedFault) {
 			t.Fatalf("fetch %d error = %v, want injected fault", i, err)
 		}
 	}
@@ -355,7 +356,7 @@ func TestBreakerFailFastAndRecovery(t *testing.T) {
 // explicit flush from the caller.
 func TestBackgroundWriterDrainsQuarantine(t *testing.T) {
 	leakcheck.Check(t)
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 3)
 	a, b, c := ids[0], ids[1], ids[2]
 	p := NewWithConfig(d, 2, core.NewSyncReplacer(2, core.Options{}), Config{
@@ -378,7 +379,7 @@ func TestBackgroundWriterDrainsQuarantine(t *testing.T) {
 
 	// Exactly one write of a faults: the eviction sweep quarantines it; the
 	// background writer's retry then succeeds.
-	d.SetFaults(disk.NewFaultPlan(1, disk.FaultRule{Op: disk.OpWrite, Pages: []policy.PageID{a}, Count: 1}))
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Pages: []policy.PageID{a}, Count: 1}))
 	pg, err = p.Fetch(c)
 	if err != nil {
 		t.Fatalf("fetch failed despite a skippable poisoned victim: %v", err)
@@ -396,8 +397,8 @@ func TestBackgroundWriterDrainsQuarantine(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(a, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), a, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:8]) != "precious" {
@@ -417,7 +418,7 @@ func TestBackgroundWriterDrainsQuarantine(t *testing.T) {
 // first result without re-flushing.
 func TestPoolCloseIdempotentAndFenced(t *testing.T) {
 	leakcheck.Check(t)
-	d := disk.NewManager(disk.ServiceModel{})
+	d := newFaultyDisk(sim.ServiceModel{})
 	ids := allocPages(t, d, 1)
 	a := ids[0]
 	p := New(d, 2, core.NewSyncReplacer(2, core.Options{}))
@@ -433,8 +434,8 @@ func TestPoolCloseIdempotentAndFenced(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	buf := make([]byte, disk.PageSize)
-	if err := d.Read(a, buf); err != nil {
+	buf := make([]byte, storage.PageSize)
+	if err := d.Read(context.Background(), a, buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf[:7]) != "closing" {

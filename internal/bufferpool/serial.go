@@ -1,11 +1,12 @@
 package bufferpool
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
-	"repro/internal/disk"
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
 
 // Serial is the original single-latch buffer pool: every fetch, pin, unpin
@@ -16,7 +17,7 @@ import (
 // against. New code should use Pool.
 type Serial struct {
 	mu        sync.Mutex
-	disk      *disk.Manager
+	backend   storage.Backend
 	replacer  Replacer
 	frames    []serialFrame
 	pageTable map[policy.PageID]int
@@ -32,11 +33,11 @@ type serialFrame struct {
 	inUse    bool
 }
 
-// NewSerial returns a single-latch pool of numFrames frames over d using
-// the given replacer, which it serialises itself.
-func NewSerial(d *disk.Manager, numFrames int, r Replacer) *Serial {
-	if d == nil {
-		panic("bufferpool: nil disk manager")
+// NewSerial returns a single-latch pool of numFrames frames over backend b
+// using the given replacer, which it serialises itself.
+func NewSerial(b storage.Backend, numFrames int, r Replacer) *Serial {
+	if b == nil {
+		panic("bufferpool: nil storage backend")
 	}
 	if numFrames <= 0 {
 		panic(fmt.Sprintf("bufferpool: frame count must be positive, got %d", numFrames))
@@ -45,14 +46,14 @@ func NewSerial(d *disk.Manager, numFrames int, r Replacer) *Serial {
 		panic("bufferpool: nil replacer")
 	}
 	p := &Serial{
-		disk:      d,
+		backend:   b,
 		replacer:  r,
 		frames:    make([]serialFrame, numFrames),
 		pageTable: make(map[policy.PageID]int, numFrames),
 		free:      make([]int, 0, numFrames),
 	}
 	for i := range p.frames {
-		p.frames[i].data = make([]byte, disk.PageSize)
+		p.frames[i].data = make([]byte, storage.PageSize)
 		p.free = append(p.free, i)
 	}
 	return p
@@ -98,7 +99,11 @@ func (p *Serial) NewPage() (*SerialPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	id := p.disk.Allocate()
+	id, err := p.backend.Allocate()
+	if err != nil {
+		p.free = append(p.free, slot)
+		return nil, fmt.Errorf("bufferpool: allocating page: %w", err)
+	}
 	f := &p.frames[slot]
 	for i := range f.data {
 		f.data[i] = 0
@@ -126,7 +131,7 @@ func (p *Serial) Fetch(id policy.PageID) (*SerialPage, error) {
 		return nil, err
 	}
 	f := &p.frames[slot]
-	if err := p.disk.Read(id, f.data); err != nil {
+	if err := p.backend.Read(context.Background(), id, f.data); err != nil {
 		p.free = append(p.free, slot)
 		p.stats.Misses++ // the page was not resident, error or not
 		p.stats.ReadErrors++
@@ -171,7 +176,7 @@ func (p *Serial) obtainFrame() (int, error) {
 		return 0, fmt.Errorf("bufferpool: replacer chose pinned victim %d", victim)
 	}
 	if f.dirty {
-		if err := p.disk.Write(victim, f.data); err != nil {
+		if err := p.backend.Write(context.Background(), victim, f.data); err != nil {
 			// Reinstate the victim in the replacer: Evict already removed
 			// it, and without restoration the page could never be chosen
 			// again (a permanent leak of both the frame and the replacer
@@ -223,7 +228,7 @@ func (p *Serial) FlushPage(id policy.PageID) error {
 	if !f.dirty {
 		return nil
 	}
-	if err := p.disk.Write(id, f.data); err != nil {
+	if err := p.backend.Write(context.Background(), id, f.data); err != nil {
 		p.stats.WriteErrors++
 		return fmt.Errorf("flushing page %d: %w", id, err)
 	}
@@ -232,7 +237,8 @@ func (p *Serial) FlushPage(id policy.PageID) error {
 	return nil
 }
 
-// FlushAll writes every dirty resident page back to disk.
+// FlushAll writes every dirty resident page back to storage, then runs the
+// backend's durability barrier (a checkpoint, on the durable file backend).
 func (p *Serial) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -241,14 +247,14 @@ func (p *Serial) FlushAll() error {
 		if !f.inUse || !f.dirty {
 			continue
 		}
-		if err := p.disk.Write(f.page, f.data); err != nil {
+		if err := p.backend.Write(context.Background(), f.page, f.data); err != nil {
 			p.stats.WriteErrors++
 			return fmt.Errorf("flushing page %d: %w", f.page, err)
 		}
 		f.dirty = false
 		p.stats.WriteBacks++
 	}
-	return nil
+	return p.backend.Flush(context.Background())
 }
 
 // DeletePage evicts page id from the pool (it must be unpinned) and
@@ -267,7 +273,7 @@ func (p *Serial) DeletePage(id policy.PageID) error {
 		f.dirty = false
 		p.free = append(p.free, slot)
 	}
-	return p.disk.Deallocate(id)
+	return p.backend.Deallocate(id)
 }
 
 // Stats returns a snapshot of pool counters.

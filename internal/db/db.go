@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,11 +19,12 @@ import (
 	"repro/internal/btree"
 	"repro/internal/bufferpool"
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/heapfile"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // ErrClosed reports an operation on a database after Close.
@@ -46,21 +48,31 @@ type Config struct {
 	// RecordSize is the customer record size in bytes; the paper uses
 	// 2000, packing two records per 4 KByte page. Default 2000.
 	RecordSize int
+	// Backend, when non-nil, is the storage backend the database runs on —
+	// typically storage/file's durable store. The database wraps it in the
+	// fault-injection and (with Obs) instrumentation stages itself and
+	// closes it on Close. Nil selects a fresh simulated disk built from
+	// DiskModel. A backend implementing storage.DurableBackend switches the
+	// database into durable mode: a catalog page anchors the B-tree root so
+	// the dataset survives restarts, FlushAll checkpoints, and acknowledged
+	// updates reach the write-ahead log before UpdateCustomerCtx returns.
+	Backend storage.Backend
 	// DiskModel prices (and, via its Delay hook, optionally paces) the
-	// simulated disk's operations. The zero value selects the disk's
-	// defaults (a circa-1993 device, accounting only).
-	DiskModel disk.ServiceModel
+	// simulated disk's operations when Backend is nil. The zero value
+	// selects the simulator's defaults (a circa-1993 device, accounting
+	// only).
+	DiskModel sim.ServiceModel
 	// PoolShards is the buffer pool's page-table latch partition count
 	// (power of two; 0 selects the pool's GOMAXPROCS-scaled default).
 	// Replacement decisions are unaffected — the replacer stays globally
 	// ordered — so results remain deterministic at any shard count.
 	PoolShards int
-	// DiskFaults, when non-nil, arms the simulated disk with a
-	// deterministic fault-injection plan (disk.NewFaultPlan) so the
-	// database's failure paths can be exercised reproducibly. Production-
-	// shaped runs leave it nil. The plan can also be swapped at runtime
-	// via SetDiskFaults.
-	DiskFaults *disk.FaultPlan
+	// DiskFaults, when non-nil, arms the storage stack with a deterministic
+	// fault-injection plan (storage.NewFaultPlan) so the database's failure
+	// paths can be exercised reproducibly — against any backend, simulated
+	// or durable. Production-shaped runs leave it nil. The plan can also be
+	// swapped at runtime via SetDiskFaults.
+	DiskFaults *storage.FaultPlan
 	// DiskRetry tunes the pool's transient-fault retry for disk reads and
 	// writes. The zero value disables retry (single attempt).
 	DiskRetry bufferpool.RetryConfig
@@ -102,10 +114,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// catalogPage is the durable catalog's fixed page id: the first page a
+// fresh durable database allocates, before the B-tree root. Its image
+// anchors reopen: magic, root page id, customer count, and record size
+// (see DESIGN.md §13). It stays zeroed — and the database unopenable —
+// until the first checkpoint publishes it, so a crash before that point
+// reports a deterministic error instead of serving a half-loaded dataset.
+const catalogPage policy.PageID = 0
+
+// catalogMagic marks a published catalog page.
+var catalogMagic = [8]byte{'L', 'R', 'U', 'K', 'C', 'A', 'T', '1'}
+
 // DB is the miniature customer database.
 type DB struct {
 	cfg       Config
-	disk      *disk.Manager
+	backend   storage.Backend        // outermost storage stack (metrics→faults→base); the pool I/Os through it
+	faulty    *storage.Faulty        // fault-injection stage, for SetDiskFaults
+	durable   storage.DurableBackend // non-nil when the base backend is durable
+	attached  bool                   // durable reopen: dataset recovered from the catalog
+	count     atomic.Int64           // loaded customer count (persisted in the catalog)
 	pool      *bufferpool.Pool
 	replacer  *core.SyncReplacer
 	customers *heapfile.File
@@ -145,20 +172,30 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.RecordCacheJanitor > 0 && cfg.RecordCacheSize <= 0 {
 		return nil, fmt.Errorf("db: record cache janitor requires a record cache (RecordCacheSize > 0)")
 	}
-	d := disk.NewManager(cfg.DiskModel)
-	if cfg.DiskFaults != nil {
-		d.SetFaults(cfg.DiskFaults)
+	// Assemble the storage stack: base backend (caller-supplied or a fresh
+	// simulated disk) → fault injection → instrumentation (outermost, so
+	// injected faults are timed like real ones). The pool adds the circuit
+	// breaker on top.
+	base := cfg.Backend
+	if base == nil {
+		base = sim.New(cfg.DiskModel)
 	}
+	durable, _ := base.(storage.DurableBackend)
+	faulty := storage.WithFaults(base)
+	if cfg.DiskFaults != nil {
+		faulty.SetFaults(cfg.DiskFaults)
+	}
+	var backend storage.Backend = faulty
 	repl := core.NewSyncReplacer(cfg.K, cfg.ReplacerOptions)
 	var poolMetrics bufferpool.Metrics
 	if cfg.Obs != nil {
-		// Latency instruments must exist before the pool and disk serve
+		// Latency instruments must exist before the pool and backend serve
 		// their first operation; scrape-time collectors are registered
 		// after assembly (registerObs below).
 		poolMetrics = newPoolMetrics(cfg.Obs)
-		d.SetMetrics(newDiskMetrics(cfg.Obs, d))
+		backend = storage.WithMetrics(backend, newBackendMetrics(cfg.Obs, backend.NumStripes()))
 	}
-	pool := bufferpool.NewWithConfig(d, cfg.Frames, repl,
+	pool := bufferpool.NewWithConfig(backend, cfg.Frames, repl,
 		bufferpool.Config{
 			Shards:         cfg.PoolShards,
 			Retry:          cfg.DiskRetry,
@@ -166,19 +203,42 @@ func Open(cfg Config) (*DB, error) {
 			WriterInterval: cfg.WriterInterval,
 			Metrics:        poolMetrics,
 		})
-	file := heapfile.New(pool)
-	idx, err := btree.New(pool)
-	if err != nil {
-		return nil, fmt.Errorf("db: creating index: %w", err)
-	}
 	db := &DB{
-		cfg:       cfg,
-		disk:      d,
-		pool:      pool,
-		replacer:  repl,
-		customers: file,
-		index:     idx,
-		rids:      make(map[int64]heapfile.RID),
+		cfg:      cfg,
+		backend:  backend,
+		faulty:   faulty,
+		durable:  durable,
+		pool:     pool,
+		replacer: repl,
+		rids:     make(map[int64]heapfile.RID),
+	}
+	if durable != nil && durable.Recovery().Reopened {
+		// Durable reopen: recovery has replayed the WAL; re-anchor the
+		// dataset from the checkpointed catalog.
+		if err := db.attach(); err != nil {
+			return nil, err
+		}
+	} else {
+		if durable != nil {
+			// Fresh durable store: reserve the catalog page ahead of the
+			// B-tree root. Its magic stays zeroed until the first
+			// checkpoint publishes it.
+			pg, err := pool.NewPage()
+			if err != nil {
+				return nil, fmt.Errorf("db: allocating catalog page: %w", err)
+			}
+			id := pg.ID()
+			pg.Unpin(true)
+			if id != catalogPage {
+				return nil, fmt.Errorf("db: catalog page allocated as %d, want %d (backend not fresh?)", id, catalogPage)
+			}
+		}
+		db.customers = heapfile.New(pool)
+		idx, err := btree.New(pool)
+		if err != nil {
+			return nil, fmt.Errorf("db: creating index: %w", err)
+		}
+		db.index = idx
 	}
 	if cfg.RecordCacheSize > 0 {
 		opts := core.CacheOptions{K: cfg.K}
@@ -224,6 +284,81 @@ func Open(cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// attach re-opens the dataset of a recovered durable backend: validate the
+// catalog, re-attach the B-tree at the recorded root, and rebuild the heap
+// file's page directory (and the loader's RID table) from one index leaf
+// scan. Every page it touches flows through the pool, so recovery warms the
+// buffer exactly like a cold workload would.
+func (db *DB) attach() error {
+	pg, err := db.pool.Fetch(catalogPage)
+	if err != nil {
+		return fmt.Errorf("db: reading catalog: %w", err)
+	}
+	data := pg.Data()
+	var magic [8]byte
+	copy(magic[:], data[:8])
+	root := policy.PageID(binary.LittleEndian.Uint64(data[8:16]))
+	count := int64(binary.LittleEndian.Uint64(data[16:24]))
+	recSize := int(binary.LittleEndian.Uint64(data[24:32]))
+	pg.Unpin(false)
+	if magic != catalogMagic {
+		return fmt.Errorf("db: catalog page has no valid checkpoint (magic %x) — the store crashed before its first FlushAll", magic)
+	}
+	if recSize != db.cfg.RecordSize {
+		return fmt.Errorf("db: store was checkpointed with record size %d, configured %d", recSize, db.cfg.RecordSize)
+	}
+	idx, err := btree.Attach(db.pool, root)
+	if err != nil {
+		return fmt.Errorf("db: attaching index: %w", err)
+	}
+	if int64(idx.Len()) != count {
+		return fmt.Errorf("db: catalog records %d customers, index holds %d", count, idx.Len())
+	}
+	// One leaf scan rebuilds the RID table and the heap page directory in
+	// first-seen order (load order, since keys were loaded ascending).
+	var heapPages []policy.PageID
+	seen := make(map[policy.PageID]bool)
+	if err := idx.ScanRange(math.MinInt64, math.MaxInt64, func(key int64, rid heapfile.RID) bool {
+		db.rids[key] = rid
+		if !seen[rid.Page] {
+			seen[rid.Page] = true
+			heapPages = append(heapPages, rid.Page)
+		}
+		return true
+	}); err != nil {
+		return fmt.Errorf("db: rebuilding record directory: %w", err)
+	}
+	file, err := heapfile.Attach(db.pool, heapPages)
+	if err != nil {
+		return fmt.Errorf("db: attaching heap file: %w", err)
+	}
+	db.index = idx
+	db.customers = file
+	db.count.Store(count)
+	db.attached = true
+	return nil
+}
+
+// writeCatalogCtx publishes the current dataset anchor (root, count, record
+// size) into the catalog page. Called after FlushAll's sweep so the catalog
+// a recovered store reads never points past pages the log has not seen.
+func (db *DB) writeCatalogCtx(ctx context.Context) error {
+	pg, err := db.pool.FetchCtx(ctx, catalogPage)
+	if err != nil {
+		return fmt.Errorf("db: writing catalog: %w", err)
+	}
+	data := pg.Data()
+	copy(data[:8], catalogMagic[:])
+	binary.LittleEndian.PutUint64(data[8:16], uint64(db.index.Root()))
+	binary.LittleEndian.PutUint64(data[16:24], uint64(db.count.Load()))
+	binary.LittleEndian.PutUint64(data[24:32], uint64(db.cfg.RecordSize))
+	pg.Unpin(true)
+	if err := db.pool.FlushPageCtx(ctx, catalogPage); err != nil {
+		return fmt.Errorf("db: flushing catalog: %w", err)
+	}
+	return nil
+}
+
 // Close stops the database's background work (the pool's writer, the
 // record cache janitor), flushes every dirty page, and fences further
 // operations behind ErrClosed. It is idempotent: repeated calls return the
@@ -240,7 +375,28 @@ func (db *DB) Close() error {
 		db.janitorStop = nil
 	}
 	db.closeErr = db.pool.Close()
+	if cerr := db.backend.Close(); cerr != nil && db.closeErr == nil {
+		db.closeErr = cerr
+	}
 	return db.closeErr
+}
+
+// Attached reports whether this instance re-opened an existing durable
+// dataset (crash recovery path) rather than starting empty. Callers use it
+// to skip the bulk load.
+func (db *DB) Attached() bool { return db.attached }
+
+// CustomerCount returns the number of customer records loaded (or, after a
+// durable reopen, recovered from the catalog).
+func (db *DB) CustomerCount() int { return int(db.count.Load()) }
+
+// Recovery returns the durable backend's crash-recovery report; ok is
+// false when the database runs on a non-durable (simulated) backend.
+func (db *DB) Recovery() (storage.RecoveryInfo, bool) {
+	if db.durable == nil {
+		return storage.RecoveryInfo{}, false
+	}
+	return db.durable.Recovery(), true
 }
 
 // LoadCustomers bulk-loads n customer records keyed 0..n-1. Each record
@@ -264,6 +420,7 @@ func (db *DB) LoadCustomers(n int) error {
 		}
 		db.rids[id] = rid
 	}
+	db.count.Add(int64(n))
 	return nil
 }
 
@@ -342,7 +499,18 @@ func (db *DB) UpdateCustomerCtx(ctx context.Context, custID int64, fill byte) er
 	for i := 8; i < len(rec); i++ {
 		rec[i] = fill
 	}
-	return db.customers.UpdateCtx(ctx, rid, rec)
+	if err := db.customers.UpdateCtx(ctx, rid, rec); err != nil {
+		return err
+	}
+	if db.durable != nil {
+		// Durable acknowledgement: the record's page reaches the write-ahead
+		// log before the update returns, so a crash after the caller sees
+		// success cannot lose it.
+		if err := db.customers.FlushRecordPage(ctx, rid.Page); err != nil {
+			return fmt.Errorf("db: persisting update %d: %w", custID, err)
+		}
+	}
+	return nil
 }
 
 // ScanCustomers sequentially scans the whole customer file (Example 1.2's
@@ -365,18 +533,18 @@ func (db *DB) ScanCustomersCtx(ctx context.Context) (int, error) {
 	return n, err
 }
 
-// SetDiskFaults replaces the disk's fault-injection plan at runtime; nil
-// disarms injection. Operations already past their fault check complete
-// normally.
-func (db *DB) SetDiskFaults(p *disk.FaultPlan) { db.disk.SetFaults(p) }
+// SetDiskFaults replaces the storage stack's fault-injection plan at
+// runtime; nil disarms injection. Operations already past their fault check
+// complete normally.
+func (db *DB) SetDiskFaults(p *storage.FaultPlan) { db.faulty.SetFaults(p) }
 
 // FlushAll writes every dirty resident page back to disk, visiting every
 // page even when some write-backs fail and returning the failures joined.
+// On a durable backend a clean sweep is a checkpoint: the storage flush
+// barrier runs, and the catalog page is (re)published afterwards so a
+// recovered store reopens at exactly this dataset.
 func (db *DB) FlushAll() error {
-	if db.closed.Load() {
-		return ErrClosed
-	}
-	return db.pool.FlushAll()
+	return db.FlushAllCtx(context.Background())
 }
 
 // FlushAllCtx is FlushAll charged against ctx: write-backs and their retry
@@ -386,7 +554,17 @@ func (db *DB) FlushAllCtx(ctx context.Context) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.pool.FlushAllCtx(ctx)
+	if err := db.pool.FlushAllCtx(ctx); err != nil {
+		return err
+	}
+	if db.durable != nil {
+		// Publish the catalog only after every page image the new anchor
+		// depends on is in the log; a crash between the two leaves the
+		// previous catalog governing, which update-in-place traffic keeps
+		// consistent (DESIGN.md §13).
+		return db.writeCatalogCtx(ctx)
+	}
+	return nil
 }
 
 // StatsSnapshot is a point-in-time aggregate of every counter the database
@@ -403,7 +581,7 @@ type StatsSnapshot struct {
 	// with an open circuit (0 with the breaker disabled or healthy).
 	BreakerOpenStripes int              `json:"breaker_open_stripes"`
 	Policy             core.PolicyStats `json:"policy"`
-	Disk               disk.Stats       `json:"disk"`
+	Disk               storage.Stats    `json:"disk"`
 	RecordCache        core.CacheStats  `json:"record_cache"`
 	IndexPages         int              `json:"index_pages"`
 	DataPages          int              `json:"data_pages"`
@@ -421,7 +599,7 @@ func (db *DB) StatsSnapshot() StatsSnapshot {
 		Quarantined:        db.pool.Quarantined(),
 		BreakerOpenStripes: db.pool.BreakerOpenStripes(),
 		Policy:             db.replacer.PolicyStats(),
-		Disk:               db.disk.Stats(),
+		Disk:               db.backend.Stats(),
 		RecordCache:        db.RecordCacheStats(),
 		IndexPages:         len(db.index.Pages()),
 		DataPages:          len(db.customers.Pages()),
@@ -444,8 +622,9 @@ func (db *DB) PoolQuarantined() int { return db.pool.Quarantined() }
 // PoolStats returns the buffer-pool counters.
 func (db *DB) PoolStats() bufferpool.Stats { return db.pool.Stats() }
 
-// DiskStats returns the simulated-disk counters.
-func (db *DB) DiskStats() disk.Stats { return db.disk.Stats() }
+// DiskStats returns the storage backend's counters (fault-injection stage
+// included).
+func (db *DB) DiskStats() storage.Stats { return db.backend.Stats() }
 
 // IndexPages returns the number of index node pages.
 func (db *DB) IndexPages() int { return len(db.index.Pages()) }

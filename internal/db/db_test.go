@@ -8,8 +8,8 @@ import (
 
 	"errors"
 
-	"repro/internal/disk"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
 func TestOpenValidation(t *testing.T) {
@@ -234,11 +234,11 @@ func TestDiskFaultsSurfaceAndRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every read faults for a while: small pool, so lookups must miss.
-	db.SetDiskFaults(disk.NewFaultPlan(7, disk.FaultRule{Op: disk.OpRead, Count: 3}))
+	db.SetDiskFaults(storage.NewFaultPlan(7, storage.FaultRule{Op: storage.OpRead, Count: 3}))
 	faulted := 0
 	for id := int64(0); id < customers; id++ {
 		if _, err := db.Lookup(id); err != nil {
-			if !errors.Is(err, disk.ErrInjectedFault) {
+			if !errors.Is(err, storage.ErrInjectedFault) {
 				t.Fatalf("lookup %d: %v, want a wrapped injected fault", id, err)
 			}
 			faulted++

@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"repro/internal/bufferpool"
-	"repro/internal/disk"
 	"repro/internal/leakcheck"
+	"repro/internal/storage"
 )
 
 // TestCloseIdempotentAndFenced: Close flushes, stops background work, and
@@ -174,7 +174,7 @@ func TestDBRetryAndBreakerWiring(t *testing.T) {
 	}
 
 	// A bounded burst of transient read faults: retry rides it out.
-	d.SetDiskFaults(disk.NewFaultPlan(3, disk.FaultRule{Op: disk.OpRead, Count: 2}))
+	d.SetDiskFaults(storage.NewFaultPlan(3, storage.FaultRule{Op: storage.OpRead, Count: 2}))
 	for i := int64(0); i < 64; i++ {
 		if _, err := d.Lookup(i); err != nil {
 			t.Fatalf("lookup %d failed despite retry: %v", i, err)
@@ -186,7 +186,7 @@ func TestDBRetryAndBreakerWiring(t *testing.T) {
 
 	// Total blackout: enough consecutive failures trip the breaker and
 	// lookups start failing fast.
-	d.SetDiskFaults(disk.NewFaultPlan(4, disk.FaultRule{}))
+	d.SetDiskFaults(storage.NewFaultPlan(4, storage.FaultRule{}))
 	tripped := false
 	for i := 0; i < 10000 && !tripped; i++ {
 		_, err := d.Lookup(int64(i % 64))
@@ -195,7 +195,7 @@ func TestDBRetryAndBreakerWiring(t *testing.T) {
 		}
 		if errors.Is(err, bufferpool.ErrDiskUnavailable) {
 			tripped = true
-		} else if !errors.Is(err, disk.ErrInjectedFault) {
+		} else if !errors.Is(err, storage.ErrInjectedFault) {
 			t.Fatalf("unexpected blackout error: %v", err)
 		}
 	}
@@ -236,9 +236,9 @@ func TestQuarantineDrainsThroughDB(t *testing.T) {
 	}
 	// Exactly three write faults on any page: eviction pressure from the
 	// updates below quarantines some victims; the writer then drains them.
-	d.SetDiskFaults(disk.NewFaultPlan(5, disk.FaultRule{Op: disk.OpWrite, Count: 3}))
+	d.SetDiskFaults(storage.NewFaultPlan(5, storage.FaultRule{Op: storage.OpWrite, Count: 3}))
 	for i := int64(0); i < 16; i++ {
-		if err := d.UpdateCustomer(i, byte(i)); err != nil && !errors.Is(err, disk.ErrInjectedFault) {
+		if err := d.UpdateCustomer(i, byte(i)); err != nil && !errors.Is(err, storage.ErrInjectedFault) {
 			t.Fatalf("update %d: %v", i, err)
 		}
 	}

@@ -5,24 +5,24 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
 
 // This file is the observability assembly point: it is the only place that
 // knows both the storage stack's internals and the obs registry, so the
-// dependency arrows stay clean (core/disk/bufferpool never import each
+// dependency arrows stay clean (core/storage/bufferpool never import each
 // other's metrics, and core does not import obs at all — it talks through
 // the PolicyTracer interface adapted below).
 //
 // Two registration styles, chosen per metric:
 //
-//   - Histograms are created up front and handed into the pool and disk,
-//     which record into them on the hot path (nil histograms disable the
-//     timing entirely).
+//   - Histograms are created up front and handed into the pool and the
+//     backend's instrumentation wrapper, which record into them on the hot
+//     path (nil histograms disable the timing entirely).
 //   - Counters and gauges that already exist as atomics inside the stack
-//     (pool shard counters, the disk ledger, replacer stats) are exposed
+//     (pool shard counters, the backend ledger, replacer stats) are exposed
 //     through CounterFunc/GaugeFunc collectors evaluated at scrape time —
 //     zero added cost on the paths that maintain them.
 
@@ -40,15 +40,20 @@ func newPoolMetrics(r *obs.Registry) bufferpool.Metrics {
 	}
 }
 
-// newDiskMetrics registers per-stripe read/write latency histograms.
-func newDiskMetrics(r *obs.Registry, d *disk.Manager) *disk.Metrics {
-	m := &disk.Metrics{}
-	for i := 0; i < d.NumStripes(); i++ {
+// newBackendMetrics registers per-stripe read/write latency histograms for
+// the storage instrumentation wrapper. Metric names keep the lruk_disk_
+// prefix for dashboard continuity across backends.
+func newBackendMetrics(r *obs.Registry, stripes int) storage.Metrics {
+	m := storage.Metrics{
+		ReadLatency:  make([]*obs.Histogram, stripes),
+		WriteLatency: make([]*obs.Histogram, stripes),
+	}
+	for i := 0; i < stripes; i++ {
 		lbl := obs.Labels{"stripe": strconv.Itoa(i)}
 		m.ReadLatency[i] = r.LatencyHistogram("lruk_disk_read_seconds",
-			"Disk read latency (latch waits and injected delay included), by stripe.", lbl)
+			"Storage read latency (latch waits, WAL appends, and injected delay included), by stripe.", lbl)
 		m.WriteLatency[i] = r.LatencyHistogram("lruk_disk_write_seconds",
-			"Disk write latency (latch waits and injected delay included), by stripe.", lbl)
+			"Storage write latency (latch waits, WAL appends, and injected delay included), by stripe.", lbl)
 	}
 	return m
 }
@@ -115,23 +120,33 @@ func (db *DB) registerObs(r *obs.Registry) {
 	r.GaugeFunc("lruk_pool_frames", "Pool capacity in frames.", nil,
 		func() float64 { return float64(db.pool.NumFrames()) })
 
-	dsk := func(name, help string, read func(disk.Stats) float64) {
-		r.CounterFunc(name, help, nil, func() float64 { return read(db.disk.Stats()) })
+	dsk := func(name, help string, read func(storage.Stats) float64) {
+		r.CounterFunc(name, help, nil, func() float64 { return read(db.backend.Stats()) })
 	}
-	dsk("lruk_disk_reads_total", "Successful disk page reads.",
-		func(s disk.Stats) float64 { return float64(s.Reads) })
-	dsk("lruk_disk_writes_total", "Successful disk page writes.",
-		func(s disk.Stats) float64 { return float64(s.Writes) })
+	dsk("lruk_disk_reads_total", "Successful storage page reads.",
+		func(s storage.Stats) float64 { return float64(s.Reads) })
+	dsk("lruk_disk_writes_total", "Successful storage page writes.",
+		func(s storage.Stats) float64 { return float64(s.Writes) })
 	dsk("lruk_disk_allocated_total", "Pages allocated.",
-		func(s disk.Stats) float64 { return float64(s.Allocated) })
+		func(s storage.Stats) float64 { return float64(s.Allocated) })
 	dsk("lruk_disk_deallocated_total", "Pages deallocated.",
-		func(s disk.Stats) float64 { return float64(s.Deallocated) })
+		func(s storage.Stats) float64 { return float64(s.Deallocated) })
 	dsk("lruk_disk_read_faults_total", "Reads failed by the armed fault plan.",
-		func(s disk.Stats) float64 { return float64(s.ReadFaults) })
+		func(s storage.Stats) float64 { return float64(s.ReadFaults) })
 	dsk("lruk_disk_write_faults_total", "Writes failed by the armed fault plan.",
-		func(s disk.Stats) float64 { return float64(s.WriteFaults) })
+		func(s storage.Stats) float64 { return float64(s.WriteFaults) })
 	dsk("lruk_disk_service_micros_total", "Total simulated service time, microseconds.",
-		func(s disk.Stats) float64 { return float64(s.ServiceMicros) })
+		func(s storage.Stats) float64 { return float64(s.ServiceMicros) })
+	if db.durable != nil {
+		dsk("lruk_wal_appends_total", "Write-ahead log records appended.",
+			func(s storage.Stats) float64 { return float64(s.WALAppends) })
+		dsk("lruk_wal_syncs_total", "Write-ahead log fsync batches (group commits).",
+			func(s storage.Stats) float64 { return float64(s.WALSyncs) })
+		dsk("lruk_checkpoints_total", "Durable-store checkpoints completed.",
+			func(s storage.Stats) float64 { return float64(s.Checkpoints) })
+		dsk("lruk_recovered_records_total", "WAL records replayed during crash recovery.",
+			func(s storage.Stats) float64 { return float64(s.RecoveredRecords) })
+	}
 
 	pol := func(name, help string, read func(core.PolicyStats) float64) {
 		r.CounterFunc(name, help, nil, func() float64 { return read(db.replacer.PolicyStats()) })

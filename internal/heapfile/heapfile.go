@@ -26,8 +26,8 @@ import (
 	"sync"
 
 	"repro/internal/bufferpool"
-	"repro/internal/disk"
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
 
 const (
@@ -35,7 +35,7 @@ const (
 	slotSize   = 4
 	// MaxRecord is the largest storable record: a page minus header and one
 	// slot entry.
-	MaxRecord = disk.PageSize - headerSize - slotSize
+	MaxRecord = storage.PageSize - headerSize - slotSize
 	// tombstone marks a deleted slot in its offset field. Page offsets are
 	// below 4096, so the high bit is free; the slot keeps its (offset,
 	// length) so a later insert can reuse the dead region.
@@ -101,6 +101,53 @@ func New(pool *bufferpool.Pool) *File {
 	return &File{pool: pool}
 }
 
+// Attach re-opens a heap file whose data pages already exist in the pool's
+// storage backend (a durable store after crash recovery), with the given
+// page directory in allocation order. Reuse hints are rebuilt by scanning
+// each page's slot directory for tombstones, so inserts after reattach
+// reclaim freed space exactly as before the restart.
+func Attach(pool *bufferpool.Pool, pages []policy.PageID) (*File, error) {
+	if pool == nil {
+		panic("heapfile: nil pool")
+	}
+	f := &File{pool: pool, pages: append([]policy.PageID(nil), pages...)}
+	for _, id := range f.pages {
+		pg, err := pool.Fetch(id)
+		if err != nil {
+			return nil, fmt.Errorf("heapfile attach: %w", err)
+		}
+		data := pg.Data()
+		numSlots, freeEnd := pageHeader(data)
+		if int(freeEnd) > storage.PageSize || headerSize+int(numSlots)*slotSize > int(freeEnd) {
+			pg.Unpin(false)
+			return nil, fmt.Errorf("heapfile attach: page %d has corrupt header (%d slots, freeEnd %d)",
+				id, numSlots, freeEnd)
+		}
+		for s := uint16(0); s < numSlots; s++ {
+			if off, _ := slotAt(data, s); off&tombstone != 0 {
+				f.reuse = append(f.reuse, id)
+				break
+			}
+		}
+		pg.Unpin(false)
+	}
+	return f, nil
+}
+
+// FlushRecordPage writes data page id back through the pool (if dirty),
+// holding the page's shared latch across the write so a concurrent
+// in-place Update cannot tear the flushed image. Durable deployments call
+// it to push an acknowledged record's page to the write-ahead log before
+// the acknowledgement leaves the server. The shared latch is compatible
+// with concurrent readers; writers of the same page wait, exactly as they
+// would behind a reader.
+func (f *File) FlushRecordPage(ctx context.Context, id policy.PageID) error {
+	lk := f.latchFor(id)
+	lk.RLock()
+	defer lk.RUnlock()
+	return f.pool.FlushPageCtx(ctx, id)
+}
+
 // Pages returns the ids of the file's data pages, in allocation order.
 // Experiments use this to classify references by page class.
 func (f *File) Pages() []policy.PageID {
@@ -133,7 +180,7 @@ func setSlot(data []byte, i uint16, recOffset, recLen uint16) {
 
 // initPage prepares a fresh page's header.
 func initPage(data []byte) {
-	setPageHeader(data, 0, disk.PageSize)
+	setPageHeader(data, 0, storage.PageSize)
 }
 
 // insertIntoPage tries to place rec on the page; ok is false if it does

@@ -9,12 +9,12 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
-	"repro/internal/disk"
+	"repro/internal/storage/sim"
 )
 
 func newFile(t *testing.T, frames int) *File {
 	t.Helper()
-	d := disk.NewManager(disk.ServiceModel{})
+	d := sim.New(sim.ServiceModel{})
 	pool := bufferpool.New(d, frames, core.NewReplacer(2, core.Options{}))
 	return New(pool)
 }

@@ -10,9 +10,10 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/db"
-	"repro/internal/disk"
 	"repro/internal/leakcheck"
 	"repro/internal/server/client"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
 )
 
 // TestOverloadShedsAndBreakerSurfaces is the end-to-end overload story,
@@ -38,7 +39,7 @@ func TestOverloadShedsAndBreakerSurfaces(t *testing.T) {
 	var slow atomic.Bool
 	dbCfg := db.Config{
 		Frames: 16,
-		DiskModel: disk.ServiceModel{Delay: func(int64) {
+		DiskModel: sim.ServiceModel{Delay: func(int64) {
 			if slow.Load() {
 				time.Sleep(50 * time.Millisecond)
 			}
@@ -121,7 +122,7 @@ func TestOverloadShedsAndBreakerSurfaces(t *testing.T) {
 			t.Fatalf("churn get %d: %v", id, err)
 		}
 	}
-	database.SetDiskFaults(disk.NewFaultPlan(1, disk.FaultRule{}))
+	database.SetDiskFaults(storage.NewFaultPlan(1, storage.FaultRule{}))
 	coldKey := int64(3) // early key: its leaf/heap pages are long evicted
 	sawUnavailable := false
 	for attempt := 0; attempt < 100; attempt++ {

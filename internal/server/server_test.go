@@ -12,10 +12,10 @@ import (
 	"time"
 
 	"repro/internal/db"
-	"repro/internal/disk"
 	"repro/internal/leakcheck"
 	"repro/internal/server/client"
 	"repro/internal/server/wire"
+	"repro/internal/storage/sim"
 )
 
 // startServer opens a database, loads customers, and serves it on a random
@@ -197,7 +197,7 @@ func TestRequestDeadlineSurfacesAsStatus(t *testing.T) {
 	dbCfg := db.Config{
 		Frames: 16,
 		K:      1,
-		DiskModel: disk.ServiceModel{Delay: func(int64) {
+		DiskModel: sim.ServiceModel{Delay: func(int64) {
 			if slow.Load() {
 				time.Sleep(20 * time.Millisecond)
 			}
@@ -265,7 +265,7 @@ func TestGracefulDrain(t *testing.T) {
 	var slow atomic.Bool
 	dbCfg := db.Config{
 		Frames: 16,
-		DiskModel: disk.ServiceModel{Delay: func(int64) {
+		DiskModel: sim.ServiceModel{Delay: func(int64) {
 			if slow.Load() {
 				time.Sleep(30 * time.Millisecond)
 			}

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/policy"
+	simdisk "repro/internal/storage/sim"
 )
 
 // PoolResult reports a reference-string replay through the full buffer-pool
@@ -37,7 +37,7 @@ func (e *Experiment) RunPool(frames, k int, opts core.Options, dirtyEvery int) (
 			maxPage = p
 		}
 	}
-	d := disk.NewManager(disk.ServiceModel{})
+	d := simdisk.New(simdisk.ServiceModel{})
 	for i := policy.PageID(0); i <= maxPage; i++ {
 		d.Allocate()
 	}

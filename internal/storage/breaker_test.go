@@ -1,4 +1,4 @@
-package bufferpool
+package storage
 
 import (
 	"testing"
@@ -164,5 +164,17 @@ func TestBreakerDisabled(t *testing.T) {
 	b.record(0, false)
 	if b.tripCount() != 0 || b.openStripes() != 0 {
 		t.Fatal("nil breaker reports state")
+	}
+}
+
+// TestBreakerWrapperDisabled: WithBreaker with a non-positive threshold
+// returns a typed nil whose query methods stay callable.
+func TestBreakerWrapperDisabled(t *testing.T) {
+	var br *Breaker
+	if !br.Ready(0) {
+		t.Error("nil Breaker not ready")
+	}
+	if br.Trips() != 0 || br.OpenStripes() != 0 {
+		t.Error("nil Breaker reports state")
 	}
 }

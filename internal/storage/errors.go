@@ -1,9 +1,9 @@
-package disk
+package storage
 
 import "errors"
 
-// This file classifies disk errors as transient (worth retrying: the same
-// operation may succeed if reissued) or permanent (retrying is wasted arm
+// This file classifies storage errors as transient (worth retrying: the
+// same operation may succeed if reissued) or permanent (retrying is wasted
 // time: the page does not exist, the buffer is malformed, the device
 // rejected the request for a structural reason). The buffer pool's retry
 // and circuit-breaker machinery keys off this classification.
@@ -35,9 +35,9 @@ func MarkTransient(err error) error {
 // when it is (or wraps) ErrInjectedFault — injected faults model the
 // environmental failures (cable hiccups, controller timeouts) that clear on
 // their own — or when an error in its chain implements TransientMarker and
-// declares itself transient. Everything else, ErrPageNotAllocated and
-// malformed-buffer errors included, is permanent: reissuing the identical
-// request cannot change the outcome.
+// declares itself transient. Everything else, ErrPageNotAllocated,
+// ErrUnavailable and malformed-buffer errors included, is permanent:
+// reissuing the identical request cannot change the outcome.
 func IsTransient(err error) bool {
 	if err == nil {
 		return false

@@ -1,4 +1,4 @@
-package disk
+package storage
 
 import (
 	"errors"
@@ -19,6 +19,7 @@ func TestIsTransient(t *testing.T) {
 		{"injected fault", ErrInjectedFault, true},
 		{"wrapped injected fault", fmt.Errorf("read page 7: %w", ErrInjectedFault), true},
 		{"page not allocated", ErrPageNotAllocated, false},
+		{"breaker open", ErrUnavailable, false},
 		{"unknown error", permanent, false},
 		{"marked transient", MarkTransient(permanent), true},
 		{"wrapped marked transient", fmt.Errorf("write page 3: %w", MarkTransient(permanent)), true},
@@ -50,23 +51,22 @@ func TestMarkTransientUnwraps(t *testing.T) {
 	}
 }
 
-func TestStripeOf(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	if m.NumStripes() != numStripes {
-		t.Fatalf("NumStripes = %d, want %d", m.NumStripes(), numStripes)
-	}
+// TestStripeIndex pins range, determinism and dispersion of the shared
+// stripe hash every backend uses.
+func TestStripeIndex(t *testing.T) {
+	const n = 32
 	seen := make(map[int]bool)
 	for p := 0; p < 4096; p++ {
-		idx := m.StripeOf(policy.PageID(p))
-		if idx < 0 || idx >= numStripes {
-			t.Fatalf("StripeOf(%d) = %d, outside [0, %d)", p, idx, numStripes)
+		idx := StripeIndex(policy.PageID(p), n)
+		if idx < 0 || idx >= n {
+			t.Fatalf("StripeIndex(%d) = %d, outside [0, %d)", p, idx, n)
+		}
+		if idx != StripeIndex(policy.PageID(p), n) {
+			t.Fatalf("StripeIndex(%d) not deterministic", p)
 		}
 		seen[idx] = true
-		if got := m.stripe(policy.PageID(p)); got != &m.stripes[idx] {
-			t.Fatalf("stripe(%d) disagrees with StripeOf", p)
-		}
 	}
-	if len(seen) != numStripes {
-		t.Errorf("4096 sequential pages hit only %d/%d stripes", len(seen), numStripes)
+	if len(seen) != n {
+		t.Errorf("4096 sequential pages hit only %d/%d stripes", len(seen), n)
 	}
 }

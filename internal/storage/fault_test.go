@@ -1,0 +1,280 @@
+package storage_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+	"repro/internal/storage/sim"
+)
+
+var ctx = context.Background()
+
+// faultTestBackend wraps a fresh simulator in the fault stage and allocates
+// the requested pages.
+func faultTestBackend(t *testing.T, pages int) (*storage.Faulty, []policy.PageID) {
+	t.Helper()
+	return faultTestBackendModel(t, pages, sim.ServiceModel{})
+}
+
+func faultTestBackendModel(t *testing.T, pages int, model sim.ServiceModel) (*storage.Faulty, []policy.PageID) {
+	t.Helper()
+	f := storage.WithFaults(sim.New(model))
+	ids := make([]policy.PageID, pages)
+	for i := range ids {
+		ids[i] = storage.MustAllocate(f)
+	}
+	return f, ids
+}
+
+func TestFaultCountAndAfter(t *testing.T) {
+	m, ids := faultTestBackend(t, 1)
+	m.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, After: 2, Count: 3}))
+	buf := make([]byte, storage.PageSize)
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, m.Write(ctx, ids[0], buf) != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("write %d faulted=%v, want %v (pattern %v)", i, got[i], want[i], got)
+		}
+	}
+	// The rule is write-only: reads never fault.
+	for i := 0; i < 8; i++ {
+		if err := m.Read(ctx, ids[0], buf); err != nil {
+			t.Fatalf("read %d faulted under a write-only rule: %v", i, err)
+		}
+	}
+	if s := m.Stats(); s.WriteFaults != 3 || s.ReadFaults != 0 || s.Writes != 5 || s.Reads != 8 {
+		t.Errorf("stats %+v, want 3 write faults, 5 writes, 8 reads", s)
+	}
+}
+
+func TestFaultPerPage(t *testing.T) {
+	m, ids := faultTestBackend(t, 2)
+	m.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Pages: []policy.PageID{ids[0]}}))
+	buf := make([]byte, storage.PageSize)
+	if err := m.Read(ctx, ids[0], buf); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("read of targeted page: %v, want ErrInjectedFault", err)
+	}
+	if err := m.Write(ctx, ids[0], buf); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Errorf("write of targeted page: %v, want ErrInjectedFault", err)
+	}
+	if err := m.Read(ctx, ids[1], buf); err != nil {
+		t.Errorf("read of untargeted page faulted: %v", err)
+	}
+	if err := m.Write(ctx, ids[1], buf); err != nil {
+		t.Errorf("write of untargeted page faulted: %v", err)
+	}
+}
+
+func TestFaultCustomError(t *testing.T) {
+	sentinel := errors.New("the head crashed")
+	m, ids := faultTestBackend(t, 1)
+	m.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead, Err: sentinel}))
+	buf := make([]byte, storage.PageSize)
+	if err := m.Read(ctx, ids[0], buf); !errors.Is(err, sentinel) {
+		t.Errorf("read error %v, want the rule's custom error", err)
+	}
+}
+
+// TestFaultProbabilityDeterminism replays the same operation sequence
+// against two backends with identically seeded plans: the fault pattern
+// must match op for op. A different seed must (at this length) produce a
+// different pattern.
+func TestFaultProbabilityDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		m, ids := faultTestBackend(t, 8)
+		m.SetFaults(storage.NewFaultPlan(seed, storage.FaultRule{Probability: 0.3}))
+		buf := make([]byte, storage.PageSize)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			id := ids[i%len(ids)]
+			var err error
+			if i%2 == 0 {
+				err = m.Read(ctx, id, buf)
+			} else {
+				err = m.Write(ctx, id, buf)
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b, c := pattern(7), pattern(7), pattern(8)
+	faults := 0
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 200-op fault patterns")
+	}
+	// ~30% of 200 ops; generous bounds, just catching always/never.
+	if faults < 20 || faults > 120 {
+		t.Errorf("probability 0.3 injected %d/200 faults", faults)
+	}
+}
+
+// TestFaultChargesServiceAndDelay pins the documented contract: a faulted
+// operation transfers no data but still costs service time and still runs
+// the simulator's Delay hook (so tests can park a doomed I/O like a
+// successful one). This is the FaultCharger seam between the wrapper and
+// the backend.
+func TestFaultChargesServiceAndDelay(t *testing.T) {
+	delays := 0
+	m, ids := faultTestBackendModel(t, 1, sim.ServiceModel{Delay: func(int64) { delays++ }})
+	id := ids[0]
+	buf := make([]byte, storage.PageSize)
+	copy(buf, []byte("original"))
+	if err := m.Write(ctx, id, buf); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats()
+	m.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite}))
+	copy(buf, []byte("doomed!!"))
+	if err := m.Write(ctx, id, buf); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Fatalf("write under always-fault rule: %v", err)
+	}
+	after := m.Stats()
+	if after.ServiceMicros <= before.ServiceMicros {
+		t.Error("faulted write charged no service time")
+	}
+	if delays != 2 {
+		t.Errorf("Delay ran %d times, want 2 (one per write, faulted included)", delays)
+	}
+	if after.Writes != before.Writes {
+		t.Error("faulted write counted in Stats.Writes")
+	}
+	// The page content is untouched by the faulted write.
+	m.SetFaults(nil)
+	got := make([]byte, storage.PageSize)
+	if err := m.Read(ctx, id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:8]) != "original" {
+		t.Errorf("faulted write mutated the page: %q", got[:8])
+	}
+}
+
+// TestFaultRuleOrder checks that rules are consulted in declaration order
+// and that an op is charged against every rule until one fires.
+func TestFaultRuleOrder(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	m, ids := faultTestBackend(t, 1)
+	m.SetFaults(storage.NewFaultPlan(1,
+		storage.FaultRule{Op: storage.OpRead, Count: 1, Err: first},
+		storage.FaultRule{Op: storage.OpRead, Count: 1, Err: second},
+	))
+	buf := make([]byte, storage.PageSize)
+	if err := m.Read(ctx, ids[0], buf); !errors.Is(err, first) {
+		t.Errorf("first read: %v, want first rule's error", err)
+	}
+	if err := m.Read(ctx, ids[0], buf); !errors.Is(err, second) {
+		t.Errorf("second read: %v, want second rule's error", err)
+	}
+	if err := m.Read(ctx, ids[0], buf); err != nil {
+		t.Errorf("third read: %v, want success (both rules exhausted)", err)
+	}
+}
+
+func TestSetFaultsDisarms(t *testing.T) {
+	m, ids := faultTestBackend(t, 1)
+	m.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{}))
+	buf := make([]byte, storage.PageSize)
+	if err := m.Read(ctx, ids[0], buf); err == nil {
+		t.Fatal("armed plan did not fault")
+	}
+	m.SetFaults(nil)
+	if err := m.Read(ctx, ids[0], buf); err != nil {
+		t.Errorf("disarmed backend still faulted: %v", err)
+	}
+}
+
+// TestBreakerWrapperTripsAndRecovers drives the Backend-level breaker
+// wrapper end to end over a faulty simulator: consecutive failures on one
+// page's stripe open the circuit (further I/O on that stripe fails fast
+// with ErrUnavailable without reaching the backend), the cooldown admits a
+// probe, and successful probes close it again.
+func TestBreakerWrapperTripsAndRecovers(t *testing.T) {
+	clk := newWrapperClock()
+	f, ids := faultTestBackend(t, 1)
+	id := ids[0]
+	br := storage.WithBreaker(f, storage.BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond, Probes: 1}, clk.now)
+	if br == nil {
+		t.Fatal("WithBreaker returned nil for an enabled config")
+	}
+	buf := make([]byte, storage.PageSize)
+
+	f.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpRead}))
+	for i := 0; i < 2; i++ {
+		if err := br.Read(ctx, id, buf); !errors.Is(err, storage.ErrInjectedFault) {
+			t.Fatalf("read %d: %v, want injected fault", i, err)
+		}
+	}
+	// Circuit open: refusals are local and permanent under IsTransient.
+	err := br.Read(ctx, id, buf)
+	if !errors.Is(err, storage.ErrUnavailable) {
+		t.Fatalf("read after trip: %v, want ErrUnavailable", err)
+	}
+	if storage.IsTransient(err) {
+		t.Error("breaker refusal classified transient")
+	}
+	faultsAtTrip := f.Stats().ReadFaults
+	if err := br.Write(ctx, id, buf); !errors.Is(err, storage.ErrUnavailable) {
+		t.Errorf("write on open stripe: %v, want ErrUnavailable", err)
+	}
+	if f.Stats().ReadFaults != faultsAtTrip {
+		t.Error("refused read reached the inner backend")
+	}
+	if br.Trips() != 1 || br.OpenStripes() != 1 {
+		t.Errorf("trips=%d open=%d, want 1/1", br.Trips(), br.OpenStripes())
+	}
+	stripe := br.StripeOf(id)
+	if br.Ready(stripe) {
+		t.Error("Ready = true on an open stripe inside cooldown")
+	}
+
+	// Heal the backend, wait out the cooldown: one probe closes it.
+	f.SetFaults(nil)
+	clk.advance(51 * time.Millisecond)
+	if !br.Ready(stripe) {
+		t.Error("Ready = false after cooldown")
+	}
+	if err := br.Read(ctx, id, buf); err != nil {
+		t.Fatalf("probe read: %v", err)
+	}
+	if br.OpenStripes() != 0 {
+		t.Error("circuit still open after a successful probe")
+	}
+	if err := br.Read(ctx, id, buf); err != nil {
+		t.Errorf("read after recovery: %v", err)
+	}
+}
+
+type wrapperClock struct{ t time.Time }
+
+func (c *wrapperClock) now() time.Time          { return c.t }
+func (c *wrapperClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newWrapperClock() *wrapperClock            { return &wrapperClock{t: time.Unix(1000, 0)} }
+
+// TestWithBreakerDisabledConfig: a non-positive threshold yields a nil
+// wrapper so callers fall back to the bare backend.
+func TestWithBreakerDisabledConfig(t *testing.T) {
+	if br := storage.WithBreaker(sim.New(sim.ServiceModel{}), storage.BreakerConfig{}, time.Now); br != nil {
+		t.Fatal("WithBreaker with zero threshold returned a live wrapper")
+	}
+}

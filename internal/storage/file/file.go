@@ -1,0 +1,513 @@
+// Package file implements the durable storage backend: a preallocated page
+// file fronted by a group-committed write-ahead log, with redo-only crash
+// recovery on open. It is the storage.DurableBackend the simulated disk is
+// not — a write that has returned survives kill -9.
+//
+// Directory layout:
+//
+//	pages.db   page p's image at byte offset p × 4096 (sparse; holes read
+//	           as zeros, matching a freshly allocated page)
+//	wal.log    the write-ahead log (see wal.go for the record format)
+//	meta.json  allocation state (next page id, free list) as of the last
+//	           checkpoint, rewritten atomically (tmp + rename)
+//
+// Write-ahead invariant: every state change (page write, allocate,
+// deallocate) appends a checksummed WAL record and fsyncs it — batched by
+// group commit — before the operation returns. The page-file write itself
+// is not synced; a checkpoint (Flush) makes it durable, publishes the
+// allocation state, and truncates the log. Recovery therefore replays the
+// log over the last checkpoint's page file, stopping at the torn tail, and
+// immediately checkpoints so the replayed state is itself durable.
+package file
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+const (
+	pagesName = "pages.db"
+	walName   = "wal.log"
+	metaName  = "meta.json"
+)
+
+// meta is the checkpointed allocation state.
+type meta struct {
+	NextPage int64   `json:"next_page"`
+	Free     []int64 `json:"free,omitempty"`
+}
+
+// Store is the file-backed durable storage backend.
+type Store struct {
+	dir   string
+	pages *os.File
+	wal   *wal
+
+	// latches stripe page access: a write holds its stripe exclusively
+	// across the WAL append and the page-file write, so the page file
+	// applies same-page images in LSN order and a concurrent read never
+	// sees a torn image.
+	latches [storage.DefaultStripes]sync.RWMutex
+
+	// ckpt excludes checkpoints from in-flight operations: writes, allocs,
+	// and deallocs hold it shared for their whole span (fsync included), a
+	// checkpoint holds it exclusively — so the log it truncates describes
+	// only page-file state it has just made durable.
+	ckpt sync.RWMutex
+
+	// allocMu guards the allocation state.
+	allocMu sync.Mutex
+	next    policy.PageID
+	free    []policy.PageID
+	freeSet map[policy.PageID]struct{}
+	size    int64 // current pages.db length
+
+	reads       atomic.Uint64
+	writes      atomic.Uint64
+	allocated   atomic.Uint64
+	deallocated atomic.Uint64
+	checkpoints atomic.Uint64
+	recovered   atomic.Uint64
+
+	recovery storage.RecoveryInfo
+	closed   atomic.Bool
+}
+
+var _ storage.DurableBackend = (*Store)(nil)
+
+// Open opens (or creates) the store rooted at dir. Reopening an existing
+// store replays the write-ahead log over the page file — redo-only,
+// stopping at the crash's torn tail — and checkpoints, so the store is
+// always consistent and the log empty when Open returns. Recovery()
+// reports what replay did.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("file: creating %s: %w", dir, err)
+	}
+	_, metaErr := os.Stat(filepath.Join(dir, metaName))
+	reopened := metaErr == nil
+
+	pages, err := os.OpenFile(filepath.Join(dir, pagesName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("file: opening page file: %w", err)
+	}
+	walF, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		pages.Close()
+		return nil, fmt.Errorf("file: opening wal: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		pages:   pages,
+		wal:     newWAL(walF),
+		freeSet: make(map[policy.PageID]struct{}),
+	}
+	if fi, err := pages.Stat(); err == nil {
+		s.size = fi.Size()
+	}
+	if reopened {
+		s.recovery.Reopened = true
+		if err := s.loadMeta(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		replayed, tornTail, err := s.replay()
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.recovery.Replayed = replayed
+		s.recovery.TailDropped = tornTail
+		s.recovered.Store(uint64(replayed))
+		// Make the replayed state durable and clear the log: recovery must
+		// be idempotent, not cumulative, across repeated crashes.
+		if err := s.checkpoint(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	} else {
+		// A fresh store checkpoints immediately so meta.json exists and a
+		// reopen before any traffic recovers an empty, valid store.
+		if err := s.checkpoint(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) closeFiles() {
+	s.pages.Close()
+	s.wal.f.Close()
+}
+
+// loadMeta restores the allocation state of the last checkpoint.
+func (s *Store) loadMeta() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, metaName))
+	if err != nil {
+		return fmt.Errorf("file: reading meta: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("file: parsing meta: %w", err)
+	}
+	s.next = policy.PageID(m.NextPage)
+	s.free = s.free[:0]
+	s.freeSet = make(map[policy.PageID]struct{}, len(m.Free))
+	for _, p := range m.Free {
+		id := policy.PageID(p)
+		s.free = append(s.free, id)
+		s.freeSet[id] = struct{}{}
+	}
+	return nil
+}
+
+// writeMeta atomically publishes the current allocation state.
+func (s *Store) writeMeta() error {
+	s.allocMu.Lock()
+	m := meta{NextPage: int64(s.next)}
+	for _, p := range s.free {
+		m.Free = append(m.Free, int64(p))
+	}
+	s.allocMu.Unlock()
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("file: encoding meta: %w", err)
+	}
+	tmp := filepath.Join(s.dir, metaName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("file: creating meta: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("file: writing meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("file: syncing meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("file: closing meta: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, metaName)); err != nil {
+		return fmt.Errorf("file: publishing meta: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync() // make the rename durable; best-effort on filesystems without dir fsync
+		d.Close()
+	}
+	return nil
+}
+
+// replay applies the write-ahead log to the page file, stopping at the
+// first torn or corrupt frame. It returns the number of records applied
+// and whether a torn tail was dropped.
+func (s *Store) replay() (int, bool, error) {
+	if _, err := s.wal.f.Seek(0, 0); err != nil {
+		return 0, false, fmt.Errorf("file: seeking wal: %w", err)
+	}
+	return s.replayFrom(s.wal.f)
+}
+
+// replayFrom is replay's core, parameterised over the log source so tests
+// can drive it against copies (idempotence: applying the same log twice
+// yields identical page files).
+func (s *Store) replayFrom(r io.Reader) (int, bool, error) {
+	count := 0
+	for {
+		payload, err := readRecord(r)
+		if err == io.EOF {
+			return count, false, nil
+		}
+		if err != nil {
+			// Torn tail: a frame past the last fsync. Nothing from here on
+			// was acknowledged; drop it.
+			return count, true, nil
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return count, true, nil
+		}
+		if err := s.apply(rec); err != nil {
+			return count, false, err
+		}
+		count++
+	}
+}
+
+// apply redoes one WAL record against the page file and allocation state.
+func (s *Store) apply(rec walRecord) error {
+	switch rec.kind {
+	case recKindAlloc:
+		s.allocMu.Lock()
+		delete(s.freeSet, rec.page)
+		for i, p := range s.free {
+			if p == rec.page {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+				break
+			}
+		}
+		if rec.page >= s.next {
+			s.next = rec.page + 1
+		}
+		err := s.extendLocked(rec.page)
+		s.allocMu.Unlock()
+		return err
+	case recKindDealloc:
+		s.allocMu.Lock()
+		if _, dup := s.freeSet[rec.page]; !dup {
+			s.free = append(s.free, rec.page)
+			s.freeSet[rec.page] = struct{}{}
+		}
+		s.allocMu.Unlock()
+		return nil
+	case recKindPage:
+		s.allocMu.Lock()
+		err := s.extendLocked(rec.page)
+		s.allocMu.Unlock()
+		if err != nil {
+			return err
+		}
+		if _, err := s.pages.WriteAt(rec.img, int64(rec.page)*storage.PageSize); err != nil {
+			return fmt.Errorf("file: replaying page %d: %w", rec.page, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("file: replaying unknown record kind %d", rec.kind)
+}
+
+// extendLocked grows pages.db to cover page p. Caller holds allocMu.
+func (s *Store) extendLocked(p policy.PageID) error {
+	want := (int64(p) + 1) * storage.PageSize
+	if want <= s.size {
+		return nil
+	}
+	if err := s.pages.Truncate(want); err != nil {
+		return fmt.Errorf("file: extending page file to page %d: %w", p, err)
+	}
+	s.size = want
+	return nil
+}
+
+// isAllocated reports whether p is a live page.
+func (s *Store) isAllocated(p policy.PageID) bool {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if p < 0 || p >= s.next {
+		return false
+	}
+	_, freed := s.freeSet[p]
+	return !freed
+}
+
+func (s *Store) stripe(p policy.PageID) *sync.RWMutex {
+	return &s.latches[storage.StripeIndex(p, storage.DefaultStripes)]
+}
+
+// Read copies page p into buf.
+func (s *Store) Read(ctx context.Context, p policy.PageID, buf []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(buf) != storage.PageSize {
+		return fmt.Errorf("file: read buffer is %d bytes, want %d", len(buf), storage.PageSize)
+	}
+	if !s.isAllocated(p) {
+		return fmt.Errorf("%w: read of page %d", storage.ErrPageNotAllocated, p)
+	}
+	lk := s.stripe(p)
+	lk.RLock()
+	_, err := s.pages.ReadAt(buf, int64(p)*storage.PageSize)
+	lk.RUnlock()
+	if err != nil {
+		return fmt.Errorf("file: reading page %d: %w", p, err)
+	}
+	s.reads.Add(1)
+	return nil
+}
+
+// Write makes page p's new image durable: WAL append under the page's
+// stripe latch (so the page file applies same-page images in log order),
+// page-file write, then group-committed fsync before returning.
+func (s *Store) Write(ctx context.Context, p policy.PageID, buf []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(buf) != storage.PageSize {
+		return fmt.Errorf("file: write buffer is %d bytes, want %d", len(buf), storage.PageSize)
+	}
+	if !s.isAllocated(p) {
+		return fmt.Errorf("%w: write of page %d", storage.ErrPageNotAllocated, p)
+	}
+	s.ckpt.RLock()
+	defer s.ckpt.RUnlock()
+	frame := encodePageRecord(p, buf)
+	lk := s.stripe(p)
+	lk.Lock()
+	lsn, err := s.wal.append(frame)
+	if err != nil {
+		lk.Unlock()
+		return err
+	}
+	_, werr := s.pages.WriteAt(buf, int64(p)*storage.PageSize)
+	lk.Unlock()
+	if werr != nil {
+		return fmt.Errorf("file: writing page %d: %w", p, werr)
+	}
+	if err := s.wal.sync(lsn); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Allocate reserves a page (reusing the lowest-cost free slot first) and
+// logs the allocation so it survives a crash before the next checkpoint.
+func (s *Store) Allocate() (policy.PageID, error) {
+	s.ckpt.RLock()
+	defer s.ckpt.RUnlock()
+	s.allocMu.Lock()
+	var p policy.PageID
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free = s.free[:n-1]
+		delete(s.freeSet, p)
+	} else {
+		p = s.next
+		s.next++
+	}
+	if err := s.extendLocked(p); err != nil {
+		s.undoAllocLocked(p)
+		s.allocMu.Unlock()
+		return 0, err
+	}
+	lsn, err := s.wal.append(encodeMetaRecord(recKindAlloc, p))
+	if err != nil {
+		s.undoAllocLocked(p)
+		s.allocMu.Unlock()
+		return 0, err
+	}
+	s.allocMu.Unlock()
+	if err := s.wal.sync(lsn); err != nil {
+		return 0, err
+	}
+	s.allocated.Add(1)
+	return p, nil
+}
+
+// undoAllocLocked returns a just-picked page to the allocator after a
+// failed Allocate. Caller holds allocMu.
+func (s *Store) undoAllocLocked(p policy.PageID) {
+	if p == s.next-1 {
+		s.next--
+		return
+	}
+	s.free = append(s.free, p)
+	s.freeSet[p] = struct{}{}
+}
+
+// Deallocate releases page p for reuse.
+func (s *Store) Deallocate(p policy.PageID) error {
+	if !s.isAllocated(p) {
+		return fmt.Errorf("%w: deallocate of page %d", storage.ErrPageNotAllocated, p)
+	}
+	s.ckpt.RLock()
+	defer s.ckpt.RUnlock()
+	s.allocMu.Lock()
+	s.free = append(s.free, p)
+	s.freeSet[p] = struct{}{}
+	lsn, err := s.wal.append(encodeMetaRecord(recKindDealloc, p))
+	s.allocMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.wal.sync(lsn); err != nil {
+		return err
+	}
+	s.deallocated.Add(1)
+	return nil
+}
+
+// Flush is the checkpoint: fsync the page file, publish the allocation
+// state, truncate the log. It runs with no operation in flight (the
+// checkpoint lock), so the truncated log describes only page-file state
+// the fsync just made durable.
+func (s *Store) Flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.checkpoint()
+}
+
+func (s *Store) checkpoint() error {
+	s.ckpt.Lock()
+	defer s.ckpt.Unlock()
+	if err := s.pages.Sync(); err != nil {
+		return fmt.Errorf("file: syncing page file: %w", err)
+	}
+	if err := s.writeMeta(); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// Stats returns the operation ledger.
+func (s *Store) Stats() storage.Stats {
+	return storage.Stats{
+		Reads:            s.reads.Load(),
+		Writes:           s.writes.Load(),
+		Allocated:        s.allocated.Load(),
+		Deallocated:      s.deallocated.Load(),
+		WALAppends:       s.wal.appends.Load(),
+		WALSyncs:         s.wal.syncs.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		RecoveredRecords: s.recovered.Load(),
+	}
+}
+
+// Recovery reports what crash recovery did when this store was opened.
+func (s *Store) Recovery() storage.RecoveryInfo { return s.recovery }
+
+// StripeOf returns the latch stripe serving page p.
+func (s *Store) StripeOf(p policy.PageID) int {
+	return storage.StripeIndex(p, storage.DefaultStripes)
+}
+
+// NumStripes returns the latch stripe count.
+func (s *Store) NumStripes() int { return storage.DefaultStripes }
+
+// NumPages returns the number of live pages.
+func (s *Store) NumPages() int {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	return int(s.next) - len(s.free)
+}
+
+// Close checkpoints and releases the store's files. Idempotent.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	cerr := s.checkpoint()
+	if err := s.pages.Close(); cerr == nil {
+		cerr = err
+	}
+	if err := s.wal.f.Close(); cerr == nil {
+		cerr = err
+	}
+	return cerr
+}

@@ -1,0 +1,490 @@
+package file
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+var ctx = context.Background()
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return s
+}
+
+func pageImage(fill byte) []byte {
+	img := make([]byte, storage.PageSize)
+	for i := range img {
+		img[i] = fill
+	}
+	return img
+}
+
+func TestAllocateReadWriteRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	p := storage.MustAllocate(s)
+	buf := make([]byte, storage.PageSize)
+	if err := s.Read(ctx, p, buf); err != nil {
+		t.Fatalf("read fresh page: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, storage.PageSize)) {
+		t.Error("fresh page not zeroed")
+	}
+	img := pageImage(0x3C)
+	if err := s.Write(ctx, p, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(ctx, p, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, img) {
+		t.Error("read back differs from write")
+	}
+}
+
+func TestUnallocatedAndBadBuffer(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	buf := make([]byte, storage.PageSize)
+	if err := s.Read(ctx, 99, buf); !errors.Is(err, storage.ErrPageNotAllocated) {
+		t.Errorf("read unallocated: %v", err)
+	}
+	if err := s.Write(ctx, 99, buf); !errors.Is(err, storage.ErrPageNotAllocated) {
+		t.Errorf("write unallocated: %v", err)
+	}
+	if err := s.Deallocate(99); !errors.Is(err, storage.ErrPageNotAllocated) {
+		t.Errorf("deallocate unallocated: %v", err)
+	}
+	p := storage.MustAllocate(s)
+	if err := s.Read(ctx, p, make([]byte, 10)); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := s.Write(ctx, p, make([]byte, storage.PageSize+1)); err == nil {
+		t.Error("long write buffer accepted")
+	}
+}
+
+func TestDurableAcrossCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a, b := storage.MustAllocate(s), storage.MustAllocate(s)
+	if err := s.Write(ctx, a, pageImage('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, b, pageImage('b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	ri := s2.Recovery()
+	if !ri.Reopened {
+		t.Error("reopen not reported")
+	}
+	if ri.Replayed != 0 {
+		t.Errorf("clean close left %d records to replay", ri.Replayed)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s2.Read(ctx, a, buf); err != nil || buf[0] != 'a' {
+		t.Errorf("page a after reopen: %v, first byte %q", err, buf[0])
+	}
+	if err := s2.Read(ctx, b, buf); err != nil || buf[0] != 'b' {
+		t.Errorf("page b after reopen: %v, first byte %q", err, buf[0])
+	}
+	if s2.NumPages() != 2 {
+		t.Errorf("NumPages = %d after reopen, want 2", s2.NumPages())
+	}
+}
+
+// TestCrashRecovery abandons a store without Close — the in-process
+// equivalent of kill -9 after the last acknowledged write — and verifies
+// every acknowledged operation is replayed on reopen.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a, b := storage.MustAllocate(s), storage.MustAllocate(s)
+	if err := s.Write(ctx, a, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, b, pageImage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, a, pageImage(3)); err != nil {
+		t.Fatal(err) // overwrite: replay must apply images in log order
+	}
+	// No Close, no Flush: all state lives in the WAL only.
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	ri := s2.Recovery()
+	if ri.Replayed != 5 { // 2 allocs + 3 page images
+		t.Errorf("Replayed = %d, want 5", ri.Replayed)
+	}
+	if ri.TailDropped {
+		t.Error("clean log reported a torn tail")
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s2.Read(ctx, a, buf); err != nil || buf[0] != 3 {
+		t.Errorf("page a = %d after recovery (%v), want 3", buf[0], err)
+	}
+	if err := s2.Read(ctx, b, buf); err != nil || buf[0] != 2 {
+		t.Errorf("page b = %d after recovery (%v), want 2", buf[0], err)
+	}
+	if got := s2.Stats().RecoveredRecords; got != 5 {
+		t.Errorf("RecoveredRecords = %d, want 5", got)
+	}
+}
+
+// TestTornTailDropped truncates the log mid-record — a crash inside the
+// final, unacknowledged write — and expects recovery to keep everything
+// before the tear and report the drop.
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := storage.MustAllocate(s)
+	if err := s.Write(ctx, a, pageImage(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, a, pageImage(8)); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-100); err != nil {
+		t.Fatal(err) // tear into the last page record
+	}
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	ri := s2.Recovery()
+	if !ri.TailDropped {
+		t.Error("torn tail not reported")
+	}
+	if ri.Replayed != 2 { // alloc + first image survive, second image torn
+		t.Errorf("Replayed = %d, want 2", ri.Replayed)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s2.Read(ctx, a, buf); err != nil || buf[0] != 7 {
+		t.Errorf("page a = %d after torn recovery (%v), want first image 7", buf[0], err)
+	}
+}
+
+// TestCorruptTailDropped flips a byte inside the last record: the checksum
+// must reject it and recovery must stop there, keeping earlier records.
+func TestCorruptTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := storage.MustAllocate(s)
+	if err := s.Write(ctx, a, pageImage(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, a, pageImage(9)); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xFF
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	if ri := s2.Recovery(); !ri.TailDropped || ri.Replayed != 2 {
+		t.Errorf("recovery = %+v, want torn tail after 2 records", ri)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s2.Read(ctx, a, buf); err != nil || buf[0] != 7 {
+		t.Errorf("page a = %d (%v), want pre-corruption image 7", buf[0], err)
+	}
+}
+
+// TestCheckpointTruncatesLog verifies Flush's contract: page file synced,
+// allocation state published, WAL emptied — so the next recovery replays
+// nothing.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := storage.MustAllocate(s)
+	if err := s.Write(ctx, p, pageImage(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Errorf("wal after checkpoint: size %d (%v), want 0", fi.Size(), err)
+	}
+	if got := s.Stats().Checkpoints; got == 0 {
+		t.Error("checkpoint not counted")
+	}
+	// Crash now: recovery must come entirely from the checkpointed page
+	// file, with nothing to replay.
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	if ri := s2.Recovery(); ri.Replayed != 0 || ri.TailDropped {
+		t.Errorf("recovery after checkpoint = %+v, want empty replay", ri)
+	}
+	buf := make([]byte, storage.PageSize)
+	if err := s2.Read(ctx, p, buf); err != nil || buf[0] != 5 {
+		t.Errorf("page = %d (%v), want checkpointed image 5", buf[0], err)
+	}
+}
+
+// copyDir clones a store directory, standing in for the block-level
+// snapshot a crash leaves behind.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// readAllPages snapshots every live page image through the public API.
+func readAllPages(t *testing.T, s *Store) map[policy.PageID][]byte {
+	t.Helper()
+	out := make(map[policy.PageID][]byte)
+	for p := policy.PageID(0); p < s.next; p++ {
+		if !s.isAllocated(p) {
+			continue
+		}
+		buf := make([]byte, storage.PageSize)
+		if err := s.Read(ctx, p, buf); err != nil {
+			t.Fatal(err)
+		}
+		out[p] = buf
+	}
+	return out
+}
+
+// TestRecoveryIdempotence replays the same crash image twice (two
+// independent copies) and again after the first recovery's checkpoint:
+// all three must yield identical page images and allocation state.
+func TestRecoveryIdempotence(t *testing.T) {
+	origin := t.TempDir()
+	s := mustOpen(t, origin)
+	a, b := storage.MustAllocate(s), storage.MustAllocate(s)
+	if err := s.Write(ctx, a, pageImage(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err) // some state checkpointed…
+	}
+	if err := s.Write(ctx, b, pageImage(22)); err != nil {
+		t.Fatal(err) // …and some only in the WAL
+	}
+	if err := s.Write(ctx, a, pageImage(33)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: replay the same image from two independent copies.
+	copy1, copy2 := copyDir(t, origin), copyDir(t, origin)
+
+	r1 := mustOpen(t, copy1)
+	pages1 := readAllPages(t, r1)
+	rec1 := r1.Recovery()
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := mustOpen(t, copy2)
+	pages2 := readAllPages(t, r2)
+	rec2 := r2.Recovery()
+	r2.Close()
+
+	if rec1.Replayed != rec2.Replayed || rec1.TailDropped != rec2.TailDropped {
+		t.Errorf("recovery reports diverge: %+v vs %+v", rec1, rec2)
+	}
+	if len(pages1) != len(pages2) {
+		t.Fatalf("page counts diverge: %d vs %d", len(pages1), len(pages2))
+	}
+	for p, img := range pages1 {
+		if !bytes.Equal(img, pages2[p]) {
+			t.Errorf("page %d diverged between identical recoveries", p)
+		}
+	}
+
+	// Recovering the already-recovered store (checkpointed by its first
+	// open) must change nothing: replay after a checkpoint is empty.
+	r3 := mustOpen(t, copy1)
+	defer r3.Close()
+	if ri := r3.Recovery(); ri.Replayed != 0 {
+		t.Errorf("second recovery replayed %d records, want 0", ri.Replayed)
+	}
+	pages3 := readAllPages(t, r3)
+	for p, img := range pages1 {
+		if !bytes.Equal(img, pages3[p]) {
+			t.Errorf("page %d changed across recover→checkpoint→recover", p)
+		}
+	}
+	if got, want := r3.NumPages(), len(pages1); got != want {
+		t.Errorf("NumPages = %d after re-recovery, want %d", got, want)
+	}
+}
+
+func TestDeallocateSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a, b := storage.MustAllocate(s), storage.MustAllocate(s)
+	if err := s.Write(ctx, b, pageImage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deallocate(a); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir) // crash: no close
+	defer s2.Close()
+	if s2.isAllocated(a) {
+		t.Error("deallocated page came back after recovery")
+	}
+	if !s2.isAllocated(b) {
+		t.Error("live page lost after recovery")
+	}
+	// The freed slot is reused before fresh extension.
+	if got := storage.MustAllocate(s2); got != a {
+		t.Errorf("Allocate after recovery = %d, want freed page %d", got, a)
+	}
+}
+
+func TestConcurrentWritersAndCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	const pages = 16
+	ids := make([]policy.PageID, pages)
+	for i := range ids {
+		ids[i] = storage.MustAllocate(s)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			img := make([]byte, storage.PageSize)
+			buf := make([]byte, storage.PageSize)
+			for i := 0; i < 50; i++ {
+				p := ids[(g*5+i)%pages]
+				img[0] = byte(g + 1)
+				if err := s.Write(ctx, p, img); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.Read(ctx, p, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.Flush(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	st := s.Stats()
+	if st.Reads != 200 || st.Writes != 200 {
+		t.Errorf("reads/writes = %d/%d, want 200/200", st.Reads, st.Writes)
+	}
+	if st.WALSyncs > st.WALAppends {
+		t.Errorf("more syncs (%d) than appends (%d): group commit broken", st.WALSyncs, st.WALAppends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every acknowledged write is recoverable.
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	buf := make([]byte, storage.PageSize)
+	for _, p := range ids {
+		if err := s2.Read(ctx, p, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] < 1 || buf[0] > 4 {
+			t.Errorf("page %d holds %d, not any writer's image", p, buf[0])
+		}
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	p := storage.MustAllocate(s)
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	buf := make([]byte, storage.PageSize)
+	if err := s.Read(done, p, buf); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled read: %v", err)
+	}
+	if err := s.Write(done, p, buf); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled write: %v", err)
+	}
+}
+
+// TestDurableBackendInterface pins the full contract, including under the
+// fault-injection and breaker wrappers the db layer stacks on top.
+func TestDurableBackendInterface(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	var b storage.DurableBackend = s
+	if b.NumStripes() != storage.DefaultStripes {
+		t.Errorf("NumStripes = %d", b.NumStripes())
+	}
+	if got := b.StripeOf(42); got != storage.StripeIndex(42, storage.DefaultStripes) {
+		t.Errorf("StripeOf(42) = %d", got)
+	}
+	f := storage.WithFaults(b)
+	f.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Count: 1}))
+	p := storage.MustAllocate(f)
+	img := pageImage(1)
+	if err := f.Write(ctx, p, img); !errors.Is(err, storage.ErrInjectedFault) {
+		t.Fatalf("injected fault: %v", err)
+	}
+	if err := f.Write(ctx, p, img); err != nil {
+		t.Fatalf("write after fault budget: %v", err)
+	}
+	st := f.Stats()
+	if st.WriteFaults != 1 || st.Writes != 1 {
+		t.Errorf("faults/writes = %d/%d, want 1/1", st.WriteFaults, st.Writes)
+	}
+	// The faulted write never reached the WAL.
+	if st.WALAppends != 2 { // alloc record + one successful page record
+		t.Errorf("WALAppends = %d, want 2", st.WALAppends)
+	}
+}

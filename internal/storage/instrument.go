@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// Metrics are a backend's optional latency instruments: wall-clock Read and
+// Write time — inclusive of latch waits, injected delay, and (on the file
+// backend) WAL group commit, which is the point: the histogram shows what
+// callers actually experienced, split by stripe so one slow or
+// breaker-tripped device region stands out from the rest. Each slice must
+// be nil or hold NumStripes histograms.
+type Metrics struct {
+	ReadLatency  []*obs.Histogram
+	WriteLatency []*obs.Histogram
+}
+
+// Instrumented is a Backend wrapper recording per-stripe read/write latency
+// histograms. Faulted operations are recorded too (stack it outside
+// WithFaults): an error return still occupied the caller for that long.
+type Instrumented struct {
+	inner Backend
+	m     Metrics
+}
+
+// WithMetrics wraps inner with latency instrumentation. A nil histogram
+// slice disables that side's timing entirely.
+func WithMetrics(inner Backend, m Metrics) *Instrumented {
+	return &Instrumented{inner: inner, m: m}
+}
+
+// Read implements Backend.
+func (in *Instrumented) Read(ctx context.Context, p policy.PageID, buf []byte) error {
+	if in.m.ReadLatency == nil {
+		return in.inner.Read(ctx, p, buf)
+	}
+	start := time.Now()
+	err := in.inner.Read(ctx, p, buf)
+	in.m.ReadLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	return err
+}
+
+// Write implements Backend.
+func (in *Instrumented) Write(ctx context.Context, p policy.PageID, buf []byte) error {
+	if in.m.WriteLatency == nil {
+		return in.inner.Write(ctx, p, buf)
+	}
+	start := time.Now()
+	err := in.inner.Write(ctx, p, buf)
+	in.m.WriteLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	return err
+}
+
+// Allocate implements Backend.
+func (in *Instrumented) Allocate() (policy.PageID, error) { return in.inner.Allocate() }
+
+// Deallocate implements Backend.
+func (in *Instrumented) Deallocate(p policy.PageID) error { return in.inner.Deallocate(p) }
+
+// Flush implements Backend.
+func (in *Instrumented) Flush(ctx context.Context) error { return in.inner.Flush(ctx) }
+
+// Stats implements Backend.
+func (in *Instrumented) Stats() Stats { return in.inner.Stats() }
+
+// StripeOf implements Backend.
+func (in *Instrumented) StripeOf(p policy.PageID) int { return in.inner.StripeOf(p) }
+
+// NumStripes implements Backend.
+func (in *Instrumented) NumStripes() int { return in.inner.NumStripes() }
+
+// NumPages implements Backend.
+func (in *Instrumented) NumPages() int { return in.inner.NumPages() }
+
+// Close implements Backend.
+func (in *Instrumented) Close() error { return in.inner.Close() }

@@ -1,0 +1,227 @@
+// Package sim implements storage.Backend as the simulated database disk of
+// the paper's setting: a page store in memory with explicit read/write
+// operations, allocation, and a service-time model (seek + rotational
+// latency + transfer, with cheap sequential access) so experiments can
+// report simulated I/O cost next to hit ratios. The "Five Minute Rule"
+// economics the paper builds on ([GRAYPUT]) are about exactly this trade:
+// memory buffers versus disk arm time.
+//
+// Pages live in memory; durability is storage/file's job. The manager is
+// safe for concurrent use, and concurrently at that: the page store is
+// partitioned into independently latched stripes keyed by PageID hash, and
+// all counters are atomics, so reads and writes to different pages proceed
+// in parallel. The optional ServiceModel.Delay hook injects real latency
+// per operation (outside every latch), letting benchmarks exercise a pool's
+// ability to overlap concurrent I/O. Fault injection lives in the
+// backend-agnostic storage.WithFaults wrapper; the manager implements
+// storage.FaultCharger so a faulted operation still costs arm time and
+// still runs the Delay hook.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+// PageSize is the simulated page size in bytes (storage.PageSize).
+const PageSize = storage.PageSize
+
+// numStripes is the number of independently latched page-store partitions.
+const numStripes = storage.DefaultStripes
+
+// ServiceModel prices disk operations in simulated microseconds.
+type ServiceModel struct {
+	// SeekMicros is the arm seek plus rotational latency for a random
+	// access. Default 12000 (a circa-1993 disk; the absolute value only
+	// scales reports).
+	SeekMicros int64
+	// TransferMicros is the per-page transfer time. Default 400.
+	TransferMicros int64
+	// Delay, when non-nil, is invoked after each read or write with the
+	// operation's priced service time, outside all locks. Injecting e.g. a
+	// scaled time.Sleep here turns the accounting-only model into real
+	// latency, so concurrent callers genuinely overlap their I/O — the
+	// condition under which latch partitioning pays off.
+	Delay func(serviceMicros int64)
+}
+
+func (m ServiceModel) withDefaults() ServiceModel {
+	if m.SeekMicros == 0 {
+		m.SeekMicros = 12000
+	}
+	if m.TransferMicros == 0 {
+		m.TransferMicros = 400
+	}
+	return m
+}
+
+// Manager is the simulated disk.
+type Manager struct {
+	model   ServiceModel
+	stripes [numStripes]stripe
+	nextID  atomic.Int64
+	// lastOp is the page id of the most recent priced operation, for
+	// sequential-access pricing; -1 means none yet. Under concurrency the
+	// sequential discount is approximate (operation order is whatever the
+	// hardware interleaves); single-threaded it is exact.
+	lastOp atomic.Int64
+
+	reads         atomic.Uint64
+	writes        atomic.Uint64
+	allocated     atomic.Uint64
+	deallocated   atomic.Uint64
+	serviceMicros atomic.Int64
+}
+
+type stripe struct {
+	mu    sync.RWMutex
+	pages map[policy.PageID][]byte
+	// Pad so adjacent stripe latches do not share a cache line.
+	_ [24]byte
+}
+
+// New returns an empty simulated disk with the given service model (zero
+// value for defaults).
+func New(model ServiceModel) *Manager {
+	m := &Manager{model: model.withDefaults()}
+	m.lastOp.Store(int64(policy.InvalidPage))
+	for i := range m.stripes {
+		m.stripes[i].pages = make(map[policy.PageID][]byte)
+	}
+	return m
+}
+
+func (m *Manager) stripe(p policy.PageID) *stripe {
+	return &m.stripes[m.StripeOf(p)]
+}
+
+// StripeOf implements storage.Backend.
+func (m *Manager) StripeOf(p policy.PageID) int {
+	return storage.StripeIndex(p, numStripes)
+}
+
+// NumStripes implements storage.Backend.
+func (m *Manager) NumStripes() int { return numStripes }
+
+// Allocate reserves a fresh zeroed page and returns its id. The simulated
+// allocator never fails; the error return satisfies storage.Backend.
+func (m *Manager) Allocate() (policy.PageID, error) {
+	id := policy.PageID(m.nextID.Add(1) - 1)
+	s := m.stripe(id)
+	s.mu.Lock()
+	s.pages[id] = make([]byte, PageSize)
+	s.mu.Unlock()
+	m.allocated.Add(1)
+	return id, nil
+}
+
+// Deallocate releases a page. Further access to it fails.
+func (m *Manager) Deallocate(p policy.PageID) error {
+	s := m.stripe(p)
+	s.mu.Lock()
+	_, ok := s.pages[p]
+	delete(s.pages, p)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("deallocate page %d: %w", p, storage.ErrPageNotAllocated)
+	}
+	m.deallocated.Add(1)
+	return nil
+}
+
+// Read copies page p into buf, which must hold PageSize bytes. The context
+// is ignored: simulated I/O has no blocking point to interrupt.
+func (m *Manager) Read(_ context.Context, p policy.PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("sim: read buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	s := m.stripe(p)
+	s.mu.RLock()
+	data, ok := s.pages[p]
+	if ok {
+		copy(buf, data)
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("read page %d: %w", p, storage.ErrPageNotAllocated)
+	}
+	m.reads.Add(1)
+	m.charge(p)
+	return nil
+}
+
+// Write stores buf as the new contents of page p.
+func (m *Manager) Write(_ context.Context, p policy.PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("sim: write buffer of %d bytes, want %d", len(buf), PageSize)
+	}
+	s := m.stripe(p)
+	s.mu.Lock()
+	data, ok := s.pages[p]
+	if ok {
+		copy(data, buf)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("write page %d: %w", p, storage.ErrPageNotAllocated)
+	}
+	m.writes.Add(1)
+	m.charge(p)
+	return nil
+}
+
+// ChargeFault implements storage.FaultCharger: a failed I/O still costs
+// arm time, and charging runs the Delay hook, so tests can park a doomed
+// read like a successful one.
+func (m *Manager) ChargeFault(p policy.PageID) { m.charge(p) }
+
+// charge prices one operation on page p — sequential successors skip the
+// seek — and runs the injected delay, if any, outside all locks.
+func (m *Manager) charge(p policy.PageID) {
+	cost := m.model.TransferMicros
+	if last := m.lastOp.Swap(int64(p)); last < 0 || int64(p) != last+1 {
+		cost += m.model.SeekMicros
+	}
+	m.serviceMicros.Add(cost)
+	if m.model.Delay != nil {
+		m.model.Delay(cost)
+	}
+}
+
+// Flush implements storage.Backend: the simulator has no volatile state
+// below its page maps, so the durability barrier is a no-op.
+func (m *Manager) Flush(context.Context) error { return nil }
+
+// Close implements storage.Backend (no resources to release).
+func (m *Manager) Close() error { return nil }
+
+// Stats returns a snapshot of cumulative activity. Under concurrent load
+// the counters are individually exact but not mutually consistent (they
+// are read without a global latch). Fault counters are maintained by the
+// storage.WithFaults wrapper, not here.
+func (m *Manager) Stats() storage.Stats {
+	return storage.Stats{
+		Reads:         m.reads.Load(),
+		Writes:        m.writes.Load(),
+		Allocated:     m.allocated.Load(),
+		Deallocated:   m.deallocated.Load(),
+		ServiceMicros: m.serviceMicros.Load(),
+	}
+}
+
+// NumPages returns the number of currently allocated pages.
+func (m *Manager) NumPages() int {
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		n += len(s.pages)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,19 +1,23 @@
-package disk
+package sim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"testing"
 
 	"repro/internal/policy"
+	"repro/internal/storage"
 )
 
+var ctx = context.Background()
+
 func TestAllocateReadWrite(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	p := m.Allocate()
+	m := New(ServiceModel{})
+	p := storage.MustAllocate(m)
 	buf := make([]byte, PageSize)
-	if err := m.Read(p, buf); err != nil {
+	if err := m.Read(ctx, p, buf); err != nil {
 		t.Fatalf("read fresh page: %v", err)
 	}
 	if !bytes.Equal(buf, make([]byte, PageSize)) {
@@ -21,10 +25,10 @@ func TestAllocateReadWrite(t *testing.T) {
 	}
 	data := make([]byte, PageSize)
 	copy(data, []byte("hello, buffer manager"))
-	if err := m.Write(p, data); err != nil {
+	if err := m.Write(ctx, p, data); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	if err := m.Read(p, buf); err != nil {
+	if err := m.Read(ctx, p, buf); err != nil {
 		t.Fatalf("read back: %v", err)
 	}
 	if !bytes.Equal(buf, data) {
@@ -33,18 +37,18 @@ func TestAllocateReadWrite(t *testing.T) {
 }
 
 func TestDistinctPages(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	a, b := m.Allocate(), m.Allocate()
+	m := New(ServiceModel{})
+	a, b := storage.MustAllocate(m), storage.MustAllocate(m)
 	if a == b {
 		t.Fatal("Allocate returned duplicate ids")
 	}
 	da := make([]byte, PageSize)
 	da[0] = 'a'
-	if err := m.Write(a, da); err != nil {
+	if err := m.Write(ctx, a, da); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, PageSize)
-	if err := m.Read(b, buf); err != nil {
+	if err := m.Read(ctx, b, buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf[0] != 0 {
@@ -56,26 +60,26 @@ func TestDistinctPages(t *testing.T) {
 }
 
 func TestUnallocatedAccess(t *testing.T) {
-	m := NewManager(ServiceModel{})
+	m := New(ServiceModel{})
 	buf := make([]byte, PageSize)
-	if err := m.Read(999, buf); !errors.Is(err, ErrPageNotAllocated) {
+	if err := m.Read(ctx, 999, buf); !errors.Is(err, storage.ErrPageNotAllocated) {
 		t.Errorf("read unallocated: %v", err)
 	}
-	if err := m.Write(999, buf); !errors.Is(err, ErrPageNotAllocated) {
+	if err := m.Write(ctx, 999, buf); !errors.Is(err, storage.ErrPageNotAllocated) {
 		t.Errorf("write unallocated: %v", err)
 	}
-	if err := m.Deallocate(999); !errors.Is(err, ErrPageNotAllocated) {
+	if err := m.Deallocate(999); !errors.Is(err, storage.ErrPageNotAllocated) {
 		t.Errorf("deallocate unallocated: %v", err)
 	}
 }
 
 func TestDeallocate(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	p := m.Allocate()
+	m := New(ServiceModel{})
+	p := storage.MustAllocate(m)
 	if err := m.Deallocate(p); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Read(p, make([]byte, PageSize)); !errors.Is(err, ErrPageNotAllocated) {
+	if err := m.Read(ctx, p, make([]byte, PageSize)); !errors.Is(err, storage.ErrPageNotAllocated) {
 		t.Errorf("read after deallocate: %v", err)
 	}
 	s := m.Stats()
@@ -85,37 +89,37 @@ func TestDeallocate(t *testing.T) {
 }
 
 func TestBadBufferSize(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	p := m.Allocate()
-	if err := m.Read(p, make([]byte, 10)); err == nil {
+	m := New(ServiceModel{})
+	p := storage.MustAllocate(m)
+	if err := m.Read(ctx, p, make([]byte, 10)); err == nil {
 		t.Error("short read buffer accepted")
 	}
-	if err := m.Write(p, make([]byte, PageSize+1)); err == nil {
+	if err := m.Write(ctx, p, make([]byte, PageSize+1)); err == nil {
 		t.Error("long write buffer accepted")
 	}
 }
 
 func TestServiceModelSequentialDiscount(t *testing.T) {
-	m := NewManager(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
+	m := New(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
 	for i := 0; i < 10; i++ {
 		m.Allocate()
 	}
 	buf := make([]byte, PageSize)
 	// Random-order reads: every op pays the seek.
-	_ = m.Read(5, buf)
-	_ = m.Read(2, buf)
-	_ = m.Read(8, buf)
+	_ = m.Read(ctx, 5, buf)
+	_ = m.Read(ctx, 2, buf)
+	_ = m.Read(ctx, 8, buf)
 	random := m.Stats().ServiceMicros
 	if want := int64(3 * 10100); random != want {
 		t.Errorf("random reads cost %d, want %d", random, want)
 	}
 	// Sequential reads 0..9: only the first pays the seek.
-	m2 := NewManager(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
+	m2 := New(ServiceModel{SeekMicros: 10000, TransferMicros: 100})
 	for i := 0; i < 10; i++ {
 		m2.Allocate()
 	}
 	for i := 0; i < 10; i++ {
-		_ = m2.Read(policy.PageID(i), buf)
+		_ = m2.Read(ctx, policy.PageID(i), buf)
 	}
 	seq := m2.Stats().ServiceMicros
 	if want := int64(10000 + 10*100); seq != want {
@@ -124,14 +128,14 @@ func TestServiceModelSequentialDiscount(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
-	m := NewManager(ServiceModel{})
-	p := m.Allocate()
+	m := New(ServiceModel{})
+	p := storage.MustAllocate(m)
 	buf := make([]byte, PageSize)
 	for i := 0; i < 3; i++ {
-		_ = m.Read(p, buf)
+		_ = m.Read(ctx, p, buf)
 	}
 	for i := 0; i < 2; i++ {
-		_ = m.Write(p, buf)
+		_ = m.Write(ctx, p, buf)
 	}
 	s := m.Stats()
 	if s.Reads != 3 || s.Writes != 2 {
@@ -140,7 +144,7 @@ func TestStatsCounters(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	m := NewManager(ServiceModel{})
+	m := New(ServiceModel{})
 	const pages = 32
 	for i := 0; i < pages; i++ {
 		m.Allocate()
@@ -155,11 +159,11 @@ func TestConcurrentAccess(t *testing.T) {
 				p := policy.PageID((g*7 + i) % pages)
 				if i%3 == 0 {
 					buf[0] = byte(g)
-					if err := m.Write(p, buf); err != nil {
+					if err := m.Write(ctx, p, buf); err != nil {
 						t.Error(err)
 						return
 					}
-				} else if err := m.Read(p, buf); err != nil {
+				} else if err := m.Read(ctx, p, buf); err != nil {
 					t.Error(err)
 					return
 				}
@@ -178,7 +182,7 @@ func TestConcurrentAccess(t *testing.T) {
 func TestDelayHookReceivesServiceTime(t *testing.T) {
 	var calls int
 	var total int64
-	m := NewManager(ServiceModel{
+	m := New(ServiceModel{
 		SeekMicros:     10000,
 		TransferMicros: 100,
 		Delay: func(micros int64) {
@@ -190,9 +194,9 @@ func TestDelayHookReceivesServiceTime(t *testing.T) {
 		m.Allocate()
 	}
 	buf := make([]byte, PageSize)
-	_ = m.Read(3, buf)  // seek + transfer
-	_ = m.Write(0, buf) // seek + transfer
-	_ = m.Read(1, buf)  // sequential: transfer only
+	_ = m.Read(ctx, 3, buf)  // seek + transfer
+	_ = m.Write(ctx, 0, buf) // seek + transfer
+	_ = m.Read(ctx, 1, buf)  // sequential: transfer only
 	if calls != 3 {
 		t.Errorf("Delay fired %d times, want 3", calls)
 	}
@@ -207,7 +211,7 @@ func TestDelayHookReceivesServiceTime(t *testing.T) {
 // TestConcurrentAllocateDeallocate races page lifecycle against I/O across
 // stripes; counters must balance and no page may leak.
 func TestConcurrentAllocateDeallocate(t *testing.T) {
-	m := NewManager(ServiceModel{})
+	m := New(ServiceModel{})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -215,13 +219,13 @@ func TestConcurrentAllocateDeallocate(t *testing.T) {
 			defer wg.Done()
 			buf := make([]byte, PageSize)
 			for i := 0; i < 500; i++ {
-				p := m.Allocate()
+				p := storage.MustAllocate(m)
 				buf[0] = byte(i)
-				if err := m.Write(p, buf); err != nil {
+				if err := m.Write(ctx, p, buf); err != nil {
 					t.Error(err)
 					return
 				}
-				if err := m.Read(p, buf); err != nil {
+				if err := m.Read(ctx, p, buf); err != nil {
 					t.Error(err)
 					return
 				}
@@ -239,5 +243,41 @@ func TestConcurrentAllocateDeallocate(t *testing.T) {
 	}
 	if got := m.NumPages(); got != 0 {
 		t.Errorf("NumPages = %d after balanced lifecycle, want 0", got)
+	}
+}
+
+func TestStripeOf(t *testing.T) {
+	m := New(ServiceModel{})
+	if m.NumStripes() != numStripes {
+		t.Fatalf("NumStripes = %d, want %d", m.NumStripes(), numStripes)
+	}
+	seen := make(map[int]bool)
+	for p := 0; p < 4096; p++ {
+		idx := m.StripeOf(policy.PageID(p))
+		if idx < 0 || idx >= numStripes {
+			t.Fatalf("StripeOf(%d) = %d, outside [0, %d)", p, idx, numStripes)
+		}
+		seen[idx] = true
+		if got := m.stripe(policy.PageID(p)); got != &m.stripes[idx] {
+			t.Fatalf("stripe(%d) disagrees with StripeOf", p)
+		}
+	}
+	if len(seen) != numStripes {
+		t.Errorf("4096 sequential pages hit only %d/%d stripes", len(seen), numStripes)
+	}
+}
+
+// TestBackendInterface pins that the manager satisfies the full contract,
+// durable extras excluded.
+func TestBackendInterface(t *testing.T) {
+	var b storage.Backend = New(ServiceModel{})
+	if err := b.Flush(ctx); err != nil {
+		t.Errorf("Flush: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, ok := b.(storage.DurableBackend); ok {
+		t.Error("simulator claims durability")
 	}
 }

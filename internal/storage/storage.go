@@ -1,0 +1,150 @@
+// Package storage defines the page-storage seam of the stack: the Backend
+// interface every page store implements, the shared Stats ledger, transient
+// versus permanent error classification, and backend-agnostic wrappers for
+// deterministic fault injection (WithFaults), per-stripe circuit breaking
+// (WithBreaker) and latency instrumentation (WithMetrics).
+//
+// Two backends exist: storage/sim, the in-memory simulated disk the paper's
+// experiments run on, and storage/file, a durable page file with a
+// group-committed write-ahead log and redo-only crash recovery. The buffer
+// pool, the db layer, and the observability assembly depend only on the
+// interface, so the wrappers compose over either backend — fault storms and
+// breaker protection come for free on the durable store.
+package storage
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/policy"
+)
+
+// PageSize is the page size in bytes for every backend, the paper's
+// canonical 4 KByte page (§2.1.2).
+const PageSize = 4096
+
+// DefaultStripes is the stripe count backends partition their page stores
+// (and health accounting) into. Must be a power of two.
+const DefaultStripes = 32
+
+// ErrPageNotAllocated reports access to a page id that was never allocated
+// or has been deallocated.
+var ErrPageNotAllocated = errors.New("storage: page not allocated")
+
+// Stats reports cumulative backend activity. The fault counters are
+// maintained by the WithFaults wrapper; the WAL and checkpoint counters are
+// zero on backends without a log (the simulator).
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Allocated   uint64
+	Deallocated uint64
+	// ReadFaults and WriteFaults count operations failed by an armed
+	// FaultPlan. Faulted operations transfer no data and are not counted
+	// in Reads/Writes, but on the simulator they still cost service time
+	// (the arm still moved).
+	ReadFaults  uint64
+	WriteFaults uint64
+	// ServiceMicros is the total simulated service time of all operations
+	// (simulator only; the file backend reports wall latency through the
+	// WithMetrics histograms instead).
+	ServiceMicros int64
+	// WALAppends and WALSyncs count write-ahead-log records appended and
+	// group-commit fsync batches issued (file backend only). Appends per
+	// sync is the group-commit batching factor.
+	WALAppends uint64
+	WALSyncs   uint64
+	// Checkpoints counts durability barriers taken: page file fsynced, meta
+	// rewritten, WAL truncated (file backend only).
+	Checkpoints uint64
+	// RecoveredRecords counts WAL records replayed by the most recent open
+	// (file backend only).
+	RecoveredRecords uint64
+}
+
+// Backend is a page store: the disk under the buffer pool. Implementations
+// must be safe for concurrent use; Read and Write on different pages should
+// proceed in parallel (stores partition their pages into NumStripes latch
+// stripes keyed by StripeOf).
+//
+// Read and Write honour ctx only at natural blocking points; both require
+// buf to hold exactly PageSize bytes. Errors are classified by IsTransient:
+// a transient failure may succeed if reissued (the pool's retry ladder keys
+// off this), a permanent one cannot.
+type Backend interface {
+	// Read copies page p into buf.
+	Read(ctx context.Context, p policy.PageID, buf []byte) error
+	// Write stores buf as the new contents of page p. On a durable backend
+	// a nil return means the write is on stable storage (logged and
+	// group-committed), though not yet checkpointed.
+	Write(ctx context.Context, p policy.PageID, buf []byte) error
+	// Allocate reserves a fresh zeroed page and returns its id. A durable
+	// backend may fail (log append, file extension); the simulator never
+	// does.
+	Allocate() (policy.PageID, error)
+	// Deallocate releases a page. Further access to it fails with
+	// ErrPageNotAllocated.
+	Deallocate(p policy.PageID) error
+	// Flush is the durability barrier: on a durable backend it checkpoints
+	// (page file synced, WAL truncated); on the simulator it is a no-op.
+	// The pool calls it at the end of every FlushAll sweep, so the server's
+	// FLUSH barrier doubles as the checkpoint trigger.
+	Flush(ctx context.Context) error
+	// Stats returns a snapshot of cumulative activity. Counters are
+	// individually exact but not mutually consistent under concurrency.
+	Stats() Stats
+	// StripeOf returns the latch stripe of page p, in [0, NumStripes()).
+	// Callers that track per-device-region health (the circuit breaker)
+	// key their state by it.
+	StripeOf(p policy.PageID) int
+	// NumStripes returns the number of page-store partitions.
+	NumStripes() int
+	// NumPages returns the number of currently allocated pages.
+	NumPages() int
+	// Close releases the backend's resources. Callers flush first; Close
+	// does not checkpoint.
+	Close() error
+}
+
+// RecoveryInfo reports what a durable backend's open-time recovery did.
+type RecoveryInfo struct {
+	// Replayed is the number of WAL records applied.
+	Replayed int
+	// TailDropped reports that replay stopped at a truncated or
+	// corrupt-checksum record before the log's end — the expected shape of
+	// a crash mid-append; everything before the tear was applied.
+	TailDropped bool
+	// Reopened reports that the backend attached to an existing store
+	// (false for a freshly initialised directory).
+	Reopened bool
+}
+
+// DurableBackend is implemented by backends whose pages survive process
+// restart. The db layer keys its catalog/reattach protocol off it.
+type DurableBackend interface {
+	Backend
+	// Recovery reports what the open-time WAL replay did.
+	Recovery() RecoveryInfo
+}
+
+// StripeIndex hashes page p onto one of n stripes (n a power of two) with
+// the SplitMix64 finaliser, so adjacent page ids land on different stripes.
+// Backends share it so a breaker keyed by one backend's StripeOf stays
+// valid across backends.
+func StripeIndex(p policy.PageID, n int) int {
+	z := uint64(p) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int((z ^ (z >> 31)) & uint64(n-1))
+}
+
+// MustAllocate allocates a page and panics on failure. Tests and setup
+// code over the simulated backend (whose Allocate cannot fail) use it to
+// keep allocation loops terse.
+func MustAllocate(b Backend) policy.PageID {
+	p, err := b.Allocate()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Run the storage backend benchmarks (sim vs durable file store: write,
+# group-committed parallel write, read, checkpoint, recovery replay) and
+# save the results as BENCH_storage.json in the repo root, so the cost of
+# durability is tracked across changes.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_storage.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT INT TERM
+
+echo "== storage benchmarks (this takes a minute)"
+go test -run '^$' -bench . -benchtime 200x -count 1 \
+    ./internal/storage/file/ | tee "$raw"
+
+# Convert `go test -bench` text output into a stable JSON document:
+# one object per benchmark with iterations, ns/op and (where reported)
+# MB/s. Everything else (goos, cpu line, PASS) goes to metadata.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    mbs = ""
+    for (i = 4; i <= NF; i++) if ($(i) == "MB/s") mbs = $(i - 1)
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+    line = line "}"
+    bench[n++] = line
+}
+END {
+    printf "{\n"
+    printf " \"date\": \"%s\",\n", date
+    printf " \"goos\": \"%s\",\n", goos
+    printf " \"goarch\": \"%s\",\n", goarch
+    printf " \"cpu\": \"%s\",\n", cpu
+    printf " \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+    printf " ]\n}\n"
+}' "$raw" >"$out"
+
+echo "== wrote $out"

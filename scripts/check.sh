@@ -23,4 +23,6 @@ echo "== serve-smoke"
 sh scripts/serve_smoke.sh
 echo "== obs-smoke"
 sh scripts/obs_smoke.sh
+echo "== crash-smoke"
+sh scripts/crash_smoke.sh
 echo "OK"

@@ -1,0 +1,108 @@
+#!/bin/sh
+# Kill-and-restart durability test of the file-backed storage backend:
+# boot lrukd on a durable data directory, drive an updates-only crash-test
+# load that records every acknowledged update in a client-side ledger,
+# SIGKILL the daemon mid-run (no drain, no checkpoint), restart it on the
+# same directory, and verify against the ledger that every acknowledged
+# update survived WAL recovery.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -KILL "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# wait_addr <logfile>: block until the serving line appears, echo the
+# bound address.
+wait_addr() {
+    _log=$1
+    _addr=""
+    _i=0
+    while [ $_i -lt 150 ]; do
+        _addr=$(sed -n 's/^lrukd: serving on \([^ ]*\).*/\1/p' "$_log")
+        [ -n "$_addr" ] && break
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "lrukd died during startup:" >&2
+            cat "$_log" >&2
+            exit 1
+        fi
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    if [ -z "$_addr" ]; then
+        echo "lrukd never printed its serving line:" >&2
+        cat "$_log" >&2
+        exit 1
+    fi
+    echo "$_addr"
+}
+
+echo "== build lrukd + lrukload"
+go build -o "$tmp/lrukd" ./cmd/lrukd
+go build -o "$tmp/lrukload" ./cmd/lrukload
+
+echo "== start lrukd on a durable data dir"
+"$tmp/lrukd" -addr 127.0.0.1:0 -backend=file -data-dir "$tmp/data" \
+    -customers 2000 -frames 128 >"$tmp/lrukd1.log" 2>&1 &
+daemon_pid=$!
+addr=$(wait_addr "$tmp/lrukd1.log")
+echo "   lrukd at $addr (pid $daemon_pid, data $tmp/data)"
+
+echo "== crash-test load (ledger-recorded updates)"
+# Long duration: the load is meant to still be running when the SIGKILL
+# lands. The clients stop on their own once the server dies, leaving at
+# most one unacknowledged in-flight update per key in the ledger.
+"$tmp/lrukload" -addr "$addr" -clients 4 -duration 30s -keys 2000 \
+    -ledger "$tmp/ledger.json" >"$tmp/load.log" 2>&1 &
+load_pid=$!
+sleep 2
+
+echo "== kill -9 mid-load"
+kill -KILL "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+if ! wait "$load_pid"; then
+    echo "crash-test load failed (no acknowledged updates?):"
+    cat "$tmp/load.log"
+    exit 1
+fi
+grep '^lrukload: ledger' "$tmp/load.log" || true
+
+echo "== restart lrukd on the same data dir"
+"$tmp/lrukd" -addr 127.0.0.1:0 -backend=file -data-dir "$tmp/data" \
+    -customers 2000 -frames 128 >"$tmp/lrukd2.log" 2>&1 &
+daemon_pid=$!
+addr=$(wait_addr "$tmp/lrukd2.log")
+if ! grep -q '^lrukd: recovered' "$tmp/lrukd2.log"; then
+    echo "restarted lrukd did not report a recovery:"
+    cat "$tmp/lrukd2.log"
+    exit 1
+fi
+grep '^lrukd: recovered' "$tmp/lrukd2.log"
+echo "   lrukd back at $addr (pid $daemon_pid)"
+
+echo "== verify acknowledged updates against the ledger"
+"$tmp/lrukload" -addr "$addr" -ledger "$tmp/ledger.json" -verify
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+    echo "lrukd exited $status:"
+    cat "$tmp/lrukd2.log"
+    exit 1
+fi
+if ! grep -q "lrukd: clean shutdown" "$tmp/lrukd2.log"; then
+    echo "lrukd exited 0 but never declared a clean shutdown:"
+    cat "$tmp/lrukd2.log"
+    exit 1
+fi
+echo "crash-smoke OK"
