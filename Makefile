@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke check
 
 all: check
 
@@ -38,6 +38,12 @@ bench:
 bench-pool:
 	$(GO) test -bench BenchmarkPoolParallel -run '^$$' ./internal/bufferpool/
 
+## bench-hit: the resident-hit-path regression gate — runs the batched
+## pool's hit loop via testing.Benchmark and fails if ns/op exceeds the
+## ceiling or falls behind the unbatched sharded pool (DESIGN.md §14).
+bench-hit:
+	$(GO) test -count=1 -run TestHitPathCeiling -v ./internal/bufferpool/
+
 tables:
 	$(GO) run ./cmd/tables
 
@@ -71,9 +77,11 @@ obs-smoke:
 crash-smoke:
 	sh scripts/crash_smoke.sh
 
-## bench-save: run the storage backend benchmarks (sim vs durable file
-## store) and snapshot the results into BENCH_storage.json.
+## bench-save: run the tracked benchmark suites (storage backends,
+## pool hit path) and snapshot them into BENCH_storage.json and
+## BENCH_hotpath.json, filing dated copies under BENCH_history/ and
+## printing a ns/op diff against the previous snapshots.
 bench-save:
 	sh scripts/bench_save.sh
 
-check: fmt-check build vet test race serve-smoke obs-smoke crash-smoke
+check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke

@@ -1,0 +1,390 @@
+package bufferpool
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/storage/file"
+	"repro/internal/storage/sim"
+)
+
+// batchedTraceOptions enables both §2.1 periods, so the differential traces
+// below exercise correlated-reference collapse and the retention purge
+// through the batched drain path, not just plain touches.
+var batchedTraceOptions = core.Options{
+	CorrelatedReferencePeriod: 3,
+	RetainedInformationPeriod: 200,
+}
+
+// batchedTraceStep is one scripted operation of the differential traces.
+type batchedTraceStep struct {
+	id    policy.PageID
+	dirty bool
+	flush bool
+}
+
+func batchedTraceScript(pages, refs int) []batchedTraceStep {
+	r := stats.NewRNG(11)
+	script := make([]batchedTraceStep, refs)
+	for i := range script {
+		var id policy.PageID
+		if i%2 == 0 {
+			id = policy.PageID(r.Intn(40)) // hot set
+		} else {
+			id = policy.PageID(40 + r.Intn(pages-40))
+		}
+		script[i] = batchedTraceStep{id: id, dirty: i%7 == 6, flush: i%997 == 996}
+	}
+	return script
+}
+
+// TestBatchedPoolMatchesSerialOnDeterministicTrace replays one deterministic
+// single-threaded trace through the Serial reference pool and through the
+// concurrent Pool with access batching ENABLED (core.Batched over a
+// single-slot SyncReplacer), over both storage backends. After a final
+// drain, every pool counter and every policy counter must agree exactly:
+// the batch buffers stamp references at arrival and each underlying table
+// replays its exact FIFO, so batching must be observationally invisible on
+// a serialisable history — including the correlated-reference collapses and
+// retention purges the enabled §2.1 periods produce.
+func TestBatchedPoolMatchesSerialOnDeterministicTrace(t *testing.T) {
+	const (
+		frames = 50
+		pages  = 800
+		refs   = 40000
+	)
+	script := batchedTraceScript(pages, refs)
+
+	type outcome struct {
+		pool   Stats
+		policy core.PolicyStats
+	}
+	run := func(t *testing.T, open func() storage.Backend, build func(storage.Backend) (fetcherPool, func() core.PolicyStats)) outcome {
+		d := open()
+		for i := 0; i < pages; i++ {
+			storage.MustAllocate(d)
+		}
+		p, policyStats := build(d)
+		for _, st := range script {
+			pg, err := p.Fetch(st.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.dirty {
+				pg.Data()[0]++
+			}
+			pg.Unpin(st.dirty)
+			if st.flush {
+				if err := p.FlushPage(st.id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := p.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		// policyStats drains any still-buffered events (core.Batched
+		// flushes on every stats read), so the comparison below is over
+		// fully-reconciled state.
+		return outcome{p.PoolStats(), policyStats()}
+	}
+
+	backends := []struct {
+		name string
+		open func() storage.Backend
+	}{
+		{"sim", func() storage.Backend { return sim.New(sim.ServiceModel{}) }},
+		{"file", func() storage.Backend {
+			s, err := file.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			want := run(t, be.open, func(d storage.Backend) (fetcherPool, func() core.PolicyStats) {
+				r := core.NewReplacer(2, batchedTraceOptions)
+				return serialFetcher{NewSerial(d, frames, r)}, r.PolicyStats
+			})
+			got := run(t, be.open, func(d storage.Backend) (fetcherPool, func() core.PolicyStats) {
+				b := core.NewBatched(core.NewSyncReplacer(2, batchedTraceOptions), core.BatchConfig{})
+				return poolFetcher{NewWithConfig(d, frames, b, Config{Shards: 8})}, b.PolicyStats
+			})
+			if got.pool != want.pool {
+				t.Errorf("batched pool stats %+v, want serial %+v", got.pool, want.pool)
+			}
+			if got.policy != want.policy {
+				t.Errorf("batched policy stats %+v, want serial %+v", got.policy, want.policy)
+			}
+			if got.policy.Collapses == 0 || got.policy.Purges == 0 {
+				t.Errorf("trace did not exercise collapse+purge paths: %+v", got.policy)
+			}
+		})
+	}
+}
+
+// TestBatchedShardedMatchesUnbatchedSharded replays the same deterministic
+// trace through two concurrent pools built on the identical ShardedReplacer
+// geometry, one direct and one behind core.Batched. Sharded victim order
+// differs from Serial's global order, so the reference here is the
+// unbatched sharded pool: per-shard slot FIFOs and arrival stamping must
+// make the batched run counter-identical to it.
+func TestBatchedShardedMatchesUnbatchedSharded(t *testing.T) {
+	const (
+		frames = 50
+		pages  = 800
+		refs   = 40000
+	)
+	script := batchedTraceScript(pages, refs)
+
+	run := func(build func() Replacer) (Stats, core.PolicyStats) {
+		d := sim.New(sim.ServiceModel{})
+		for i := 0; i < pages; i++ {
+			storage.MustAllocate(d)
+		}
+		r := build()
+		p := NewWithConfig(d, frames, r, Config{Shards: 8})
+		for _, st := range script {
+			pg, err := p.Fetch(st.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.dirty {
+				pg.Data()[0]++
+			}
+			pg.Unpin(st.dirty)
+			if st.flush {
+				if err := p.FlushPage(st.id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := p.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		type policyStatser interface{ PolicyStats() core.PolicyStats }
+		return p.Stats(), r.(policyStatser).PolicyStats()
+	}
+
+	wantStats, wantPolicy := run(func() Replacer {
+		return core.NewShardedReplacer(16, 2, batchedTraceOptions)
+	})
+	gotStats, gotPolicy := run(func() Replacer {
+		return core.NewBatched(core.NewShardedReplacer(16, 2, batchedTraceOptions), core.BatchConfig{})
+	})
+	if gotStats != wantStats {
+		t.Errorf("batched sharded pool stats %+v, want unbatched %+v", gotStats, wantStats)
+	}
+	if gotPolicy != wantPolicy {
+		t.Errorf("batched sharded policy stats %+v, want unbatched %+v", gotPolicy, wantPolicy)
+	}
+}
+
+// fetcherPool is the slice of the Serial/Pool surface the differential
+// traces need, plus a uniform stats accessor.
+type fetcherPool interface {
+	Fetch(id policy.PageID) (pageHandle, error)
+	FlushPage(id policy.PageID) error
+	FlushAll() error
+	PoolStats() Stats
+}
+
+type pageHandle interface {
+	Data() []byte
+	Unpin(dirty bool)
+}
+
+type serialFetcher struct{ p *Serial }
+
+func (s serialFetcher) Fetch(id policy.PageID) (pageHandle, error) {
+	pg, err := s.p.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+func (s serialFetcher) FlushPage(id policy.PageID) error { return s.p.FlushPage(id) }
+func (s serialFetcher) FlushAll() error                  { return s.p.FlushAll() }
+func (s serialFetcher) PoolStats() Stats                 { return s.p.Stats() }
+
+type poolFetcher struct{ p *Pool }
+
+func (s poolFetcher) Fetch(id policy.PageID) (pageHandle, error) {
+	pg, err := s.p.Fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+func (s poolFetcher) FlushPage(id policy.PageID) error { return s.p.FlushPage(id) }
+func (s poolFetcher) FlushAll() error                  { return s.p.FlushAll() }
+func (s poolFetcher) PoolStats() Stats                 { return s.p.Stats() }
+
+// TestFastHitProbe pins down the latch-free hit path: once a page has been
+// fetched and published to its shard's hot slots, a repeat fetch must be
+// served by the lock-free probe (FastHits advances) with ordinary hit
+// accounting, and eviction must invalidate the published frame so the
+// probe cannot resurrect a page the pool evicted.
+func TestFastHitProbe(t *testing.T) {
+	d := sim.New(sim.ServiceModel{})
+	var ids []policy.PageID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, storage.MustAllocate(d))
+	}
+	b := core.NewBatched(core.NewShardedReplacer(4, 2, core.Options{}), core.BatchConfig{})
+	p := NewWithConfig(d, 4, b, Config{Shards: 4})
+
+	warm := func(id policy.PageID) {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin(false)
+	}
+	warm(ids[0])
+	if got := p.FastHits(); got != 0 {
+		t.Fatalf("cold fetch counted %d fast hits, want 0", got)
+	}
+	warm(ids[0])
+	if got := p.FastHits(); got != 1 {
+		t.Fatalf("repeat fetch counted %d fast hits, want 1 (probe missed)", got)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit 1 miss", s)
+	}
+
+	// Evict ids[0] by filling the pool, then fetch it again: the probe must
+	// not serve the stale frame (its epoch advanced and the page moved on).
+	for _, id := range ids[1:] {
+		warm(id)
+	}
+	pg, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Data(); got == nil {
+		t.Fatal("nil data from re-fetched page")
+	}
+	pg.Unpin(false)
+	s = p.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("fill did not evict: %+v", s)
+	}
+	if s.Hits+s.Misses != uint64(len(ids)+2) {
+		t.Fatalf("accounting drifted: %+v over %d fetches", s, len(ids)+2)
+	}
+}
+
+// TestBatchedDeletePage exercises the buffered evRemove path: deleting a
+// page whose access events are still buffered must not leave it evictable
+// or resurrect it, and the frame must return to the free list.
+func TestBatchedDeletePage(t *testing.T) {
+	d := sim.New(sim.ServiceModel{})
+	id := storage.MustAllocate(d)
+	b := core.NewBatched(core.NewSyncReplacer(2, core.Options{}), core.BatchConfig{})
+	p := New(d, 4, b)
+	pg, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Unpin(false)
+	// The admission, hit bookkeeping and evictability flip are still
+	// buffered; DeletePage buffers the removal behind them in the same
+	// slot FIFO.
+	if err := p.DeletePage(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Size(); got != 0 {
+		t.Errorf("deleted page still evictable: Size = %d", got)
+	}
+	if _, err := p.Fetch(id); err == nil {
+		t.Error("fetch of deallocated page succeeded")
+	}
+	free, tabled := frameAccounting(p)
+	if free+tabled != p.NumFrames() {
+		t.Errorf("frame accounting after delete: %d free + %d resident != %d", free, tabled, p.NumFrames())
+	}
+}
+
+// TestBatchedRestoreAfterFailedWriteback drives the satellite regression:
+// a dirty victim whose write-back fails is restored while the batch
+// buffers still hold undrained events for it. The restore must reinstate
+// the existing HIST block — never fabricate a phantom one — and the
+// pool/replacer state must stay consistent enough for the page to be
+// fetched, flushed and evicted normally once the fault clears. Run under
+// -race: the background writer drains the quarantine concurrently.
+func TestBatchedRestoreAfterFailedWriteback(t *testing.T) {
+	d := storage.WithFaults(sim.New(sim.ServiceModel{}))
+	const frames = 4
+	var ids []policy.PageID
+	for i := 0; i < frames+2; i++ {
+		ids = append(ids, storage.MustAllocate(d))
+	}
+	victim := ids[0]
+	b := core.NewBatched(core.NewSyncReplacer(2, core.Options{RetainedInformationPeriod: 100}), core.BatchConfig{})
+	p := New(d, frames, b)
+
+	// Dirty the victim-to-be and fill the rest of the pool.
+	pg, err := p.Fetch(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data()[0] = 0xAB
+	pg.Unpin(true)
+	for _, id := range ids[1:frames] {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin(false)
+	}
+
+	// Every write to the victim fails: the eviction sweep claims it (its
+	// buffered events flush during the eviction search), fails the
+	// write-back, restores it, and takes a clean page instead.
+	d.SetFaults(storage.NewFaultPlan(1, storage.FaultRule{Op: storage.OpWrite, Pages: []policy.PageID{victim}}))
+	pg, err = p.Fetch(ids[frames])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Unpin(false)
+	s := p.Stats()
+	if s.WriteErrors == 0 {
+		t.Fatalf("eviction did not fail the victim's write-back: %+v", s)
+	}
+
+	// The restored page must still be resident with its dirty data intact.
+	pg, err = p.Fetch(victim)
+	if err != nil {
+		t.Fatalf("restored victim not fetchable: %v", err)
+	}
+	if pg.Data()[0] != 0xAB {
+		t.Fatalf("restored victim lost its in-memory update: %x", pg.Data()[0])
+	}
+	pg.Unpin(false)
+	if hits := p.Stats().Hits; hits == 0 {
+		t.Error("re-fetch of restored victim was not a hit (phantom eviction)")
+	}
+
+	// Heal the disk; the page must flush and then evict normally.
+	d.SetFaults(nil)
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("flush after healing: %v", err)
+	}
+	for _, id := range ids[1:] {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin(false)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,30 @@ type ConcurrentReplacer interface {
 	ConcurrentSafe()
 }
 
+// AdmissionReplacer is a Replacer that distinguishes the reference that
+// makes a page resident (a miss read or fresh allocation) from a hit on
+// an already-resident page. The pool reports admissions through
+// RecordAdmission when available, which lets an event-buffering replacer
+// (core.Batched) drop a buffered hit whose page left residency before the
+// drain instead of misreading it as an admission and fabricating history.
+// For non-buffering replacers RecordAdmission is equivalent to
+// RecordAccess.
+type AdmissionReplacer interface {
+	Replacer
+	RecordAdmission(p policy.PageID)
+}
+
+// PinReplacer is a Replacer that accepts a hit and the accompanying
+// pin-count zero-crossing as one fused call, so an event-buffering
+// replacer (core.Batched) enqueues a single event where the generic path
+// would enqueue a reference plus an evictability change. RecordPin must be
+// semantically identical to RecordAccess(p) followed by
+// SetEvictable(p, false).
+type PinReplacer interface {
+	Replacer
+	RecordPin(p policy.PageID)
+}
+
 // lockedReplacer makes an arbitrary Replacer safe for concurrent use by
 // serialising every call, preserving its victim order exactly.
 type lockedReplacer struct {
@@ -119,6 +143,16 @@ func (l *lockedReplacer) Size() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.r.Size()
+}
+
+func (l *lockedReplacer) RecordAdmission(p policy.PageID) {
+	l.mu.Lock()
+	if ar, ok := l.r.(AdmissionReplacer); ok {
+		ar.RecordAdmission(p)
+	} else {
+		l.r.RecordAccess(p)
+	}
+	l.mu.Unlock()
 }
 
 // ErrNoFreeFrame reports that every frame is pinned, so the pool cannot
@@ -190,14 +224,38 @@ const (
 	frameWriting               // in the table, dirty-victim write-back in flight
 )
 
-// frame is one buffer slot. pins and dirty are atomics so the hit path
-// mutates them under a shared (not exclusive) shard latch; mu serialises
-// only the evictability handshake with the replacer (see pinned / unpinned
-// below), never I/O.
+// Layout of frame.pv, the packed pin/claim/epoch word that makes the
+// resident-hit probe latch-free (DESIGN.md §14):
+//
+//	bits 0..31   pin count
+//	bit  32      claim bit: the frame is being repurposed (evicted or
+//	             deleted); probes must not pin it
+//	bits 33..63  repurposing epoch, bumped by every claim and install
+//
+// A lock-free probe validates page identity and residency, then pins with
+// a single CompareAndSwap on the whole word: the CAS fails if any claim
+// or install intervened since the word was read (the claim bit or the
+// epoch changed), so a successful CAS is a valid pin with no undo path.
+// The epoch is what defeats ABA: a frame evicted and re-installed — even
+// for the same page id, even back to pin count zero — can never present
+// the same word again.
+const (
+	framePinMask  = uint64(1)<<32 - 1
+	frameClaimBit = uint64(1) << 32
+	frameEpochInc = uint64(1) << 33
+)
+
+// frame is one buffer slot. pv, dirty and state are atomics so the hit
+// path mutates them with no latch at all (probe) or under a shared shard
+// latch (slow path); mu serialises only the evictability handshake with
+// the replacer (see pinned / unpinned below), never I/O.
 type frame struct {
-	data  []byte
-	page  policy.PageID
-	pins  atomic.Int64
+	data []byte
+	// page is the id the frame currently holds; atomic so the lock-free
+	// probe can validate it. Only meaningful while the frame is reachable
+	// (a freed frame retains its last id).
+	page  atomic.Int64
+	pv    atomic.Uint64
 	dirty atomic.Bool
 	state atomic.Int32
 	// mu orders pin-count zero-crossings against the replacer's evictable
@@ -220,13 +278,75 @@ type frame struct {
 	flushMu sync.Mutex
 }
 
+// pins returns the frame's current pin count.
+func (f *frame) pins() int64 { return int64(f.pv.Load() & framePinMask) }
+
+// pinAdd adjusts the pin count by d and returns the new count. Callers
+// must either hold a pin already (releases) or hold a latch that excludes
+// claims (the slow pin paths); the lock-free probe pins via CAS instead.
+func (f *frame) pinAdd(d int64) int64 {
+	return int64(f.pv.Add(uint64(d)) & framePinMask)
+}
+
+// tryClaim atomically claims the frame for repurposing iff it is
+// unpinned and unclaimed. Callers hold the owning shard's exclusive
+// latch, so the only contenders are lock-free probes; a successful claim
+// bumps the epoch (via the claim bit) and guarantees no probe can pin the
+// frame until install publishes a new epoch.
+func (f *frame) tryClaim() bool {
+	for {
+		w := f.pv.Load()
+		if w&(framePinMask|frameClaimBit) != 0 {
+			return false
+		}
+		if f.pv.CompareAndSwap(w, w+frameClaimBit) {
+			return true
+		}
+	}
+}
+
+// unclaim abandons a claim (failed victim write-back), advancing the
+// epoch so any probe that read the pre-claim word still fails its CAS.
+// The claim bit excludes every other pv writer, so a plain store is safe.
+func (f *frame) unclaim() {
+	w := f.pv.Load()
+	f.pv.Store((w &^ (frameClaimBit | framePinMask)) + frameEpochInc)
+}
+
+// install publishes a fresh epoch with pin count 1 for a frame the caller
+// owns exclusively (claimed by eviction/delete, or taken off the free
+// list, where probes cannot pin it because its state is never
+// frameResident). Clearing the claim bit with a new epoch is what re-opens
+// the frame to probes once its state becomes frameResident.
+func (f *frame) install() {
+	w := f.pv.Load()
+	f.pv.Store((w &^ (frameClaimBit | framePinMask)) + frameEpochInc + 1)
+}
+
+// hotSlots is the per-shard size of the lock-free hit-path pointer array;
+// a power of two. 64 slots per shard keeps the array one page-table probe
+// wide while making same-slot collisions rare within a shard's working
+// set (collisions only cost a fallback to the latched path).
+const hotSlots = 64
+
 // shard is one latch partition of the page table, with its own counters so
 // Stats aggregation takes no global lock.
 type shard struct {
 	mu    sync.RWMutex
 	table map[policy.PageID]*frame
+	// hot is the lock-free hit-path index: recently installed or hit
+	// resident frames, keyed by page-hash bits disjoint from the shard
+	// selector. Entries may be stale (the frame claimed, freed, or holding
+	// another page); probes re-validate against the frame itself and fall
+	// back to the latched path on any doubt.
+	hot [hotSlots]atomic.Pointer[frame]
 
-	hits           atomic.Uint64
+	hits atomic.Uint64
+	// fastHits counts hits served by the lock-free probe, a subset of
+	// hits. Deliberately not part of Stats: it is a mechanism counter, not
+	// pool accounting, and must not disturb Stats' exact differential
+	// equality against the Serial pool.
+	fastHits       atomic.Uint64
 	misses         atomic.Uint64
 	coalesced      atomic.Uint64
 	evictions      atomic.Uint64
@@ -305,9 +425,20 @@ type Pool struct {
 	backend  storage.Backend
 	breaker  *storage.Breaker // typed handle into backend's breaker stage; nil when disabled
 	replacer Replacer
-	frames   []frame
-	shards   []shard
-	mask     uint64
+	// admit records the reference that makes a page resident: the
+	// replacer's RecordAdmission when it distinguishes admissions
+	// (AdmissionReplacer), RecordAccess otherwise. Bound once at
+	// construction so the miss path pays no type assertion.
+	admit func(policy.PageID)
+	// recordPin records a hit that raises the pin count from zero: the
+	// replacer's fused RecordPin when it has one (core.Batched — one
+	// buffered event instead of two), otherwise RecordAccess followed by
+	// SetEvictable(false) in the Serial reference pool's order. Called
+	// under the frame's mu (see pinnedRef).
+	recordPin func(policy.PageID)
+	frames    []frame
+	shards    []shard
+	mask      uint64
 
 	freeMu sync.Mutex
 	free   []*frame
@@ -392,6 +523,19 @@ func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Po
 	if p.breaker != nil {
 		p.backend = p.breaker
 	}
+	if ar, ok := p.replacer.(AdmissionReplacer); ok {
+		p.admit = ar.RecordAdmission
+	} else {
+		p.admit = p.replacer.RecordAccess
+	}
+	if pr, ok := p.replacer.(PinReplacer); ok {
+		p.recordPin = pr.RecordPin
+	} else {
+		p.recordPin = func(id policy.PageID) {
+			p.replacer.RecordAccess(id)
+			p.replacer.SetEvictable(id, false)
+		}
+	}
 	for i := range p.shards {
 		p.shards[i].table = make(map[policy.PageID]*frame)
 	}
@@ -402,12 +546,35 @@ func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Po
 	return p
 }
 
-func (p *Pool) shardOf(id policy.PageID) *shard {
-	// SplitMix64 finaliser, so sequential page ids spread across shards.
+// pageHash mixes a page id with the SplitMix64 finaliser, so sequential
+// page ids spread across shards. The low bits select the shard; bits
+// 32.. select the shard's hot slot, so the two indices are independent.
+func pageHash(id policy.PageID) uint64 {
 	z := uint64(id) + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &p.shards[(z^(z>>31))&p.mask]
+	return z ^ (z >> 31)
+}
+
+func (p *Pool) shardOf(id policy.PageID) *shard {
+	return &p.shards[pageHash(id)&p.mask]
+}
+
+func hotIndex(id policy.PageID) int {
+	return int((pageHash(id) >> 32) & (hotSlots - 1))
+}
+
+// hotPublish makes f probe-reachable for id. Racing a claim's hotClear is
+// benign: a stale pointer only costs probes a failed validation.
+func hotPublish(sh *shard, id policy.PageID, f *frame) {
+	sh.hot[hotIndex(id)].Store(f)
+}
+
+// hotClear unlinks f from id's hot slot if still present. Called after a
+// successful claim (under the shard's exclusive latch), so any publish
+// that raced in earlier is ordered before it.
+func hotClear(sh *shard, id policy.PageID, f *frame) {
+	sh.hot[hotIndex(id)].CompareAndSwap(f, nil)
 }
 
 // Page is a pinned page handle. The data is valid until Unpin; using a
@@ -446,27 +613,46 @@ func (pg *Page) Unpin(dirty bool) {
 // frame's mu re-derives the flag from the authoritative pin count.
 func (p *Pool) pinned(id policy.PageID, f *frame) {
 	f.mu.Lock()
-	if f.pins.Load() > 0 {
+	if f.pins() > 0 {
 		p.replacer.SetEvictable(id, false)
 	}
 	f.mu.Unlock()
 }
 
+// pinnedRef is pinned for a hit: it runs the zero-crossing handshake and
+// records the reference in one fused replacer call (recordPin). The hit
+// path holds the pin it just took, so pins is at least 1; the count is
+// still re-read under mu to keep the handshake's invariant explicit.
+func (p *Pool) pinnedRef(id policy.PageID, f *frame) {
+	f.mu.Lock()
+	if f.pins() > 0 {
+		p.recordPin(id)
+	} else {
+		p.replacer.RecordAccess(id)
+	}
+	f.mu.Unlock()
+}
+
 // releasePin drops one pin, handing the page to the replacer when the
-// count reaches zero and the frame still holds this page.
+// count reaches zero and the frame still holds this page. The page check
+// reads the frame itself rather than the page table: a frame that was
+// repurposed since this pin was taken either holds a different id, is not
+// resident, or is pinned by its loader — and a spurious SetEvictable is
+// advisory anyway (the replacer ignores unknown pages; eviction
+// re-validates with tryClaim).
 func (p *Pool) releasePin(id policy.PageID, f *frame, dirty bool) {
 	if dirty {
 		f.dirty.Store(true)
 	}
-	n := f.pins.Add(-1)
-	if n < 0 {
+	n := f.pinAdd(-1)
+	if n >= int64(framePinMask) {
 		panic(fmt.Sprintf("bufferpool: unpin of unpinned page %d", id))
 	}
 	if n != 0 {
 		return
 	}
 	f.mu.Lock()
-	if f.pins.Load() == 0 && f.state.Load() == frameResident && p.frameFor(id) == f {
+	if f.pins() == 0 && f.state.Load() == frameResident && f.page.Load() == int64(id) {
 		p.replacer.SetEvictable(id, true)
 	}
 	f.mu.Unlock()
@@ -508,8 +694,8 @@ func (p *Pool) NewPageCtx(ctx context.Context) (*Page, error) {
 		return nil, fmt.Errorf("bufferpool: allocating page: %w", err)
 	}
 	clear(f.data)
-	f.page = id
-	f.pins.Store(1)
+	f.page.Store(int64(id))
+	f.install()
 	f.dirty.Store(false)
 	f.err = nil
 	f.state.Store(frameResident)
@@ -517,7 +703,8 @@ func (p *Pool) NewPageCtx(ctx context.Context) (*Page, error) {
 	sh.mu.Lock()
 	sh.table[id] = f // id is fresh: no prior mapping can exist
 	sh.mu.Unlock()
-	p.replacer.RecordAccess(id)
+	hotPublish(sh, id, f)
+	p.admit(id)
 	sh.misses.Add(1) // a new page is by definition not buffer-resident
 	return &Page{pool: p, id: id, f: f, valid: true}, nil
 }
@@ -554,6 +741,9 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 		return nil, err
 	}
 	sh := p.shardOf(id)
+	if pg := p.fetchFast(sh, id); pg != nil {
+		return pg, nil
+	}
 	for {
 		sh.mu.RLock()
 		f := sh.table[id]
@@ -587,7 +777,7 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 		case frameLoading:
 			// Coalesce onto the in-flight read. The loader's pin keeps the
 			// count positive, so no evictability handshake is needed.
-			f.pins.Add(1)
+			f.pinAdd(1)
 			ready := f.ready
 			sh.mu.RUnlock()
 			var waitStart time.Time
@@ -616,7 +806,7 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 				// is counted once, by the loader, in ReadErrors.
 				sh.misses.Add(1)
 				sh.coalesced.Add(1)
-				if f.pins.Add(-1) == 0 {
+				if f.pinAdd(-1) == 0 {
 					p.freePush(f)
 				}
 				return nil, err
@@ -626,16 +816,54 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 			sh.coalesced.Add(1)
 			return &Page{pool: p, id: id, f: f, valid: true}, nil
 		default: // frameResident: the hit path — shared latch only
-			n := f.pins.Add(1)
+			n := f.pinAdd(1)
+			hotPublish(sh, id, f)
 			sh.mu.RUnlock()
 			if n == 1 {
-				p.pinned(id, f)
+				p.pinnedRef(id, f)
+			} else {
+				p.replacer.RecordAccess(id)
 			}
-			p.replacer.RecordAccess(id)
 			sh.hits.Add(1)
 			return &Page{pool: p, id: id, f: f, valid: true}, nil
 		}
 	}
+}
+
+// fetchFast is the latch-free resident-hit probe (DESIGN.md §14). It
+// consults the shard's hot-slot index, validates page identity and
+// residency against the frame itself, and pins with one CAS on the
+// packed pin/claim/epoch word. The CAS can only succeed if no claim or
+// install touched the frame since the word was read, so a success is a
+// valid pin on a resident frame with the data published (the loader's
+// state.Store(frameResident) happens-before our state load). Any doubt —
+// empty slot, colliding page, claim in progress, lost CAS race — returns
+// nil and the latched path takes over.
+func (p *Pool) fetchFast(sh *shard, id policy.PageID) *Page {
+	f := sh.hot[hotIndex(id)].Load()
+	if f == nil {
+		return nil
+	}
+	w := f.pv.Load()
+	if w&frameClaimBit != 0 {
+		return nil
+	}
+	if f.page.Load() != int64(id) || f.state.Load() != frameResident {
+		return nil
+	}
+	if !f.pv.CompareAndSwap(w, w+1) {
+		return nil
+	}
+	if w&framePinMask == 0 {
+		// First pin in: the evictability handshake and the reference fuse
+		// into one replacer interaction, exactly as the latched path's.
+		p.pinnedRef(id, f)
+	} else {
+		p.replacer.RecordAccess(id)
+	}
+	sh.hits.Add(1)
+	sh.fastHits.Add(1)
+	return &Page{pool: p, id: id, f: f, valid: true}
 }
 
 // abandonPin releases the pin of a coalesced waiter that gave up on an
@@ -653,7 +881,7 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 // the mapping in place while we decide.
 func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
 	sh.mu.RLock()
-	last := f.pins.Add(-1) == 0
+	last := f.pinAdd(-1) == 0
 	resident := last && sh.table[id] == f
 	if last && !resident {
 		// Failed load: the frame is table-unreachable and we are the last
@@ -666,10 +894,9 @@ func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
 	}
 	// Successful load, count now zero: re-derive evictability exactly as
 	// releasePin would, under the frame's mu so it serialises with pin
-	// zero-crossings (lock order f.mu → shard latch, so this runs outside
-	// the latch above).
+	// zero-crossings.
 	f.mu.Lock()
-	if f.pins.Load() == 0 && f.state.Load() == frameResident && p.frameFor(id) == f {
+	if f.pins() == 0 && f.state.Load() == frameResident && f.page.Load() == int64(id) {
 		p.replacer.SetEvictable(id, true)
 	}
 	f.mu.Unlock()
@@ -700,8 +927,8 @@ func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *
 		p.freePush(f)
 		return nil, true, nil
 	}
-	f.page = id
-	f.pins.Store(1)
+	f.page.Store(int64(id))
+	f.install()
 	f.dirty.Store(false)
 	f.err = nil
 	f.ready = make(chan struct{})
@@ -731,14 +958,15 @@ func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *
 		// Waiters that pinned before the table delete still hold the frame;
 		// the last participant out returns it to the free list (after which
 		// the frame, f.err included, belongs to its next owner).
-		if f.pins.Add(-1) == 0 {
+		if f.pinAdd(-1) == 0 {
 			p.freePush(f)
 		}
 		return nil, false, err
 	}
-	p.replacer.RecordAccess(id)
+	p.admit(id)
 	f.state.Store(frameResident)
 	close(f.ready)
+	hotPublish(sh, id, f)
 	sh.misses.Add(1)
 	return &Page{pool: p, id: id, f: f, valid: true}, false, nil
 }
@@ -830,19 +1058,25 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 		sh := p.shardOf(victim)
 		sh.mu.Lock()
 		f := sh.table[victim]
-		if f == nil || f.state.Load() != frameResident || f.pins.Load() != 0 {
+		if f == nil || f.state.Load() != frameResident || !f.tryClaim() {
 			// The page vanished or was re-pinned between the replacer's
 			// choice and our latch; hand it back and pick another victim.
-			// Pins cannot rise while we hold the exclusive latch, so the
-			// check is not racy.
+			// The latched paths cannot pin while we hold the exclusive
+			// latch, and tryClaim atomically excludes the lock-free probes:
+			// once it succeeds no new pin can appear.
 			sh.mu.Unlock()
 			if f != nil {
 				p.restoreVictim(victim, f)
 			}
 			continue
 		}
+		hotClear(sh, victim, f)
 		if !f.dirty.Load() {
 			delete(sh.table, victim)
+			// Leave frameResident behind: the claimed frame is about to be
+			// repurposed, and a stale resident state could let a colliding
+			// probe pin it between its next install and state store.
+			f.state.Store(frameFree)
 			sh.mu.Unlock()
 			sh.evictions.Add(1)
 			return f, nil
@@ -858,7 +1092,10 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 		if werr != nil {
 			// Restore residency — the data is still only in memory — then
 			// quarantine the page and try the next victim instead of
-			// failing the caller's unrelated fetch.
+			// failing the caller's unrelated fetch. The unclaim must happen
+			// under the exclusive latch, before any latched path can pin
+			// the page again, so its epoch bump cannot clobber a pin.
+			f.unclaim()
 			f.state.Store(frameResident)
 			close(f.writeDone)
 			sh.mu.Unlock()
@@ -931,7 +1168,7 @@ func (p *Pool) restoreVictim(id policy.PageID, f *frame) {
 		return // the page moved on (deleted or reloaded elsewhere)
 	}
 	p.replacer.Restore(id)
-	p.replacer.SetEvictable(id, f.pins.Load() == 0 && f.state.Load() == frameResident)
+	p.replacer.SetEvictable(id, f.pins() == 0 && f.state.Load() == frameResident)
 }
 
 // pinResident pins page id if it is resident (waiting out any in-flight
@@ -959,7 +1196,7 @@ func (p *Pool) pinResident(ctx context.Context, id policy.PageID) (*frame, bool)
 			}
 			continue
 		case frameLoading:
-			f.pins.Add(1)
+			f.pinAdd(1)
 			ready := f.ready
 			sh.mu.RUnlock()
 			select {
@@ -969,14 +1206,14 @@ func (p *Pool) pinResident(ctx context.Context, id policy.PageID) (*frame, bool)
 				return nil, false
 			}
 			if f.err != nil {
-				if f.pins.Add(-1) == 0 {
+				if f.pinAdd(-1) == 0 {
 					p.freePush(f)
 				}
 				return nil, false
 			}
 			return f, true
 		default:
-			n := f.pins.Add(1)
+			n := f.pinAdd(1)
 			sh.mu.RUnlock()
 			if n == 1 {
 				p.pinned(id, f)
@@ -1117,15 +1354,18 @@ func (p *Pool) DeletePage(id policy.PageID) error {
 			<-done
 			continue
 		}
-		if f.pins.Load() != 0 || f.state.Load() == frameLoading {
+		if f.state.Load() == frameLoading || !f.tryClaim() {
 			sh.mu.Unlock()
 			return fmt.Errorf("bufferpool: delete of pinned page %d", id)
 		}
 		// Remove from the replacer while still holding the latch: once the
 		// table entry is gone a concurrent fetch could re-load the page, and
-		// a late Remove would strip the new residency's registration.
+		// a late Remove would strip the new residency's registration. The
+		// claim excludes lock-free probes, exactly as in eviction.
 		p.replacer.Remove(id)
+		hotClear(sh, id, f)
 		delete(sh.table, id)
+		f.state.Store(frameFree)
 		sh.mu.Unlock()
 		f.dirty.Store(false)
 		p.quarantineRemove(id)
@@ -1156,6 +1396,17 @@ func (p *Pool) Stats() Stats {
 	}
 	s.BreakerTrips = p.breaker.Trips()
 	return s
+}
+
+// FastHits returns how many hits were served by the latch-free probe — a
+// subset of Stats().Hits, kept out of Stats so the pool's accounting
+// remains field-for-field comparable with the Serial reference pool.
+func (p *Pool) FastHits() uint64 {
+	var n uint64
+	for i := range p.shards {
+		n += p.shards[i].fastHits.Load()
+	}
+	return n
 }
 
 // NumFrames returns the pool capacity in frames.

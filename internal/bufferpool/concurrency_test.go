@@ -63,7 +63,7 @@ func TestMissCoalescingSingleRead(t *testing.T) {
 	// Wait until every waiter has pinned the in-flight frame, then let the
 	// read finish. The loader holds pin 1; each waiter adds one.
 	for waitersIn := 0; waitersIn < waiters; {
-		waitersIn = int(p.frameFor(id).pins.Load()) - 1
+		waitersIn = int(p.frameFor(id).pins()) - 1
 	}
 	close(release)
 	wg.Wait()

@@ -343,7 +343,7 @@ func TestCoalescedWaitersReadFault(t *testing.T) {
 		go fetch()
 	}
 	for waitersIn := 0; waitersIn < waiters; {
-		waitersIn = int(p.frameFor(id).pins.Load()) - 1
+		waitersIn = int(p.frameFor(id).pins()) - 1
 	}
 	gate.Store(false)
 	close(release)

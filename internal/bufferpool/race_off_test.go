@@ -1,0 +1,5 @@
+//go:build !race
+
+package bufferpool
+
+const raceEnabled = false

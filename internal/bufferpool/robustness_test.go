@@ -98,8 +98,8 @@ func TestCoalescedWaiterAbandonSuccessfulLoad(t *testing.T) {
 	if s.Misses != 2 || s.Coalesced != 1 || s.Hits != 0 {
 		t.Errorf("stats after abandon = %+v, want Misses 2, Coalesced 1", s)
 	}
-	if f := p.frameFor(a); f != nil && f.pins.Load() != 0 {
-		t.Errorf("pin leak: page %d has %d pins after everyone released", a, f.pins.Load())
+	if f := p.frameFor(a); f != nil && f.pins() != 0 {
+		t.Errorf("pin leak: page %d has %d pins after everyone released", a, f.pins())
 	}
 	// The page must still be usable and evictable: a hit works...
 	pg, err := p.Fetch(a)
@@ -178,7 +178,7 @@ func TestAbandonLastPinRestoresEvictability(t *testing.T) {
 	}
 	sh := p.shardOf(a)
 	f := p.frameFor(a)
-	f.pins.Add(1)   // the waiter's coalesced pin, held across the load
+	f.pinAdd(1)     // the waiter's coalesced pin, held across the load
 	pg.Unpin(false) // the loader's caller is done; the waiter still pins
 	p.abandonPin(sh, a, f)
 

@@ -29,12 +29,19 @@ import (
 type SyncReplacer struct {
 	mu sync.Mutex
 	r  *Replacer
+	// clock is the arrival clock shared with a Batched wrapper, so buffered
+	// references are stamped at arrival and applied at their own times. For
+	// a serialisable call history it produces the same tick sequence as the
+	// wrapped replacer's private clock.
+	clock atomic.Int64
 }
 
 // NewSyncReplacer returns a mutex-guarded LRU-K replacer with history depth
 // k and the given §2.1 periods.
 func NewSyncReplacer(k int, opts Options) *SyncReplacer {
-	return &SyncReplacer{r: NewReplacer(k, opts)}
+	s := &SyncReplacer{r: NewReplacer(k, opts)}
+	s.r.clockSrc = &s.clock
+	return s
 }
 
 // ConcurrentSafe marks SyncReplacer as safe for concurrent use.
@@ -105,6 +112,35 @@ func (s *SyncReplacer) PolicyStats() PolicyStats {
 	return s.r.PolicyStats()
 }
 
+// RecordAdmission notes the reference that makes a page resident.
+func (s *SyncReplacer) RecordAdmission(p policy.PageID) {
+	s.mu.Lock()
+	s.r.RecordAdmission(p)
+	s.mu.Unlock()
+}
+
+// batchSlots returns 1: the wrapped replacer is a single table, and a
+// single FIFO preserves the exact global event order, so a Batched
+// SyncReplacer replays precisely the call history an unbatched one would
+// see — the property the differential tests assert.
+func (s *SyncReplacer) batchSlots() int { return 1 }
+
+func (s *SyncReplacer) batchSlot(policy.PageID) int { return 0 }
+
+func (s *SyncReplacer) arrivalClock() *atomic.Int64 { return &s.clock }
+
+// applyBatch drains buffered events into the wrapped replacer under one
+// mutex acquisition and returns the number of stale accesses dropped.
+func (s *SyncReplacer) applyBatch(_ int, evs []batchEvent) (dropped int) {
+	s.mu.Lock()
+	for i := range evs {
+		dropped += s.r.applyEvent(evs[i])
+	}
+	s.r.batchEnd()
+	s.mu.Unlock()
+	return dropped
+}
+
 // ShardedReplacer partitions pages by hash across independently locked
 // LRU-K sub-replacers, the same latch-partitioning scheme Cache uses for
 // its shards. Victim order is per-shard rather than global: Evict sweeps
@@ -115,6 +151,12 @@ type ShardedReplacer struct {
 	shards []syncShard
 	mask   uint64
 	next   atomic.Uint64
+	// clock is one arrival clock shared by every sub-replacer, so the
+	// Backward K-distances different shards report through a PolicyTracer
+	// are on a single timescale. (Before this, each shard advanced a
+	// private clock at its own reference rate, making /trace distances
+	// from different shards incomparable.)
+	clock atomic.Int64
 }
 
 type syncShard struct {
@@ -140,6 +182,7 @@ func NewShardedReplacer(shards, k int, opts Options) *ShardedReplacer {
 	}
 	for i := range r.shards {
 		r.shards[i].r = NewReplacer(k, opts)
+		r.shards[i].r.clockSrc = &r.clock
 	}
 	return r
 }
@@ -248,4 +291,36 @@ func (r *ShardedReplacer) PolicyStats() PolicyStats {
 		total.add(st)
 	}
 	return total
+}
+
+// RecordAdmission notes the reference that makes a page resident.
+func (r *ShardedReplacer) RecordAdmission(p policy.PageID) {
+	s := r.shard(p)
+	s.mu.Lock()
+	s.r.RecordAdmission(p)
+	s.mu.Unlock()
+}
+
+// batchSlots returns one buffer slot per shard: a page's events all land
+// in its shard's slot, so each shard's table sees its exact event order
+// and a batch drain takes exactly one shard lock.
+func (r *ShardedReplacer) batchSlots() int { return len(r.shards) }
+
+func (r *ShardedReplacer) batchSlot(p policy.PageID) int {
+	return int(hashInt64(int64(p)) & r.mask)
+}
+
+func (r *ShardedReplacer) arrivalClock() *atomic.Int64 { return &r.clock }
+
+// applyBatch drains buffered events into the slot's shard under one lock
+// acquisition and returns the number of stale accesses dropped.
+func (r *ShardedReplacer) applyBatch(slot int, evs []batchEvent) (dropped int) {
+	s := &r.shards[slot]
+	s.mu.Lock()
+	for i := range evs {
+		dropped += s.r.applyEvent(evs[i])
+	}
+	s.r.batchEnd()
+	s.mu.Unlock()
+	return dropped
 }

@@ -16,7 +16,17 @@ type Map[K, V any] struct {
 	less func(a, b K) bool
 	root *node[K, V]
 	size int
+	// free is a bounded chain (linked through .right) of recycled nodes.
+	// The LRU-K victim index re-keys an entry on every uncorrelated
+	// reference — a delete immediately followed by an insert — so reusing
+	// the deleted node keeps the steady state allocation-free.
+	free  *node[K, V]
+	freeN int
 }
+
+// maxFree bounds the recycled-node chain so a burst of deletes cannot pin
+// its peak memory forever.
+const maxFree = 256
 
 type node[K, V any] struct {
 	key         K
@@ -105,10 +115,38 @@ func fixUp[K, V any](h *node[K, V]) *node[K, V] {
 	return h
 }
 
+// newNode returns a recycled node when one is available, a fresh
+// allocation otherwise.
+func (m *Map[K, V]) newNode(key K, val V) *node[K, V] {
+	if n := m.free; n != nil {
+		m.free = n.right
+		m.freeN--
+		n.key, n.val = key, val
+		n.left, n.right = nil, nil
+		n.red = true
+		return n
+	}
+	return &node[K, V]{key: key, val: val, red: true}
+}
+
+// recycle returns a detached node to the free chain, clearing its key and
+// value so recycled nodes do not retain references.
+func (m *Map[K, V]) recycle(n *node[K, V]) {
+	if m.freeN >= maxFree {
+		return
+	}
+	var zk K
+	var zv V
+	n.key, n.val = zk, zv
+	n.left, n.right = nil, m.free
+	m.free = n
+	m.freeN++
+}
+
 func (m *Map[K, V]) insert(h *node[K, V], key K, val V) *node[K, V] {
 	if h == nil {
 		m.size++
-		return &node[K, V]{key: key, val: val, red: true}
+		return m.newNode(key, val)
 	}
 	switch {
 	case m.less(key, h.key):
@@ -160,14 +198,15 @@ func minNode[K, V any](h *node[K, V]) *node[K, V] {
 	return h
 }
 
-func deleteMin[K, V any](h *node[K, V]) *node[K, V] {
+func (m *Map[K, V]) deleteMin(h *node[K, V]) *node[K, V] {
 	if h.left == nil {
+		m.recycle(h)
 		return nil
 	}
 	if !isRed(h.left) && !isRed(h.left.left) {
 		h = moveRedLeft(h)
 	}
-	h.left = deleteMin(h.left)
+	h.left = m.deleteMin(h.left)
 	return fixUp(h)
 }
 
@@ -182,6 +221,7 @@ func (m *Map[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 			h = rotateRight(h)
 		}
 		if !m.less(h.key, key) && h.right == nil {
+			m.recycle(h)
 			return nil
 		}
 		if !isRed(h.right) && !isRed(h.right.left) {
@@ -190,7 +230,7 @@ func (m *Map[K, V]) delete(h *node[K, V], key K) *node[K, V] {
 		if !m.less(h.key, key) && !m.less(key, h.key) {
 			mn := minNode(h.right)
 			h.key, h.val = mn.key, mn.val
-			h.right = deleteMin(h.right)
+			h.right = m.deleteMin(h.right)
 		} else {
 			h.right = m.delete(h.right, key)
 		}
