@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke corrupt-smoke check
 
 all: check
 
@@ -77,6 +77,13 @@ obs-smoke:
 crash-smoke:
 	sh scripts/crash_smoke.sh
 
+## corrupt-smoke: offline bit-rot test — boot lrukd on a file-backed data
+## dir, SIGKILL it mid-load, flip bytes in WAL-covered pages of the stopped
+## store, restart, and verify recovery healed the damage, the ledger checks
+## out, and the integrity metrics are live (DESIGN.md §15).
+corrupt-smoke:
+	sh scripts/corrupt_smoke.sh
+
 ## bench-save: run the tracked benchmark suites (storage backends,
 ## pool hit path) and snapshot them into BENCH_storage.json and
 ## BENCH_hotpath.json, filing dated copies under BENCH_history/ and
@@ -84,4 +91,4 @@ crash-smoke:
 bench-save:
 	sh scripts/bench_save.sh
 
-check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke
+check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke corrupt-smoke

@@ -82,6 +82,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		obsAddr   = fs.String("obs-addr", "", "observability HTTP address serving /metrics, /trace and /debug/pprof (empty = off)")
 		obsLog    = fs.Duration("obs-log-interval", 0, "period between structured stats log lines on stderr (0 = off; needs -obs-addr)")
 		traceSize = fs.Int("trace-size", 512, "eviction trace ring capacity in records (with -obs-addr)")
+		scrubIval = fs.Duration("scrub-interval", 0, "period between background integrity scrub sweeps (0 = off)")
+		verify    = fs.Bool("verify-reads", true, "verify per-page checksum trailers on every read (-backend=file)")
+		maxWAL    = fs.Int64("max-wal-bytes", 0, "force a checkpoint when the WAL exceeds this size (-backend=file; 0 = no cap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,7 +114,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "lrukd: -backend=file requires -data-dir")
 			return 2
 		}
-		s, err := file.Open(*dataDir)
+		s, err := file.OpenConfig(*dataDir, file.Config{
+			VerifyReads: *verify,
+			MaxWALBytes: *maxWAL,
+		})
 		if err != nil {
 			fmt.Fprintln(stderr, "lrukd:", err)
 			return 1
@@ -130,6 +136,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		AccessBatch:       *accBatch,
 		Obs:               reg,
 		EvictionTraceSize: *traceSize,
+		ScrubInterval:     *scrubIval,
 		// Production-shaped fault posture: bounded transient retry and a
 		// per-stripe circuit breaker, the PR 3 machinery the server maps
 		// onto wire statuses.

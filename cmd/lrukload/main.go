@@ -16,6 +16,7 @@
 //	lrukload -addr ... -min-hit-ratio 0.01   # exit 1 below this ratio
 //	lrukload -addr ... -ledger led.json      # crash-test load (see below)
 //	lrukload -addr ... -ledger led.json -verify
+//	lrukload -corrupt-pages 3 -data-dir /var/lib/lrukd   # offline bit-rot
 //
 // The -ledger / -verify pair is the durability crash test
 // (scripts/crash_smoke.sh): -ledger drives an updates-only workload over a
@@ -45,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/server/client"
 	"repro/internal/stats"
+	"repro/internal/storage/file"
 )
 
 // The load mix's opcodes, indexing each tally's latency histograms.
@@ -98,9 +100,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		minHit     = fs.Float64("min-hit-ratio", 0, "fail unless the pool hit ratio reaches this (0 disables)")
 		ledger     = fs.String("ledger", "", "crash-test ledger path: run an updates-only workload recording acknowledged fills per key (see -verify)")
 		verify     = fs.Bool("verify", false, "verify a restarted server against the -ledger file instead of generating load")
+		corruptN   = fs.Int("corrupt-pages", 0, "offline: flip one byte in N WAL-covered pages of -data-dir's page file, then exit (server must be stopped)")
+		dataDir    = fs.String("data-dir", "", "data directory for -corrupt-pages")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *corruptN > 0 {
+		if *dataDir == "" {
+			fmt.Fprintln(stderr, "lrukload: -corrupt-pages requires -data-dir")
+			return 2
+		}
+		pages, err := file.CorruptPages(*dataDir, *corruptN, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukload: corrupt-pages:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lrukload: corrupted %d pages in %s: %v\n", len(pages), *dataDir, pages)
+		return 0
 	}
 	if *verify {
 		if *ledger == "" {

@@ -202,6 +202,28 @@ type Stats struct {
 	WritesRejected uint64
 	// BreakerTrips counts circuit-breaker openings across all disk stripes.
 	BreakerTrips uint64
+	// CorruptDetected counts logical reads (miss loads and scrub probes
+	// alike) that failed integrity verification, once per detection.
+	// Every detection resolves as exactly one of CorruptRepaired or
+	// CorruptQuarantined: Detected == Repaired + Quarantined once the
+	// pool is quiescent.
+	CorruptDetected uint64
+	// CorruptRepaired counts detections healed in place — a WAL-image
+	// read-repair, or a scrub rewrite from a clean resident frame.
+	CorruptRepaired uint64
+	// CorruptQuarantined counts detections with no redundant copy to
+	// repair from. The page id is poisoned: further fetches fail fast
+	// with the corruption error, without touching the disk, until the
+	// page is deleted or freshly allocated.
+	CorruptQuarantined uint64
+	// ScrubPages counts background-scrub reads that verified clean. Each
+	// is exactly one successful disk read, so with scrubbing on the read
+	// reconciliation becomes disk reads == Misses - Coalesced -
+	// ReadErrors - ReadsRejected - new pages + ScrubPages.
+	ScrubPages uint64
+	// ScrubCorrupt counts corruptions the scrubber found (a subset of
+	// CorruptDetected).
+	ScrubCorrupt uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any fetches.
@@ -384,6 +406,19 @@ type Config struct {
 	// skipped, not just discarded), so the zero value keeps the hot path
 	// identical to the uninstrumented pool.
 	Metrics Metrics
+	// ScrubInterval is the background scrubber's cadence: every interval
+	// it verifies ScrubBatch pages against the backend, detecting silent
+	// corruption before a client read trips over it. Zero disables the
+	// scrubber. The scrubber runs only after Start.
+	ScrubInterval time.Duration
+	// ScrubBatch is how many pages one scrub tick examines. Zero selects
+	// 64.
+	ScrubBatch int
+	// CorruptionHook, when set, is called once per detected corruption
+	// after its fate is decided: repaired in place, or quarantined. It
+	// runs on the detecting goroutine (a fetch's miss path or the
+	// scrubber) and must not call back into the pool.
+	CorruptionHook func(p policy.PageID, kind storage.CorruptKind, repaired bool)
 }
 
 // Metrics are the pool's optional observability instruments. Counters are
@@ -451,8 +486,32 @@ type Pool struct {
 	quarMu      sync.Mutex
 	quarantined map[policy.PageID]struct{}
 
-	retry   *retrier
-	metrics Metrics
+	// repairer is the deepest layer of the backend stack that can repair
+	// a corrupt page in place (the file store's WAL-tail repair, or a
+	// corruption injector's taint clearing); nil when none can.
+	repairer storage.Repairer
+	// poisoned holds unrepairable-corrupt page ids: detection found no
+	// redundant copy, so fetches fail fast with the recorded corruption
+	// kind instead of re-reading garbage. DeletePage and a fresh NewPage
+	// allocation of the id clear the entry.
+	poisonMu sync.Mutex
+	poisoned map[policy.PageID]storage.CorruptKind
+
+	corruptDetected    atomic.Uint64
+	corruptRepaired    atomic.Uint64
+	corruptQuarantined atomic.Uint64
+	scrubPages         atomic.Uint64
+	scrubCorrupt       atomic.Uint64
+	// maxPageSeen is the highest page id the pool has been asked about;
+	// with NumPages it bounds the scrubber's sweep.
+	maxPageSeen atomic.Int64
+	scrubCursor atomic.Int64
+
+	retry          *retrier
+	metrics        Metrics
+	scrubInterval  time.Duration
+	scrubBatch     int
+	corruptionHook func(policy.PageID, storage.CorruptKind, bool)
 
 	// closed gates every public operation after Close; in-flight operations
 	// complete normally.
@@ -461,13 +520,15 @@ type Pool struct {
 	lifeMu   sync.Mutex
 	started  bool
 	closeErr error
-	// writerStop ends the background writer; writerDone acknowledges its
-	// exit; writerKick (buffered, capacity 1) wakes it when quarantineAdd
-	// gives it work.
+	// writerStop ends the background writer and the scrubber; writerDone
+	// and scrubDone acknowledge their exits; writerKick (buffered,
+	// capacity 1) wakes the writer when quarantineAdd gives it work.
 	writerStop     chan struct{}
 	writerDone     chan struct{}
 	writerKick     chan struct{}
 	writerInterval time.Duration
+	scrubStarted   bool // guarded by lifeMu
+	scrubDone      chan struct{}
 }
 
 // New returns a pool of numFrames frames over backend b using the given
@@ -504,6 +565,9 @@ func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Po
 	if cfg.WriterInterval <= 0 {
 		cfg.WriterInterval = 10 * time.Millisecond
 	}
+	if cfg.ScrubBatch <= 0 {
+		cfg.ScrubBatch = 64
+	}
 	p := &Pool{
 		backend:        b,
 		breaker:        storage.WithBreaker(b, cfg.Breaker, time.Now),
@@ -513,15 +577,24 @@ func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Po
 		mask:           uint64(cfg.Shards - 1),
 		free:           make([]*frame, 0, numFrames),
 		quarantined:    make(map[policy.PageID]struct{}),
+		poisoned:       make(map[policy.PageID]storage.CorruptKind),
 		retry:          newRetrier(cfg.Retry),
 		metrics:        cfg.Metrics,
+		scrubInterval:  cfg.ScrubInterval,
+		scrubBatch:     cfg.ScrubBatch,
+		corruptionHook: cfg.CorruptionHook,
 		writerStop:     make(chan struct{}),
 		writerDone:     make(chan struct{}),
 		writerKick:     make(chan struct{}, 1),
 		writerInterval: cfg.WriterInterval,
+		scrubDone:      make(chan struct{}),
 	}
 	if p.breaker != nil {
 		p.backend = p.breaker
+	}
+	p.maxPageSeen.Store(-1)
+	if rp, ok := storage.RepairerFor(p.backend); ok {
+		p.repairer = rp
 	}
 	if ar, ok := p.replacer.(AdmissionReplacer); ok {
 		p.admit = ar.RecordAdmission
@@ -693,6 +766,9 @@ func (p *Pool) NewPageCtx(ctx context.Context) (*Page, error) {
 		p.freePush(f)
 		return nil, fmt.Errorf("bufferpool: allocating page: %w", err)
 	}
+	p.notePage(id)
+	// A freshly allocated id starts clean whatever its previous life held.
+	p.poisonRemove(id)
 	clear(f.data)
 	f.page.Store(int64(id))
 	f.install()
@@ -907,6 +983,16 @@ func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
 // every latch and publish. retry is true when another goroutine installed
 // the page first and the caller must re-run the fetch.
 func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
+	p.notePage(id)
+	if kind, bad := p.poisonedKind(id); bad {
+		// The page is known unrepairable-corrupt: fail fast with the
+		// recorded classification instead of re-reading garbage. Still a
+		// miss (the page was not resident) and a read error — but not a
+		// fresh detection; that was counted when the page was poisoned.
+		sh.misses.Add(1)
+		sh.readErrors.Add(1)
+		return nil, false, fmt.Errorf("fetching page %d: %w", id, &storage.ErrCorrupt{Page: id, Kind: kind})
+	}
 	if !p.breaker.Ready(p.backend.StripeOf(id)) {
 		// Fail fast while the stripe's circuit is open: no frame is
 		// claimed, no victim written back, no waiters queued behind a disk
@@ -936,11 +1022,12 @@ func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *
 	sh.table[id] = f
 	sh.mu.Unlock()
 
-	// The I/O happens outside the latch — through the breaker and the
-	// transient-fault retry ladder, with backoff charged against ctx;
+	// The I/O happens outside the latch — through the breaker, the
+	// transient-fault retry ladder, and on detected corruption the
+	// read-repair protocol (loadPage), with backoff charged against ctx;
 	// concurrent fetches of id find the loading frame and wait on ready,
 	// everyone else proceeds untouched.
-	if rerr := p.readPage(ctx, id, f.data); rerr != nil {
+	if rerr := p.loadPage(ctx, id, f.data); rerr != nil {
 		// Publish the error before the table delete becomes observable:
 		// the shard latch orders f.err ahead of the deletion for latched
 		// readers, and close(ready) publishes it to the parked waiters. A
@@ -1372,6 +1459,7 @@ func (p *Pool) DeletePage(id policy.PageID) error {
 		p.freePush(f)
 		break
 	}
+	p.poisonRemove(id)
 	return p.backend.Deallocate(id)
 }
 
@@ -1395,6 +1483,11 @@ func (p *Pool) Stats() Stats {
 		s.WritesRejected += sh.writesRejected.Load()
 	}
 	s.BreakerTrips = p.breaker.Trips()
+	s.CorruptDetected = p.corruptDetected.Load()
+	s.CorruptRepaired = p.corruptRepaired.Load()
+	s.CorruptQuarantined = p.corruptQuarantined.Load()
+	s.ScrubPages = p.scrubPages.Load()
+	s.ScrubCorrupt = p.scrubCorrupt.Load()
 	return s
 }
 

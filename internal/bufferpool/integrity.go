@@ -1,0 +1,238 @@
+package bufferpool
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/storage"
+)
+
+// This file is the pool's data-integrity layer: read-repair on detected
+// corruption, the poison set of unrepairable pages, and the background
+// scrubber that verifies pages against the backend before a client read
+// trips over silent damage. Detection itself lives below the pool — the
+// file store's per-slot trailers and the storage.WithCorruption injector
+// both surface storage.ErrCorrupt — and the pool decides each detection's
+// fate: heal it from a redundant copy, or poison the page id so further
+// fetches fail fast.
+
+// maxRepairAttempts bounds how many repair+re-read rounds one detection
+// gets before the page is declared unrepairable.
+const maxRepairAttempts = 2
+
+// loadPage reads page id into buf through the retry ladder, running the
+// read-repair protocol on detected corruption: ask the backend stack's
+// repairer to rewrite the page from its redundant copy (the WAL tail, on
+// the file store), then re-read and re-verify. Only a verified image is
+// admitted. A page that cannot be repaired is poisoned and the corruption
+// error returned — never blindly retried: ErrCorrupt is permanent under
+// storage.IsTransient, so the retry ladder inside readPage does not
+// reissue it either.
+func (p *Pool) loadPage(ctx context.Context, id policy.PageID, buf []byte) error {
+	err := p.readPage(ctx, id, buf)
+	if err == nil || !storage.IsCorrupt(err) {
+		return err
+	}
+	p.corruptDetected.Add(1)
+	kind := corruptKindOf(err)
+	for attempt := 0; p.repairer != nil && attempt < maxRepairAttempts; attempt++ {
+		if rerr := p.repairer.RepairPage(ctx, id); rerr != nil {
+			break // no redundant copy (or repair itself failed): unrepairable
+		}
+		rerr := p.readPage(ctx, id, buf)
+		if rerr == nil {
+			p.corruptRepaired.Add(1)
+			if p.corruptionHook != nil {
+				p.corruptionHook(id, kind, true)
+			}
+			return nil
+		}
+		if !storage.IsCorrupt(rerr) {
+			// The slot verifies but the read failed for another reason
+			// (breaker, transient exhaustion); not a corruption outcome.
+			// The detection stays resolved as repaired: the repairer
+			// verified the rewritten slot.
+			p.corruptRepaired.Add(1)
+			if p.corruptionHook != nil {
+				p.corruptionHook(id, kind, true)
+			}
+			return rerr
+		}
+		err = rerr
+	}
+	p.corruptQuarantined.Add(1)
+	p.poisonAdd(id, kind)
+	if p.corruptionHook != nil {
+		p.corruptionHook(id, kind, false)
+	}
+	return err
+}
+
+func corruptKindOf(err error) storage.CorruptKind {
+	if ce, ok := storage.AsCorrupt(err); ok {
+		return ce.Kind
+	}
+	return storage.CorruptChecksum
+}
+
+// notePage raises the scrubber's page-id high-water mark to cover id.
+func (p *Pool) notePage(id policy.PageID) {
+	for {
+		cur := p.maxPageSeen.Load()
+		if int64(id) <= cur || p.maxPageSeen.CompareAndSwap(cur, int64(id)) {
+			return
+		}
+	}
+}
+
+func (p *Pool) poisonAdd(id policy.PageID, kind storage.CorruptKind) {
+	p.poisonMu.Lock()
+	p.poisoned[id] = kind
+	p.poisonMu.Unlock()
+}
+
+func (p *Pool) poisonRemove(id policy.PageID) {
+	p.poisonMu.Lock()
+	delete(p.poisoned, id)
+	p.poisonMu.Unlock()
+}
+
+func (p *Pool) poisonedKind(id policy.PageID) (storage.CorruptKind, bool) {
+	p.poisonMu.Lock()
+	kind, ok := p.poisoned[id]
+	p.poisonMu.Unlock()
+	return kind, ok
+}
+
+// PoisonedPages returns the ids currently quarantined as unrepairable-
+// corrupt, in no particular order.
+func (p *Pool) PoisonedPages() []policy.PageID {
+	p.poisonMu.Lock()
+	defer p.poisonMu.Unlock()
+	ids := make([]policy.PageID, 0, len(p.poisoned))
+	for id := range p.poisoned {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// ScrubSweep examines up to limit pages in cursor order, verifying each
+// against the backend and running read-repair on any corruption found. It
+// returns how many pages it examined (not how many verified — skips for
+// poisoned, dirty-resident, unallocated or unavailable pages count). The
+// background scrubber calls it on its interval; tests and operators may
+// call it directly.
+func (p *Pool) ScrubSweep(ctx context.Context, limit int) int {
+	if p.closed.Load() {
+		return 0
+	}
+	max := p.maxPageSeen.Load()
+	if n := int64(p.backend.NumPages()); n-1 > max {
+		max = n - 1
+	}
+	if max < 0 {
+		return 0
+	}
+	buf := make([]byte, storage.PageSize)
+	examined := 0
+	for i := 0; i < limit; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		id := policy.PageID((p.scrubCursor.Add(1) - 1) % (max + 1))
+		p.scrubOne(ctx, id, buf)
+		examined++
+	}
+	return examined
+}
+
+// scrubOne verifies one page's backend copy. Skips: poisoned pages (their
+// fate is already decided), and pages whose resident frame is dirty or in
+// flux (the disk copy is legitimately stale — the write path will lay
+// down a fresh verified image). A clean resident frame does not skip: the
+// point is to catch rot under data the pool still trusts.
+func (p *Pool) scrubOne(ctx context.Context, id policy.PageID, buf []byte) {
+	if _, bad := p.poisonedKind(id); bad {
+		return
+	}
+	if f := p.frameFor(id); f != nil {
+		if f.state.Load() != frameResident || f.dirty.Load() {
+			return
+		}
+	}
+	err := p.backend.Read(ctx, id, buf)
+	if err == nil {
+		p.scrubPages.Add(1)
+		return
+	}
+	if !storage.IsCorrupt(err) {
+		return // unallocated, breaker-refused, transient: not scrub business
+	}
+	p.scrubCorrupt.Add(1)
+	p.corruptDetected.Add(1)
+	kind := corruptKindOf(err)
+	if p.repairer != nil && p.repairer.RepairPage(ctx, id) == nil {
+		// The repairer verified the rewritten slot; no re-read needed (and
+		// none taken, keeping ScrubPages == successful scrub reads exact).
+		p.corruptRepaired.Add(1)
+		if p.corruptionHook != nil {
+			p.corruptionHook(id, kind, true)
+		}
+		return
+	}
+	if p.rewriteResident(ctx, id) {
+		// No redundant copy below the pool, but the pool itself holds a
+		// clean resident image: rewrite the backend from memory. The write
+		// path lays down a fresh verified slot (and clears injected taint).
+		p.corruptRepaired.Add(1)
+		if p.corruptionHook != nil {
+			p.corruptionHook(id, kind, true)
+		}
+		return
+	}
+	p.corruptQuarantined.Add(1)
+	p.poisonAdd(id, kind)
+	if p.corruptionHook != nil {
+		p.corruptionHook(id, kind, false)
+	}
+}
+
+// rewriteResident heals a page whose backend copy is corrupt but whose
+// frame holds a trusted clean image: mark it dirty and flush, so the
+// ordinary write path (WAL append, trailer stamp, WriteBacks accounting)
+// replaces the damaged copy. Reports whether the rewrite happened.
+func (p *Pool) rewriteResident(ctx context.Context, id policy.PageID) bool {
+	f, ok := p.pinResident(ctx, id)
+	if !ok {
+		return false
+	}
+	defer p.releasePin(id, f, false)
+	f.dirty.Store(true)
+	return p.flushFrame(ctx, id, f) == nil
+}
+
+// scrubLoop is the background scrubber: every scrubInterval it sweeps
+// scrubBatch pages. It shares the background writer's stop channel and
+// acknowledges exit on scrubDone.
+func (p *Pool) scrubLoop() {
+	defer close(p.scrubDone)
+	// ctx mirrors writerStop so disk I/O inside a sweep aborts promptly
+	// on Close.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-p.writerStop
+		cancel()
+	}()
+	ticker := time.NewTicker(p.scrubInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.writerStop:
+			return
+		case <-ticker.C:
+		}
+		p.ScrubSweep(ctx, p.scrubBatch)
+	}
+}

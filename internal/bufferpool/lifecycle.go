@@ -15,10 +15,11 @@ import (
 // disk answers again, so quarantine drains without anyone issuing an
 // eviction sweep.
 
-// Start launches the background writer. It is a no-op on a pool that is
-// already started or closed. Pools that never call Start work exactly as
-// before: quarantined pages are retried only by eviction sweeps and
-// explicit flushes.
+// Start launches the background writer and, when Config.ScrubInterval is
+// set, the background scrubber. It is a no-op on a pool that is already
+// started or closed. Pools that never call Start work exactly as before:
+// quarantined pages are retried only by eviction sweeps and explicit
+// flushes, and pages are verified only as client reads touch them.
 func (p *Pool) Start() {
 	p.lifeMu.Lock()
 	defer p.lifeMu.Unlock()
@@ -27,6 +28,10 @@ func (p *Pool) Start() {
 	}
 	p.started = true
 	go p.writerLoop()
+	if p.scrubInterval > 0 {
+		p.scrubStarted = true
+		go p.scrubLoop()
+	}
 }
 
 // Close stops the background writer, flushes every dirty resident page,
@@ -44,6 +49,10 @@ func (p *Pool) Close() error {
 	if p.started {
 		close(p.writerStop)
 		<-p.writerDone
+		if p.scrubStarted {
+			<-p.scrubDone
+			p.scrubStarted = false
+		}
 		p.started = false
 	}
 	// Fence new operations first, then run the final flush through the

@@ -83,6 +83,15 @@ type Config struct {
 	// or durable. Production-shaped runs leave it nil. The plan can also be
 	// swapped at runtime via SetDiskFaults.
 	DiskFaults *storage.FaultPlan
+	// DiskCorruption, when non-nil, arms the storage stack's corruption
+	// injector (storage.NewCorruptPlan): matched writes taint their page
+	// and later reads of it fail with storage.ErrCorrupt, exercising the
+	// pool's detect/repair/quarantine protocol against any backend. The
+	// plan can also be swapped at runtime via SetDiskCorruption.
+	DiskCorruption *storage.CorruptPlan
+	// ScrubInterval enables the pool's background integrity scrubber at
+	// this cadence. Zero (the default) disables it.
+	ScrubInterval time.Duration
 	// DiskRetry tunes the pool's transient-fault retry for disk reads and
 	// writes. The zero value disables retry (single attempt).
 	DiskRetry bufferpool.RetryConfig
@@ -138,8 +147,9 @@ var catalogMagic = [8]byte{'L', 'R', 'U', 'K', 'C', 'A', 'T', '1'}
 // DB is the miniature customer database.
 type DB struct {
 	cfg       Config
-	backend   storage.Backend        // outermost storage stack (metrics→faults→base); the pool I/Os through it
+	backend   storage.Backend        // outermost storage stack (metrics→faults→corruption→base); the pool I/Os through it
 	faulty    *storage.Faulty        // fault-injection stage, for SetDiskFaults
+	corrupter *storage.Corrupter     // corruption-injection stage, for SetDiskCorruption
 	durable   storage.DurableBackend // non-nil when the base backend is durable
 	attached  bool                   // durable reopen: dataset recovered from the catalog
 	count     atomic.Int64           // loaded customer count (persisted in the catalog)
@@ -187,15 +197,20 @@ func Open(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("db: access batch capacity must be non-negative, got %d", cfg.AccessBatch)
 	}
 	// Assemble the storage stack: base backend (caller-supplied or a fresh
-	// simulated disk) → fault injection → instrumentation (outermost, so
-	// injected faults are timed like real ones). The pool adds the circuit
-	// breaker on top.
+	// simulated disk) → corruption injection (innermost wrapper, so its
+	// taints look like media damage under every other stage) → fault
+	// injection → instrumentation (outermost, so injected faults are timed
+	// like real ones). The pool adds the circuit breaker on top.
 	base := cfg.Backend
 	if base == nil {
 		base = sim.New(cfg.DiskModel)
 	}
 	durable, _ := base.(storage.DurableBackend)
-	faulty := storage.WithFaults(base)
+	corrupter := storage.WithCorruption(base)
+	if cfg.DiskCorruption != nil {
+		corrupter.SetCorruption(cfg.DiskCorruption)
+	}
+	faulty := storage.WithFaults(corrupter)
 	if cfg.DiskFaults != nil {
 		faulty.SetFaults(cfg.DiskFaults)
 	}
@@ -208,12 +223,29 @@ func Open(cfg Config) (*DB, error) {
 		poolReplacer = batched
 	}
 	var poolMetrics bufferpool.Metrics
+	var evTrace *obs.EvictionTrace
+	var corruptionHook func(policy.PageID, storage.CorruptKind, bool)
 	if cfg.Obs != nil {
 		// Latency instruments must exist before the pool and backend serve
 		// their first operation; scrape-time collectors are registered
-		// after assembly (registerObs below).
+		// after assembly (registerObs below). The trace ring likewise: the
+		// pool's corruption hook records into it from the first fetch on.
 		poolMetrics = newPoolMetrics(cfg.Obs)
 		backend = storage.WithMetrics(backend, newBackendMetrics(cfg.Obs, backend.NumStripes()))
+		size := cfg.EvictionTraceSize
+		if size <= 0 {
+			size = 512
+		}
+		evTrace = obs.NewEvictionTrace(size)
+		corruptionHook = func(p policy.PageID, kind storage.CorruptKind, repaired bool) {
+			rep := int64(0)
+			if repaired {
+				rep = 1
+			}
+			// Clock carries the corruption kind, KDist the repaired flag —
+			// see obs.TraceCorrupt for the field convention.
+			evTrace.Record(obs.TraceRecord{Kind: obs.TraceCorrupt, Page: int64(p), Clock: int64(kind), KDist: rep})
+		}
 	}
 	pool := bufferpool.NewWithConfig(backend, cfg.Frames, poolReplacer,
 		bufferpool.Config{
@@ -222,16 +254,20 @@ func Open(cfg Config) (*DB, error) {
 			Breaker:        cfg.DiskBreaker,
 			WriterInterval: cfg.WriterInterval,
 			Metrics:        poolMetrics,
+			ScrubInterval:  cfg.ScrubInterval,
+			CorruptionHook: corruptionHook,
 		})
 	db := &DB{
-		cfg:      cfg,
-		backend:  backend,
-		faulty:   faulty,
-		durable:  durable,
-		pool:     pool,
-		replacer: repl,
-		batched:  batched,
-		rids:     make(map[int64]heapfile.RID),
+		cfg:       cfg,
+		backend:   backend,
+		faulty:    faulty,
+		corrupter: corrupter,
+		durable:   durable,
+		pool:      pool,
+		replacer:  repl,
+		batched:   batched,
+		evTrace:   evTrace,
+		rids:      make(map[int64]heapfile.RID),
 	}
 	if durable != nil && durable.Recovery().Reopened {
 		// Durable reopen: recovery has replayed the WAL; re-anchor the
@@ -293,11 +329,6 @@ func Open(cfg Config) (*DB, error) {
 		// Registered after the record cache exists so its collectors are
 		// included; the trace ring and hot-path histograms were armed
 		// before the first I/O above.
-		size := cfg.EvictionTraceSize
-		if size <= 0 {
-			size = 512
-		}
-		db.evTrace = obs.NewEvictionTrace(size)
 		repl.SetTracer(policyTraceAdapter{trace: db.evTrace})
 		db.registerObs(cfg.Obs)
 	}
@@ -559,6 +590,23 @@ func (db *DB) ScanCustomersCtx(ctx context.Context) (int, error) {
 // complete normally.
 func (db *DB) SetDiskFaults(p *storage.FaultPlan) { db.faulty.SetFaults(p) }
 
+// SetDiskCorruption replaces the storage stack's corruption-injection plan
+// at runtime; nil disarms injection (existing taints persist until
+// overwritten, repaired, or deallocated).
+func (db *DB) SetDiskCorruption(p *storage.CorruptPlan) { db.corrupter.SetCorruption(p) }
+
+// DiskCorruptStats returns the corruption injector's ledger (all zero when
+// no plan was ever armed).
+func (db *DB) DiskCorruptStats() storage.CorruptStats { return db.corrupter.CorruptStats() }
+
+// PoolPoisoned returns the page ids quarantined as unrepairable-corrupt.
+func (db *DB) PoolPoisoned() []policy.PageID { return db.pool.PoisonedPages() }
+
+// ScrubSweep runs one bounded integrity sweep through the pool (see
+// bufferpool.Pool.ScrubSweep); operators and tests use it to scrub on
+// demand when no background ScrubInterval is configured.
+func (db *DB) ScrubSweep(ctx context.Context, limit int) int { return db.pool.ScrubSweep(ctx, limit) }
+
 // FlushAll writes every dirty resident page back to disk, visiting every
 // page even when some write-backs fail and returning the failures joined.
 // On a durable backend a clean sweep is a checkpoint: the storage flush
@@ -606,9 +654,15 @@ type StatsSnapshot struct {
 	// when Config.AccessBatch is off.
 	AccessBatch core.BatchStats `json:"access_batch"`
 	Disk        storage.Stats   `json:"disk"`
-	RecordCache core.CacheStats `json:"record_cache"`
-	IndexPages  int             `json:"index_pages"`
-	DataPages   int             `json:"data_pages"`
+	// Corruption is the corruption injector's ledger — all zero in
+	// production runs, where no plan is armed; the pool's own detection
+	// and repair counters live in Pool.
+	Corruption storage.CorruptStats `json:"corruption"`
+	// PoisonedPages counts page ids quarantined as unrepairable-corrupt.
+	PoisonedPages int             `json:"poisoned_pages"`
+	RecordCache   core.CacheStats `json:"record_cache"`
+	IndexPages    int             `json:"index_pages"`
+	DataPages     int             `json:"data_pages"`
 }
 
 // StatsSnapshot collects the combined counter aggregate. The counters are
@@ -624,6 +678,8 @@ func (db *DB) StatsSnapshot() StatsSnapshot {
 		BreakerOpenStripes: db.pool.BreakerOpenStripes(),
 		Policy:             db.policyStats(),
 		Disk:               db.backend.Stats(),
+		Corruption:         db.corrupter.CorruptStats(),
+		PoisonedPages:      len(db.pool.PoisonedPages()),
 		RecordCache:        db.RecordCacheStats(),
 		IndexPages:         len(db.index.Pages()),
 		DataPages:          len(db.customers.Pages()),

@@ -119,6 +119,18 @@ func (db *DB) registerObs(r *obs.Registry) {
 		func() float64 { return float64(db.pool.BreakerOpenStripes()) })
 	r.GaugeFunc("lruk_pool_frames", "Pool capacity in frames.", nil,
 		func() float64 { return float64(db.pool.NumFrames()) })
+	pool("lruk_corrupt_detected_total", "Corrupt page reads detected (client fetches and scrub sweeps).",
+		func(s bufferpool.Stats) uint64 { return s.CorruptDetected })
+	pool("lruk_repair_success_total", "Detected corruptions healed by read-repair.",
+		func(s bufferpool.Stats) uint64 { return s.CorruptRepaired })
+	pool("lruk_repair_failed_total", "Detected corruptions quarantined as unrepairable.",
+		func(s bufferpool.Stats) uint64 { return s.CorruptQuarantined })
+	pool("lruk_scrub_pages_total", "Pages verified clean by the background scrubber.",
+		func(s bufferpool.Stats) uint64 { return s.ScrubPages })
+	pool("lruk_scrub_corrupt_total", "Corruptions first detected by a scrub sweep.",
+		func(s bufferpool.Stats) uint64 { return s.ScrubCorrupt })
+	r.GaugeFunc("lruk_pool_poisoned_pages", "Page ids quarantined as unrepairable-corrupt.", nil,
+		func() float64 { return float64(len(db.pool.PoisonedPages())) })
 
 	dsk := func(name, help string, read func(storage.Stats) float64) {
 		r.CounterFunc(name, help, nil, func() float64 { return read(db.backend.Stats()) })
@@ -146,6 +158,8 @@ func (db *DB) registerObs(r *obs.Registry) {
 			func(s storage.Stats) float64 { return float64(s.Checkpoints) })
 		dsk("lruk_recovered_records_total", "WAL records replayed during crash recovery.",
 			func(s storage.Stats) float64 { return float64(s.RecoveredRecords) })
+		r.GaugeFunc("lruk_disk_wal_bytes", "Bytes appended to the write-ahead log since the last checkpoint.", nil,
+			func() float64 { return float64(db.backend.Stats().WALBytes) })
 	}
 
 	pol := func(name, help string, read func(core.PolicyStats) float64) {

@@ -125,6 +125,12 @@ func TestObsMetricsReconcileWithSnapshot(t *testing.T) {
 		"lruk_policy_evictable":          float64(snap.Policy.Evictable),
 		"lruk_record_cache_hits_total":   float64(snap.RecordCache.Hits),
 		"lruk_record_cache_misses_total": float64(snap.RecordCache.Misses),
+		"lruk_corrupt_detected_total":    float64(snap.Pool.CorruptDetected),
+		"lruk_repair_success_total":      float64(snap.Pool.CorruptRepaired),
+		"lruk_repair_failed_total":       float64(snap.Pool.CorruptQuarantined),
+		"lruk_scrub_pages_total":         float64(snap.Pool.ScrubPages),
+		"lruk_scrub_corrupt_total":       float64(snap.Pool.ScrubCorrupt),
+		"lruk_pool_poisoned_pages":       float64(snap.PoisonedPages),
 		// Every FetchCtx records exactly one observation; NewPage counts a
 		// miss per allocation without running the fetch path, hence the
 		// Allocated subtraction.

@@ -29,6 +29,12 @@ const (
 	// TracePurge records the retention demon (§2.1.2) dropping Page's
 	// history control block after its Retained Information Period expired.
 	TracePurge
+	// TraceCorrupt records a detected page corruption and its fate: KDist
+	// carries 1 when the page was repaired in place, 0 when it was
+	// quarantined as unrepairable. Clock carries the corruption kind
+	// (storage.CorruptKind) — the trace ring stays policy-agnostic, so
+	// the record reuses the generic integer fields.
+	TraceCorrupt
 )
 
 // String names the kind for logs and dumps.
@@ -40,6 +46,8 @@ func (k TraceKind) String() string {
 		return "collapse"
 	case TracePurge:
 		return "purge"
+	case TraceCorrupt:
+		return "corrupt"
 	}
 	return "unknown"
 }
@@ -59,6 +67,8 @@ func (k *TraceKind) UnmarshalJSON(b []byte) error {
 		*k = TraceCollapse
 	case `"purge"`:
 		*k = TracePurge
+	case `"corrupt"`:
+		*k = TraceCorrupt
 	default:
 		return fmt.Errorf("obs: unknown trace kind %s", b)
 	}

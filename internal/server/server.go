@@ -43,6 +43,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/obs"
 	"repro/internal/server/wire"
+	"repro/internal/storage"
 )
 
 // Config tunes the service.
@@ -494,6 +495,11 @@ func errResponse(err error) wire.Response {
 		status = wire.StatusDeadline
 	case errors.Is(err, db.ErrNotFound):
 		status = wire.StatusNotFound
+	case storage.IsCorrupt(err):
+		// Explicitly internal, not unavailable: corruption is permanent
+		// damage on this page, and retrying elsewhere will not help —
+		// clients must not treat it as a transient outage.
+		status = wire.StatusInternal
 	}
 	return wire.Response{Status: status, Body: []byte(err.Error())}
 }

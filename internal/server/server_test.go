@@ -11,10 +11,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bufferpool"
 	"repro/internal/db"
 	"repro/internal/leakcheck"
 	"repro/internal/server/client"
 	"repro/internal/server/wire"
+	"repro/internal/storage"
 	"repro/internal/storage/sim"
 )
 
@@ -381,5 +383,35 @@ func TestFlushBarrier(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestErrResponseStatusMapping pins the error-to-status table: breaker
+// outages are retryable unavailability, corruption and a full disk are
+// permanent internal errors, and wrapping must not hide any of them.
+func TestErrResponseStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want wire.Status
+	}{
+		{"breaker open", bufferpool.ErrDiskUnavailable, wire.StatusUnavailable},
+		{"wrapped breaker", fmt.Errorf("fetch: %w", bufferpool.ErrDiskUnavailable), wire.StatusUnavailable},
+		{"db closed", db.ErrClosed, wire.StatusShutdown},
+		{"deadline", context.DeadlineExceeded, wire.StatusDeadline},
+		{"not found", db.ErrNotFound, wire.StatusNotFound},
+		{"corrupt page", &storage.ErrCorrupt{Page: 7, Kind: storage.CorruptChecksum}, wire.StatusInternal},
+		{"wrapped corrupt", fmt.Errorf("lookup: %w", &storage.ErrCorrupt{Page: 7, Kind: storage.CorruptTorn}), wire.StatusInternal},
+		{"no space", storage.ErrNoSpace, wire.StatusInternal},
+		{"unknown", errors.New("mystery"), wire.StatusInternal},
+	}
+	for _, tc := range cases {
+		resp := errResponse(tc.err)
+		if resp.Status != tc.want {
+			t.Errorf("%s: errResponse(%v) = %v, want %v", tc.name, tc.err, resp.Status, tc.want)
+		}
+		if len(resp.Body) == 0 {
+			t.Errorf("%s: error body must carry the message", tc.name)
+		}
 	}
 }

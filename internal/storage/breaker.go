@@ -244,6 +244,9 @@ func WithBreaker(inner Backend, cfg BreakerConfig, now func() time.Time) *Breake
 	return &Breaker{inner: inner, b: b}
 }
 
+// Inner returns the wrapped backend.
+func (br *Breaker) Inner() Backend { return br.inner }
+
 // Read implements Backend: one breaker admission, one attempt, one outcome
 // record.
 func (br *Breaker) Read(ctx context.Context, p policy.PageID, buf []byte) error {

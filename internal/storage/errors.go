@@ -8,6 +8,14 @@ import "errors"
 // rejected the request for a structural reason). The buffer pool's retry
 // and circuit-breaker machinery keys off this classification.
 
+// ErrNoSpace reports that the backing device is out of space. It is
+// permanent under IsTransient: reissuing the identical allocation or append
+// cannot succeed until an operator frees space, so callers must fail fast
+// (and let the circuit breaker shed load) instead of spinning the retry
+// ladder. The file backend maps ENOSPC from page-file extension and WAL
+// appends onto it; tests inject it with a FaultRule.
+var ErrNoSpace = errors.New("storage: device out of space")
+
 // TransientMarker is implemented by errors that declare their own
 // retryability. MarkTransient wraps an arbitrary error with it.
 type TransientMarker interface {

@@ -26,9 +26,14 @@ const (
 	OpRead Op = 1 << iota
 	// OpWrite matches Backend.Write.
 	OpWrite
+	// OpAllocate matches Backend.Allocate. It is deliberately outside
+	// OpAny: allocation faults (a full device, most usefully injected as
+	// storage.ErrNoSpace) must be opted into explicitly so page-transfer
+	// storms keep their exact read/write ledgers.
+	OpAllocate
 )
 
-// OpAny matches every fault-checked storage operation.
+// OpAny matches every page-transfer storage operation (reads and writes).
 const OpAny = OpRead | OpWrite
 
 // ErrInjectedFault is the error a faulted operation returns unless its rule
@@ -205,8 +210,16 @@ func (f *Faulty) Write(ctx context.Context, p policy.PageID, buf []byte) error {
 	return f.inner.Write(ctx, p, buf)
 }
 
-// Allocate implements Backend.
-func (f *Faulty) Allocate() (policy.PageID, error) { return f.inner.Allocate() }
+// Allocate implements Backend. Rules targeting OpAllocate fault it (the
+// page id matched is -1: no page exists yet, so Pages-restricted rules
+// never fire here); allocation faults are not counted in the read/write
+// fault ledgers.
+func (f *Faulty) Allocate() (policy.PageID, error) {
+	if ferr := f.plan.Load().check(OpAllocate, -1); ferr != nil {
+		return 0, fmt.Errorf("allocate page: %w", ferr)
+	}
+	return f.inner.Allocate()
+}
 
 // Deallocate implements Backend.
 func (f *Faulty) Deallocate(p policy.PageID) error { return f.inner.Deallocate(p) }

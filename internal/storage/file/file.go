@@ -5,11 +5,16 @@
 //
 // Directory layout:
 //
-//	pages.db   page p's image at byte offset p × 4096 (sparse; holes read
-//	           as zeros, matching a freshly allocated page)
+//	pages.db   page p's slot at byte offset p × slot size. A slot is the
+//	           4 KByte image followed by a 24-byte integrity trailer
+//	           (magic, write epoch, page id, CRC32-C — see integrity.go);
+//	           stores created before the trailer format have 4 KByte slots
+//	           and are served in legacy mode, unverified, forever. Sparse:
+//	           holes read as zeros, matching a freshly allocated page.
 //	wal.log    the write-ahead log (see wal.go for the record format)
-//	meta.json  allocation state (next page id, free list) as of the last
-//	           checkpoint, rewritten atomically (tmp + rename)
+//	meta.json  allocation state (format, next page id, free list, write
+//	           epoch) as of the last checkpoint, rewritten atomically
+//	           (tmp + rename)
 //
 // Write-ahead invariant: every state change (page write, allocate,
 // deallocate) appends a checksummed WAL record and fsyncs it — batched by
@@ -40,17 +45,51 @@ const (
 	metaName  = "meta.json"
 )
 
+// On-disk slot formats. A store's format is fixed at creation and
+// recorded in meta.json; absence of the field marks a store laid down
+// before trailers existed.
+const (
+	// formatLegacy: 4 KByte slots, no trailers, reads unverified. Stores
+	// from before the trailer format are pinned here — offsets in an
+	// existing pages.db can never change.
+	formatLegacy = 0
+	// formatTrailer: every slot carries a 24-byte integrity trailer and
+	// reads verify it. All freshly created stores use this.
+	formatTrailer = 1
+)
+
 // meta is the checkpointed allocation state.
 type meta struct {
+	Format   int     `json:"format,omitempty"`
 	NextPage int64   `json:"next_page"`
 	Free     []int64 `json:"free,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"`
 }
+
+// Config tunes a Store beyond its directory.
+type Config struct {
+	// MaxWALBytes forces a checkpoint from the write path once the WAL
+	// grows past this many bytes, bounding both log size and recovery
+	// replay time. Zero (or negative) leaves the log unbounded — it then
+	// empties only at explicit Flush barriers and Close.
+	MaxWALBytes int64
+	// VerifyReads disables per-read trailer verification when false. Only
+	// meaningful on trailer-format stores; the scrubber and RepairPage
+	// verify regardless.
+	VerifyReads bool
+}
+
+// DefaultConfig returns the production defaults: reads verified, WAL
+// unbounded.
+func DefaultConfig() Config { return Config{VerifyReads: true} }
 
 // Store is the file-backed durable storage backend.
 type Store struct {
-	dir   string
-	pages *os.File
-	wal   *wal
+	dir    string
+	cfg    Config
+	format int
+	pages  *os.File
+	wal    *wal
 
 	// latches stripe page access: a write holds its stripe exclusively
 	// across the WAL append and the page-file write, so the page file
@@ -71,6 +110,14 @@ type Store struct {
 	freeSet map[policy.PageID]struct{}
 	size    int64 // current pages.db length
 
+	// epoch numbers slot writes store-wide; each trailer records the
+	// epoch of the write that produced it, and meta.json persists the
+	// high-water mark at every checkpoint.
+	epoch atomic.Uint64
+	// ckptPending serialises forced (MaxWALBytes) checkpoints so at most
+	// one writer detours into the barrier while the rest stream on.
+	ckptPending atomic.Bool
+
 	reads       atomic.Uint64
 	writes      atomic.Uint64
 	allocated   atomic.Uint64
@@ -84,17 +131,29 @@ type Store struct {
 
 var _ storage.DurableBackend = (*Store)(nil)
 
-// Open opens (or creates) the store rooted at dir. Reopening an existing
-// store replays the write-ahead log over the page file — redo-only,
-// stopping at the crash's torn tail — and checkpoints, so the store is
-// always consistent and the log empty when Open returns. Recovery()
-// reports what replay did.
-func Open(dir string) (*Store, error) {
+// Open opens (or creates) the store rooted at dir with DefaultConfig.
+func Open(dir string) (*Store, error) { return OpenConfig(dir, DefaultConfig()) }
+
+// OpenConfig opens (or creates) the store rooted at dir. Reopening an
+// existing store replays the write-ahead log over the page file —
+// redo-only, stopping at the crash's torn tail — and checkpoints, so the
+// store is always consistent and the log empty when Open returns.
+// Recovery() reports what replay did.
+//
+// A directory holding a page file but no meta.json is refused rather than
+// silently reinitialised: meta.json is the store's identity, and treating
+// its loss as "fresh store" would quietly orphan every page.
+func OpenConfig(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("file: creating %s: %w", dir, err)
 	}
 	_, metaErr := os.Stat(filepath.Join(dir, metaName))
 	reopened := metaErr == nil
+	if !reopened {
+		if fi, err := os.Stat(filepath.Join(dir, pagesName)); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf("file: %s has a %d-byte page file but no %s; refusing to reinitialise over existing data", dir, fi.Size(), metaName)
+		}
+	}
 
 	pages, err := os.OpenFile(filepath.Join(dir, pagesName), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -107,6 +166,8 @@ func Open(dir string) (*Store, error) {
 	}
 	s := &Store{
 		dir:     dir,
+		cfg:     cfg,
+		format:  formatTrailer,
 		pages:   pages,
 		wal:     newWAL(walF),
 		freeSet: make(map[policy.PageID]struct{}),
@@ -160,6 +221,13 @@ func (s *Store) loadMeta() error {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return fmt.Errorf("file: parsing meta: %w", err)
 	}
+	switch m.Format {
+	case formatLegacy, formatTrailer:
+		s.format = m.Format
+	default:
+		return fmt.Errorf("file: meta declares unknown format %d", m.Format)
+	}
+	s.epoch.Store(m.Epoch)
 	s.next = policy.PageID(m.NextPage)
 	s.free = s.free[:0]
 	s.freeSet = make(map[policy.PageID]struct{}, len(m.Free))
@@ -174,7 +242,7 @@ func (s *Store) loadMeta() error {
 // writeMeta atomically publishes the current allocation state.
 func (s *Store) writeMeta() error {
 	s.allocMu.Lock()
-	m := meta{NextPage: int64(s.next)}
+	m := meta{Format: s.format, NextPage: int64(s.next), Epoch: s.epoch.Load()}
 	for _, p := range s.free {
 		m.Free = append(m.Free, int64(p))
 	}
@@ -278,7 +346,10 @@ func (s *Store) apply(rec walRecord) error {
 		if err != nil {
 			return err
 		}
-		if _, err := s.pages.WriteAt(rec.img, int64(rec.page)*storage.PageSize); err != nil {
+		// writeSlotLocked lays down a fresh trailer with the image, so
+		// replay doubles as repair: a slot corrupted by the crash (torn or
+		// bit-rotted) is rewritten verified as long as the WAL covers it.
+		if err := s.writeSlotLocked(rec.page, rec.img); err != nil {
 			return fmt.Errorf("file: replaying page %d: %w", rec.page, err)
 		}
 		return nil
@@ -286,14 +357,26 @@ func (s *Store) apply(rec walRecord) error {
 	return fmt.Errorf("file: replaying unknown record kind %d", rec.kind)
 }
 
+// slotSize is the on-disk footprint of one page: image plus trailer, or
+// just the image on a legacy store.
+func (s *Store) slotSize() int64 {
+	if s.format == formatLegacy {
+		return storage.PageSize
+	}
+	return storage.PageSize + trailerLen
+}
+
+// slotOff is the byte offset of page p's slot in pages.db.
+func (s *Store) slotOff(p policy.PageID) int64 { return int64(p) * s.slotSize() }
+
 // extendLocked grows pages.db to cover page p. Caller holds allocMu.
 func (s *Store) extendLocked(p policy.PageID) error {
-	want := (int64(p) + 1) * storage.PageSize
+	want := (int64(p) + 1) * s.slotSize()
 	if want <= s.size {
 		return nil
 	}
 	if err := s.pages.Truncate(want); err != nil {
-		return fmt.Errorf("file: extending page file to page %d: %w", p, err)
+		return fmt.Errorf("file: extending page file to page %d: %w", p, mapNoSpace(err))
 	}
 	s.size = want
 	return nil
@@ -327,7 +410,13 @@ func (s *Store) Read(ctx context.Context, p policy.PageID, buf []byte) error {
 	}
 	lk := s.stripe(p)
 	lk.RLock()
-	_, err := s.pages.ReadAt(buf, int64(p)*storage.PageSize)
+	_, err := s.pages.ReadAt(buf, s.slotOff(p))
+	if err == nil && s.format == formatTrailer && s.cfg.VerifyReads {
+		// Verify under the same latch hold as the payload read: a write
+		// slipping between the two would pair a new image with an old
+		// trailer and report corruption that never happened.
+		err = s.verifySlotLocked(p, buf)
+	}
 	lk.RUnlock()
 	if err != nil {
 		return fmt.Errorf("file: reading page %d: %w", p, err)
@@ -338,8 +427,18 @@ func (s *Store) Read(ctx context.Context, p policy.PageID, buf []byte) error {
 
 // Write makes page p's new image durable: WAL append under the page's
 // stripe latch (so the page file applies same-page images in log order),
-// page-file write, then group-committed fsync before returning.
+// page-file write, then group-committed fsync before returning. When
+// MaxWALBytes is set, the write that pushes the log past the bound detours
+// through a checkpoint on its way out.
 func (s *Store) Write(ctx context.Context, p policy.PageID, buf []byte) error {
+	if err := s.write(ctx, p, buf); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+func (s *Store) write(ctx context.Context, p policy.PageID, buf []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -359,7 +458,7 @@ func (s *Store) Write(ctx context.Context, p policy.PageID, buf []byte) error {
 		lk.Unlock()
 		return err
 	}
-	_, werr := s.pages.WriteAt(buf, int64(p)*storage.PageSize)
+	werr := s.writeSlotLocked(p, buf)
 	lk.Unlock()
 	if werr != nil {
 		return fmt.Errorf("file: writing page %d: %w", p, werr)
@@ -369,6 +468,22 @@ func (s *Store) Write(ctx context.Context, p policy.PageID, buf []byte) error {
 	}
 	s.writes.Add(1)
 	return nil
+}
+
+// maybeCheckpoint takes the MaxWALBytes-forced durability barrier, at most
+// one at a time. The caller's own write is already durable (WAL-acked), so
+// a failed checkpoint must not fail it retroactively; the error is dropped
+// here and real log trouble resurfaces through the wal's sticky error on
+// the next operation.
+func (s *Store) maybeCheckpoint() {
+	if s.cfg.MaxWALBytes <= 0 || s.wal.bytes.Load() <= s.cfg.MaxWALBytes {
+		return
+	}
+	if !s.ckptPending.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.ckptPending.Store(false)
+	_ = s.checkpoint()
 }
 
 // Allocate reserves a page (reusing the lowest-cost free slot first) and
@@ -474,6 +589,7 @@ func (s *Store) Stats() storage.Stats {
 		Deallocated:      s.deallocated.Load(),
 		WALAppends:       s.wal.appends.Load(),
 		WALSyncs:         s.wal.syncs.Load(),
+		WALBytes:         s.wal.bytes.Load(),
 		Checkpoints:      s.checkpoints.Load(),
 		RecoveredRecords: s.recovered.Load(),
 	}

@@ -156,6 +156,9 @@ type wal struct {
 
 	appends atomic.Uint64
 	syncs   atomic.Uint64
+	// bytes is the current log length — the store's MaxWALBytes
+	// forced-checkpoint trigger and the WALBytes stats gauge read it.
+	bytes atomic.Int64
 }
 
 func newWAL(f *os.File) *wal {
@@ -173,12 +176,13 @@ func (w *wal) append(frame []byte) (uint64, error) {
 		return 0, w.err
 	}
 	if _, err := w.f.Write(frame); err != nil {
-		w.err = fmt.Errorf("file: wal append: %w", err)
+		w.err = fmt.Errorf("file: wal append: %w", mapNoSpace(err))
 		w.cond.Broadcast()
 		return 0, w.err
 	}
 	w.appended++
 	w.appends.Add(1)
+	w.bytes.Add(int64(len(frame)))
 	return w.appended, nil
 }
 
@@ -242,5 +246,6 @@ func (w *wal) reset() error {
 		return w.err
 	}
 	w.appended, w.synced = 0, 0
+	w.bytes.Store(0)
 	return nil
 }

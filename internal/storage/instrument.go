@@ -33,6 +33,9 @@ func WithMetrics(inner Backend, m Metrics) *Instrumented {
 	return &Instrumented{inner: inner, m: m}
 }
 
+// Inner returns the wrapped backend.
+func (in *Instrumented) Inner() Backend { return in.inner }
+
 // Read implements Backend.
 func (in *Instrumented) Read(ctx context.Context, p policy.PageID, buf []byte) error {
 	if in.m.ReadLatency == nil {

@@ -60,6 +60,10 @@ type Stats struct {
 	// RecoveredRecords counts WAL records replayed by the most recent open
 	// (file backend only).
 	RecoveredRecords uint64
+	// WALBytes is the current write-ahead-log length in bytes — a gauge,
+	// not a counter: it grows with appends and drops to zero at every
+	// checkpoint (file backend only).
+	WALBytes int64
 }
 
 // Backend is a page store: the disk under the buffer pool. Implementations
