@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke corrupt-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke check
 
 all: check
 
@@ -84,6 +84,14 @@ crash-smoke:
 corrupt-smoke:
 	sh scripts/corrupt_smoke.sh
 
+## cluster-smoke: boot a 3-node cluster as independent lrukd processes,
+## drive skew-gated and ledger-recorded loads through the ring-aware
+## client, rebalance a node away and verify every acknowledged update
+## survived the handoff, SIGKILL a node under live load, and drain the
+## survivor cleanly (DESIGN.md §16).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 ## bench-save: run the tracked benchmark suites (storage backends,
 ## pool hit path) and snapshot them into BENCH_storage.json and
 ## BENCH_hotpath.json, filing dated copies under BENCH_history/ and
@@ -91,4 +99,4 @@ corrupt-smoke:
 bench-save:
 	sh scripts/bench_save.sh
 
-check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke corrupt-smoke
+check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke

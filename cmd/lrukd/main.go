@@ -9,6 +9,13 @@
 //	lrukd -addr 127.0.0.1:4980 -customers 10000 -frames 404 -k 2
 //	lrukd -addr 127.0.0.1:0 ...   # free port; read it from the serving line
 //	lrukd -backend=file -data-dir=/var/lib/lrukd ...   # durable store
+//	lrukd -node-id n0 -cluster "n0=127.0.0.1:4980,n1=127.0.0.1:4981" ...
+//
+// With -node-id/-cluster the node boots holding an epoch-1 membership
+// view over the spec'd peers: record requests for keys the consistent-hash
+// ring assigns elsewhere are refused with a MOVED redirect naming the
+// owner, and the serving line gains a node=<id> field. Every member must
+// be started with the same spec (see README "Running a cluster").
 //
 // With -backend=file the customer pages live in a WAL-protected page file
 // under -data-dir: the first start loads and checkpoints the population,
@@ -48,10 +55,12 @@ import (
 	"time"
 
 	"repro/internal/bufferpool"
+	"repro/internal/cluster"
 	"repro/internal/db"
 	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/wire"
 	"repro/internal/storage"
 	"repro/internal/storage/file"
 )
@@ -85,9 +94,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		scrubIval = fs.Duration("scrub-interval", 0, "period between background integrity scrub sweeps (0 = off)")
 		verify    = fs.Bool("verify-reads", true, "verify per-page checksum trailers on every read (-backend=file)")
 		maxWAL    = fs.Int64("max-wal-bytes", 0, "force a checkpoint when the WAL exceeds this size (-backend=file; 0 = no cap)")
+		nodeID    = fs.String("node-id", "", "this node's identity in a cluster (required with -cluster)")
+		clusterFl = fs.String("cluster", "", "cluster membership spec \"id=addr,...\" naming every node including this one (bootstraps an epoch-1 view)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Cluster bootstrap: a spec names every member; this node must be one
+	// of them. The parsed epoch-0 hint is stamped to epoch 1, so a node
+	// booted from the spec is authoritative over spec-configured clients
+	// (a newer view installed later via VIEW_SET still wins).
+	var view *wire.View
+	if *clusterFl != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(stderr, "lrukd: -cluster requires -node-id")
+			return 2
+		}
+		spec, err := cluster.ParseSpec(*clusterFl)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukd:", err)
+			return 2
+		}
+		if _, ok := spec.Node(*nodeID); !ok {
+			fmt.Fprintf(stderr, "lrukd: node id %q is not in the cluster spec\n", *nodeID)
+			return 2
+		}
+		v := cluster.Bootstrap(spec)
+		view = &v
 	}
 
 	// Snapshot the goroutine baseline before anything is spawned, so the
@@ -192,6 +226,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:      *drain,
 		MaxRequestTimeout: *maxReq,
 		Obs:               reg,
+		NodeID:            *nodeID,
+		View:              view,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(stderr, "lrukd:", err)
@@ -199,8 +235,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg := srv.Addr()
-	fmt.Fprintf(stdout, "lrukd: serving on %s (customers=%d frames=%d k=%d workers=%d queue=%d)\n",
-		cfg, *customers, *frames, *k, *workers, *queue)
+	node := ""
+	if *nodeID != "" {
+		node = fmt.Sprintf(" node=%s", *nodeID)
+	}
+	fmt.Fprintf(stdout, "lrukd: serving on %s (customers=%d frames=%d k=%d workers=%d queue=%d%s)\n",
+		cfg, *customers, *frames, *k, *workers, *queue, node)
 
 	// The observability plane is a separate HTTP listener: /metrics and
 	// pprof never compete with page traffic for the wire protocol's workers,

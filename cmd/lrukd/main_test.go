@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -205,5 +206,83 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	var stdout, stderr syncBuffer
 	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-cluster", "n0=127.0.0.1:1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-cluster without -node-id exited %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-node-id", "ghost", "-cluster", "n0=127.0.0.1:1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-node-id outside the spec exited %d, want 2", code)
+	}
+}
+
+// TestRunClusterFlags: a node booted with -node-id/-cluster holds the
+// bootstrap view (epoch 1), advertises its id on the serving line, and
+// refuses keys the ring assigns elsewhere.
+func TestRunClusterFlags(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	codeCh := make(chan int, 1)
+	// A 2-node spec in which only n0 runs: n1's keys must come back MOVED.
+	go func() {
+		codeCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-customers", "300",
+			"-frames", "64",
+			"-node-id", "n0",
+			"-cluster", "n0=127.0.0.1:0,n1=127.0.0.1:1",
+		}, &stdout, &stderr)
+	}()
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serving line; stdout %q stderr %q", stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if strings.HasPrefix(line, "lrukd: serving on ") {
+				if !strings.Contains(line, "node=n0") {
+					t.Fatalf("serving line %q lacks node=n0", line)
+				}
+				addr = strings.Fields(strings.TrimPrefix(line, "lrukd: serving on "))[0]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	v, err := cl.ViewGet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != 1 || len(v.Nodes) != 2 {
+		t.Errorf("bootstrap view = %+v, want epoch 1 with 2 nodes", v)
+	}
+	var sawOwned, sawMoved bool
+	for k := int64(0); k < 300 && !(sawOwned && sawMoved); k++ {
+		_, err := cl.Get(context.Background(), k)
+		switch {
+		case err == nil:
+			sawOwned = true
+		case errors.Is(err, client.ErrMoved):
+			sawMoved = true
+		default:
+			t.Fatalf("get %d: %v", k, err)
+		}
+	}
+	if !sawOwned || !sawMoved {
+		t.Errorf("ownership split not observed: owned=%v moved=%v", sawOwned, sawMoved)
+	}
+	cancel()
+	select {
+	case code := <-codeCh:
+		if code != 0 {
+			t.Fatalf("lrukd exited %d; stderr %q", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("lrukd did not drain")
 	}
 }

@@ -50,13 +50,13 @@ type ledgerFile struct {
 
 // runLedgerLoad drives the updates-only partitioned workload and writes
 // the ledger when the run ends (by duration, signal, or server death).
-func runLedgerLoad(ctx context.Context, path, addr string, clients int, end time.Time, keys int, seed uint64, reqTimeout time.Duration, stdout, stderr io.Writer) int {
+func runLedgerLoad(ctx context.Context, path string, conn connector, clients int, end time.Time, keys int, seed uint64, reqTimeout time.Duration, stdout, stderr io.Writer) int {
 	maps := make([]map[int64]ledgerEntry, clients)
 	tallies := make([]tally, clients)
 	done := make(chan int, clients)
 	for i := 0; i < clients; i++ {
 		go func(i int) {
-			maps[i], tallies[i] = driveLedger(ctx, addr, end, keys, clients, i, seed+uint64(i), reqTimeout)
+			maps[i], tallies[i] = driveLedger(ctx, conn, end, keys, clients, i, seed+uint64(i), reqTimeout)
 			done <- i
 		}(i)
 	}
@@ -77,7 +77,7 @@ func runLedgerLoad(ctx context.Context, path, addr string, clients int, end time
 				pending++
 			}
 		}
-		transport += len(tallies[i].transport)
+		transport += int(tallies[i].transportN)
 	}
 	raw, err := json.MarshalIndent(led, "", " ")
 	if err != nil {
@@ -109,7 +109,7 @@ func runLedgerLoad(ctx context.Context, path, addr string, clients int, end time
 // (a deadline can fire after the update applied but before the durable
 // flush, so "refused" does not mean "not applied"). A transport error ends
 // the client immediately.
-func driveLedger(ctx context.Context, addr string, end time.Time, keys, clients, self int, seed uint64, reqTimeout time.Duration) (map[int64]ledgerEntry, tally) {
+func driveLedger(ctx context.Context, conn connector, end time.Time, keys, clients, self int, seed uint64, reqTimeout time.Duration) (map[int64]ledgerEntry, tally) {
 	entries := make(map[int64]ledgerEntry)
 	tl := newTally()
 	owned := (keys - self + clients - 1) / clients // |{k : k ≡ self (mod clients)}|
@@ -118,12 +118,12 @@ func driveLedger(ctx context.Context, addr string, end time.Time, keys, clients,
 	}
 	rng := stats.NewRNG(seed)
 	seq := make(map[int64]int)
-	cl, err := client.Dial(addr)
+	cl, closeCl, err := conn.dial()
 	if err != nil {
-		tl.transport = append(tl.transport, err)
+		tl.recordTransport(err)
 		return entries, tl
 	}
-	defer cl.Close()
+	defer func() { _ = closeCl() }()
 	for time.Now().Before(end) && ctx.Err() == nil {
 		key := int64(self + rng.Intn(owned)*clients)
 		seq[key]++
@@ -155,7 +155,11 @@ func driveLedger(ctx context.Context, addr string, end time.Time, keys, clients,
 		case errors.As(err, &remote):
 			tl.remote++
 		default:
-			tl.transport = append(tl.transport, err)
+			// Transport means the server (or, through the cluster client,
+			// every viable route to the key's owner) is gone. Stop rather
+			// than reconnect: the uncertainty stays one pending update per
+			// key.
+			tl.recordTransport(err)
 			return entries, tl
 		}
 	}
@@ -166,7 +170,7 @@ func driveLedger(ctx context.Context, addr string, end time.Time, keys, clients,
 // each key must carry its last acknowledged fill or its single pending
 // one, and keys the ledger never touched must still hold the loader's
 // zero filler.
-func runVerify(ctx context.Context, path, addr string, reqTimeout time.Duration, stdout, stderr io.Writer) int {
+func runVerify(ctx context.Context, path string, conn connector, reqTimeout time.Duration, stdout, stderr io.Writer) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "lrukload: reading ledger:", err)
@@ -181,12 +185,12 @@ func runVerify(ctx context.Context, path, addr string, reqTimeout time.Duration,
 		fmt.Fprintln(stderr, "lrukload: ledger has no key space")
 		return 1
 	}
-	cl, err := client.Dial(addr)
+	cl, closeCl, err := conn.dial()
 	if err != nil {
 		fmt.Fprintln(stderr, "lrukload: verify dial:", err)
 		return 1
 	}
-	defer cl.Close()
+	defer func() { _ = closeCl() }()
 
 	var ackedChecked, pendingAccepted, mismatches int
 	for key := int64(0); key < int64(led.Keys); key++ {

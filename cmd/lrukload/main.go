@@ -28,7 +28,19 @@
 //
 // Typed refusals (BUSY shed, UNAVAILABLE breaker, deadline) are counted,
 // not fatal — they are the server doing its job under load. Transport
-// errors are fatal: they mean the service broke its protocol or died.
+// errors are fatal in single-node mode: they mean the service broke its
+// protocol or died.
+//
+// With -cluster "id=addr,..." the load is driven through the
+// cluster-aware client instead of one socket: every request routes to its
+// key's ring owner, MOVED redirects patch the membership view, and
+// node-level failures are retried against the survivors — so transport
+// errors are counted, not fatal. The summary gains a per-node table
+// (request share, hit-ratio and shed deltas over the run) plus a skew
+// line; -max-skew turns the skew into a gate, failing the run if the
+// max/min request-share ratio exceeds it or any member is unreachable.
+//
+//	lrukload -cluster "n0=...,n1=...,n2=..." -max-skew 2.5 -min-hit-ratio 0.01
 package main
 
 import (
@@ -39,15 +51,35 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server/client"
+	"repro/internal/server/wire"
 	"repro/internal/stats"
 	"repro/internal/storage/file"
 )
+
+// caller is the operation surface the load loops drive; both the
+// single-node *client.Client and the cluster *cluster.Client satisfy it.
+type caller interface {
+	Get(ctx context.Context, custID int64) ([]byte, error)
+	Update(ctx context.Context, custID int64, fill byte) error
+	Scan(ctx context.Context) (int, error)
+}
+
+// connector hands each load loop its caller. Single-node mode dials a
+// fresh connection per loop (and redials after a transport error);
+// cluster mode shares one self-healing cluster client across all loops,
+// so transport errors are recorded and the loop simply continues.
+type connector struct {
+	dial      func() (caller, func() error, error)
+	resilient bool
+}
 
 // The load mix's opcodes, indexing each tally's latency histograms.
 const (
@@ -72,8 +104,21 @@ func main() {
 // bucket-wise sum).
 type tally struct {
 	ok, busy, unavailable, deadline, notFound, remote uint64
-	transport                                         []error
-	lat                                               [numLoadOps]*obs.Histogram
+	// transportN counts transport-level failures; transport keeps only the
+	// first few as samples (a dead cluster node can produce thousands).
+	transportN uint64
+	transport  []error
+	lat        [numLoadOps]*obs.Histogram
+}
+
+// maxTransportSamples caps the retained (and printed) transport errors.
+const maxTransportSamples = 8
+
+func (tl *tally) recordTransport(err error) {
+	tl.transportN++
+	if len(tl.transport) < maxTransportSamples {
+		tl.transport = append(tl.transport, err)
+	}
 }
 
 func newTally() tally {
@@ -102,8 +147,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		verify     = fs.Bool("verify", false, "verify a restarted server against the -ledger file instead of generating load")
 		corruptN   = fs.Int("corrupt-pages", 0, "offline: flip one byte in N WAL-covered pages of -data-dir's page file, then exit (server must be stopped)")
 		dataDir    = fs.String("data-dir", "", "data directory for -corrupt-pages")
+		clusterFl  = fs.String("cluster", "", "cluster spec \"id=addr,...\": drive the whole cluster through the ring-aware client instead of -addr")
+		maxSkew    = fs.Float64("max-skew", 0, "fail if the per-node request-share max/min ratio exceeds this (cluster mode; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// The connector decides what each load loop talks to.
+	conn := connector{dial: func() (caller, func() error, error) {
+		cl, err := client.Dial(*addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, cl.Close, nil
+	}}
+	var cc *cluster.Client
+	if *clusterFl != "" {
+		spec, err := cluster.ParseSpec(*clusterFl)
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukload:", err)
+			return 2
+		}
+		cc, err = cluster.New(cluster.Config{View: spec})
+		if err != nil {
+			fmt.Fprintln(stderr, "lrukload:", err)
+			return 2
+		}
+		defer cc.Close()
+		conn = connector{
+			dial:      func() (caller, func() error, error) { return cc, func() error { return nil }, nil },
+			resilient: true,
+		}
+	} else if *maxSkew > 0 {
+		fmt.Fprintln(stderr, "lrukload: -max-skew requires -cluster")
 		return 2
 	}
 	if *corruptN > 0 {
@@ -124,19 +201,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "lrukload: -verify requires -ledger")
 			return 2
 		}
-		return runVerify(ctx, *ledger, *addr, *reqTimeout, stdout, stderr)
+		return runVerify(ctx, *ledger, conn, *reqTimeout, stdout, stderr)
 	}
 	if *clients <= 0 || *keys <= 0 || *duration <= 0 {
 		fmt.Fprintln(stderr, "lrukload: clients, keys, and duration must be positive")
 		return 2
 	}
 	if *ledger != "" {
-		return runLedgerLoad(ctx, *ledger, *addr, *clients, time.Now().Add(*duration), *keys, *seed, *reqTimeout, stdout, stderr)
+		return runLedgerLoad(ctx, *ledger, conn, *clients, time.Now().Add(*duration), *keys, *seed, *reqTimeout, stdout, stderr)
 	}
 	totalW := *getW + *updateW + *scanW
 	if totalW <= 0 {
 		fmt.Fprintln(stderr, "lrukload: op mix weights sum to zero")
 		return 2
+	}
+
+	// In cluster mode, snapshot every node's counters first so the summary
+	// can report per-node deltas attributable to this run alone.
+	var before map[string]wire.StatsReply
+	if cc != nil {
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		before, _ = cc.StatsAll(sctx)
+		cancel()
 	}
 
 	tallies := make([]tally, *clients)
@@ -146,7 +232,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tallies[i] = drive(ctx, *addr, end, *keys, *getW, *updateW, totalW, *seed+uint64(i), *reqTimeout, byte(i))
+			tallies[i] = drive(ctx, conn, end, *keys, *getW, *updateW, totalW, *seed+uint64(i), *reqTimeout, byte(i))
 		}(i)
 	}
 	wg.Wait()
@@ -163,7 +249,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		sum.deadline += tl.deadline
 		sum.notFound += tl.notFound
 		sum.remote += tl.remote
-		sum.transport = append(sum.transport, tl.transport...)
+		sum.transportN += tl.transportN
+		for _, err := range tl.transport {
+			if len(sum.transport) < maxTransportSamples {
+				sum.transport = append(sum.transport, err)
+			}
+		}
 		for i := range tl.lat {
 			s := tl.lat[i].Snapshot()
 			perOp[i].Merge(s)
@@ -175,7 +266,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "lrukload: clients=%d duration=%v keys=%d mix get/update/scan=%d/%d/%d\n",
 		*clients, *duration, *keys, *getW, *updateW, *scanW)
 	fmt.Fprintf(stdout, "lrukload: ops=%d ok=%d busy=%d unavailable=%d deadline=%d not_found=%d remote_err=%d transport_err=%d\n",
-		ops, sum.ok, sum.busy, sum.unavailable, sum.deadline, sum.notFound, sum.remote, len(sum.transport))
+		ops, sum.ok, sum.busy, sum.unavailable, sum.deadline, sum.notFound, sum.remote, sum.transportN)
 	if overall.Count > 0 {
 		fmt.Fprintf(stdout, "lrukload: throughput=%.0f ops/s latency_ms p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 			float64(ops)/duration.Seconds(),
@@ -200,31 +291,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	for _, err := range sum.transport {
 		fmt.Fprintln(stderr, "lrukload: transport:", err)
 	}
+	if extra := sum.transportN - uint64(len(sum.transport)); extra > 0 {
+		fmt.Fprintf(stderr, "lrukload: transport: ... and %d more\n", extra)
+	}
 
-	// One more connection for the server's own view of the run.
+	// The server-side view of the run: one node's stats in single-node
+	// mode, the per-node delta table plus skew in cluster mode.
+	code := 0
 	hitRatio := -1.0
-	cl, err := client.Dial(*addr)
-	if err != nil {
-		fmt.Fprintln(stderr, "lrukload: stats dial:", err)
+	if cc != nil {
+		var skewOK bool
+		hitRatio, skewOK = printClusterStats(ctx, cc, before, *maxSkew, stdout, stderr)
+		if *maxSkew > 0 && !skewOK {
+			code = 1
+		}
 	} else {
-		defer cl.Close()
-		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
-		defer cancel()
-		reply, err := cl.Stats(sctx)
+		cl, err := client.Dial(*addr)
 		if err != nil {
-			fmt.Fprintln(stderr, "lrukload: stats:", err)
+			fmt.Fprintln(stderr, "lrukload: stats dial:", err)
 		} else {
-			hitRatio = reply.DB.PoolHitRatio
-			fmt.Fprintf(stdout, "lrukload: server conns=%d requests=%d shed=%d statuses=%v\n",
-				reply.Server.Conns, reply.Server.Requests, reply.Server.Shed, reply.Server.Statuses)
-			fmt.Fprintf(stdout, "lrukload: pool hits=%d misses=%d hit_ratio=%.4f disk_reads=%d quarantined=%d\n",
-				reply.DB.Pool.Hits, reply.DB.Pool.Misses, hitRatio, reply.DB.Disk.Reads, reply.DB.Quarantined)
-			printServerSummaries(stdout, reply.Obs)
+			defer cl.Close()
+			sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			reply, err := cl.Stats(sctx)
+			if err != nil {
+				fmt.Fprintln(stderr, "lrukload: stats:", err)
+			} else {
+				hitRatio = reply.DB.PoolHitRatio
+				fmt.Fprintf(stdout, "lrukload: server conns=%d requests=%d shed=%d statuses=%v\n",
+					reply.Server.Conns, reply.Server.Requests, reply.Server.Shed, reply.Server.Statuses)
+				fmt.Fprintf(stdout, "lrukload: pool hits=%d misses=%d hit_ratio=%.4f disk_reads=%d quarantined=%d\n",
+					reply.DB.Pool.Hits, reply.DB.Pool.Misses, hitRatio, reply.DB.Disk.Reads, reply.DB.Quarantined)
+				printServerSummaries(stdout, reply.Obs)
+			}
 		}
 	}
 
-	code := 0
-	if len(sum.transport) > 0 {
+	// Transport errors fail a single-node run (the server broke or died);
+	// in cluster mode they are the expected cost of node churn, already
+	// absorbed by rerouting, and the gates below judge the outcome.
+	if sum.transportN > 0 && cc == nil {
 		code = 1
 	}
 	if ops == 0 {
@@ -241,6 +347,105 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return code
+}
+
+// printClusterStats renders the per-node delta table over the run — each
+// member's request count and share, hit-ratio and shed deltas — plus the
+// request-share skew (max/min). Returns the cluster-wide hit ratio over
+// the run's window and whether the skew check passed: every spec'd node
+// reachable and skew within maxSkew (when set). Nodes that joined or
+// left mid-run appear with whatever window the snapshots caught.
+func printClusterStats(ctx context.Context, cc *cluster.Client, before map[string]wire.StatsReply,
+	maxSkew float64, stdout, stderr io.Writer) (hitRatio float64, skewOK bool) {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	after, err := cc.StatsAll(sctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(stderr, "lrukload: cluster stats:", err)
+	}
+	if len(after) == 0 {
+		return -1, false
+	}
+	ids := make([]string, 0, len(after))
+	for id := range after {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	type row struct {
+		id              string
+		dReq, dShed     uint64
+		dHits, dLookups uint64
+		hitRatio        float64
+	}
+	rows := make([]row, 0, len(ids))
+	var totReq, totHits, totLookups uint64
+	for _, id := range ids {
+		a := after[id]
+		b := before[id] // zero value when the node is new: full-history delta
+		r := row{
+			id:       id,
+			dReq:     a.Server.Requests - b.Server.Requests,
+			dShed:    a.Server.Shed - b.Server.Shed,
+			dHits:    a.DB.Pool.Hits - b.DB.Pool.Hits,
+			dLookups: (a.DB.Pool.Hits + a.DB.Pool.Misses) - (b.DB.Pool.Hits + b.DB.Pool.Misses),
+		}
+		r.hitRatio = -1
+		if r.dLookups > 0 {
+			r.hitRatio = float64(r.dHits) / float64(r.dLookups)
+		}
+		totReq += r.dReq
+		totHits += r.dHits
+		totLookups += r.dLookups
+		rows = append(rows, r)
+	}
+
+	fmt.Fprintf(stdout, "lrukload: %-8s %12s %8s %12s %10s\n",
+		"node", "requests", "share", "hit_ratio", "shed")
+	minShare, maxShare := 1.0, 0.0
+	for _, r := range rows {
+		share := 0.0
+		if totReq > 0 {
+			share = float64(r.dReq) / float64(totReq)
+		}
+		if share < minShare {
+			minShare = share
+		}
+		if share > maxShare {
+			maxShare = share
+		}
+		hr := "n/a"
+		if r.hitRatio >= 0 {
+			hr = fmt.Sprintf("%.4f", r.hitRatio)
+		}
+		fmt.Fprintf(stdout, "lrukload:   %-6s %12d %8.3f %12s %10d\n",
+			r.id, r.dReq, share, hr, r.dShed)
+	}
+	hitRatio = -1
+	if totLookups > 0 {
+		hitRatio = float64(totHits) / float64(totLookups)
+	}
+
+	skew := 0.0
+	if minShare > 0 {
+		skew = maxShare / minShare
+	}
+	skewOK = err == nil
+	switch {
+	case skew == 0:
+		fmt.Fprintln(stdout, "lrukload: skew undefined (a node served nothing)")
+		skewOK = false
+	case maxSkew > 0 && skew > maxSkew:
+		fmt.Fprintf(stderr, "lrukload: request-share skew %.2f exceeds -max-skew %.2f\n", skew, maxSkew)
+		fmt.Fprintf(stdout, "lrukload: skew=%.2f (gate %.2f)\n", skew, maxSkew)
+		skewOK = false
+	default:
+		fmt.Fprintf(stdout, "lrukload: skew=%.2f\n", skew)
+	}
+	if err != nil && maxSkew > 0 {
+		fmt.Fprintln(stderr, "lrukload: -max-skew gate set but a member was unreachable")
+	}
+	return hitRatio, skewOK
 }
 
 // nsToMillis converts a nanosecond histogram value to milliseconds.
@@ -283,16 +488,18 @@ func printServerSummaries(w io.Writer, summaries map[string]obs.HistSummary) {
 
 // drive runs one closed-loop client until end (or ctx cancellation),
 // reconnecting once per transport error so a single hiccup does not idle
-// the connection's whole share of the load.
-func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte) tally {
+// the connection's whole share of the load. A resilient connector (the
+// cluster client) needs no reconnect: its per-node pools self-heal, so
+// the loop records the failure and keeps going.
+func drive(ctx context.Context, conn connector, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte) tally {
 	tl := newTally()
 	rng := stats.NewRNG(seed)
-	cl, err := client.Dial(addr)
+	cl, closeCl, err := conn.dial()
 	if err != nil {
-		tl.transport = append(tl.transport, err)
+		tl.recordTransport(err)
 		return tl
 	}
-	defer func() { cl.Close() }()
+	defer func() { _ = closeCl() }()
 	for time.Now().Before(end) && ctx.Err() == nil {
 		key := int64(rng.Intn(keys))
 		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
@@ -327,15 +534,19 @@ func drive(ctx context.Context, addr string, end time.Time, keys, getW, updateW,
 		case errors.As(err, &remote):
 			tl.remote++
 		default:
-			// Transport failure: the connection is poisoned. Record it and
-			// reconnect; repeated failures end the client. The aborted
-			// request's latency is not recorded — it measured the failure,
-			// not the service.
-			tl.transport = append(tl.transport, err)
-			cl.Close()
-			cl, err = client.Dial(addr)
+			// Transport failure. The aborted request's latency is not
+			// recorded — it measured the failure, not the service. A plain
+			// connection is poisoned: record and reconnect (repeated dial
+			// failures end the client). The cluster client already retried
+			// and rerouted internally; just keep driving.
+			tl.recordTransport(err)
+			if conn.resilient {
+				continue
+			}
+			_ = closeCl()
+			cl, closeCl, err = conn.dial()
 			if err != nil {
-				tl.transport = append(tl.transport, err)
+				tl.recordTransport(err)
 				return tl
 			}
 			continue

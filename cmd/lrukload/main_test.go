@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -10,6 +11,8 @@ import (
 	"repro/internal/leakcheck"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/wire"
 )
 
 // startService boots an in-process database and page server for the load
@@ -132,5 +135,70 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-get", "0", "-update", "0", "-scan", "0"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("zero op mix exited %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-max-skew", "2"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-max-skew without -cluster exited %d, want 2", code)
+	}
+}
+
+// TestRunClusterMode drives a 3-node in-process cluster through the
+// ring-aware client: exit 0 under the skew and hit-ratio gates, and the
+// summary carries the per-node delta table plus the skew line.
+func TestRunClusterMode(t *testing.T) {
+	leakcheck.Check(t)
+	const customers = 600
+	specParts := make([]string, 3)
+	view := wire.View{Epoch: 1}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("n%d", i)
+		database, err := db.Open(db.Config{Frames: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { database.Close() })
+		if err := database.LoadCustomers(customers); err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(database, server.Config{Addr: "127.0.0.1:0", NodeID: id})
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addr := srv.Addr().String()
+		specParts[i] = id + "=" + addr
+		view.Nodes = append(view.Nodes, wire.NodeAddr{ID: id, Addr: addr})
+	}
+	ctx := context.Background()
+	for _, n := range view.Nodes {
+		cl, err := client.Dial(n.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.ViewSet(ctx, view); err != nil {
+			t.Fatal(err)
+		}
+		cl.Close()
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{
+		"-cluster", strings.Join(specParts, ","),
+		"-clients", "4",
+		"-duration", "400ms",
+		"-keys", fmt.Sprint(customers),
+		"-max-skew", "3.0",
+		"-min-hit-ratio", "0.01",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("cluster run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"lrukload: node", "lrukload:   n0", "lrukload:   n1", "lrukload:   n2", "lrukload: skew="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "transport_err=") && !strings.Contains(out, "transport_err=0") {
+		t.Errorf("clean cluster run reported transport errors:\n%s", out)
 	}
 }

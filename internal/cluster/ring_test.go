@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/server/wire"
+)
+
+func view(epoch uint64, ids ...string) wire.View {
+	v := wire.View{Epoch: epoch}
+	for i, id := range ids {
+		v.Nodes = append(v.Nodes, wire.NodeAddr{ID: id, Addr: fmt.Sprintf("127.0.0.1:%d", 5000+i)})
+	}
+	return v
+}
+
+// Placement must be a pure function of the node-id set: node order,
+// epoch, and addresses must not move a single key.
+func TestRingPlacementDeterminism(t *testing.T) {
+	const keys = 10000
+	base := NewRing(view(1, "n0", "n1", "n2"))
+	variants := []wire.View{
+		view(1, "n2", "n0", "n1"), // shuffled order
+		view(9, "n1", "n2", "n0"), // different epoch, shuffled again
+		{Epoch: 1, Nodes: []wire.NodeAddr{ // different addresses entirely
+			{ID: "n0", Addr: "10.0.0.1:1"}, {ID: "n1", Addr: "10.0.0.2:1"}, {ID: "n2", Addr: "10.0.0.3:1"},
+		}},
+	}
+	for vi, v := range variants {
+		r := NewRing(v)
+		for k := int64(0); k < keys; k++ {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("variant %d: key %d owned by %q, base says %q", vi, k, got, want)
+			}
+		}
+	}
+}
+
+// Adding a node must move keys only TO the new node; every key that
+// stays in the old node set must keep its old owner.
+func TestRingAddMovesKeysOnlyToNewNode(t *testing.T) {
+	const keys = 20000
+	before := NewRing(view(1, "n0", "n1", "n2"))
+	after := NewRing(view(2, "n0", "n1", "n2", "n3"))
+	movedTo := make(map[string]int)
+	for k := int64(0); k < keys; k++ {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		if is != "n3" {
+			t.Fatalf("key %d moved %q -> %q; only moves to the new node n3 are allowed", k, was, is)
+		}
+		movedTo[was]++
+	}
+	total := 0
+	for _, c := range movedTo {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+	// Roughly a quarter of the keyspace should land on the fourth node.
+	if total < keys/8 || total > keys/2 {
+		t.Errorf("new node took %d of %d keys; expected roughly a quarter", total, keys)
+	}
+}
+
+// Removing a node must move only that node's keys; survivors' keys stay.
+func TestRingRemoveMovesOnlyRemovedNodesKeys(t *testing.T) {
+	const keys = 20000
+	before := NewRing(view(1, "n0", "n1", "n2"))
+	after := NewRing(view(2, "n0", "n1"))
+	for k := int64(0); k < keys; k++ {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "n2" {
+			if is == "n2" {
+				t.Fatalf("key %d still owned by removed node", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %d moved %q -> %q though its owner survived", k, was, is)
+		}
+	}
+}
+
+// With VNodes points per node, per-node shares must be reasonably
+// balanced: the max/min share ratio over a sequential keyspace stays
+// within the bound lrukload's default skew gate assumes.
+func TestRingBalance(t *testing.T) {
+	const keys = 30000
+	r := NewRing(view(1, "n0", "n1", "n2"))
+	counts := map[string]int{}
+	for k := int64(0); k < keys; k++ {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("owners = %v, want all 3 nodes", counts)
+	}
+	min, max := keys, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 2.0 {
+		t.Errorf("share skew %.2f (counts %v) exceeds 2.0", ratio, counts)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(wire.View{}).Owner(7); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := NewRing(view(1, "only"))
+	for k := int64(-5); k < 5; k++ {
+		if got := solo.Owner(k); got != "only" {
+			t.Errorf("single-node ring owner(%d) = %q", k, got)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	v, err := ParseSpec("n0=127.0.0.1:4980, n1=127.0.0.1:4981")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != 0 {
+		t.Errorf("spec epoch = %d, want 0 (bootstrap hint)", v.Epoch)
+	}
+	if len(v.Nodes) != 2 || v.Nodes[0].ID != "n0" || v.Nodes[1].Addr != "127.0.0.1:4981" {
+		t.Errorf("parsed nodes = %+v", v.Nodes)
+	}
+	if got := FormatSpec(v); got != "n0=127.0.0.1:4980,n1=127.0.0.1:4981" {
+		t.Errorf("FormatSpec = %q", got)
+	}
+	for _, bad := range []string{"", "n0", "n0=", "=addr", "n0=a,n0=b"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestViewEdits(t *testing.T) {
+	v := Bootstrap(view(0, "n0", "n1"))
+	if v.Epoch != 1 {
+		t.Fatalf("bootstrap epoch = %d, want 1", v.Epoch)
+	}
+	v2, err := With(v, "n2", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Epoch != 2 || len(v2.Nodes) != 3 {
+		t.Errorf("With: epoch %d nodes %d", v2.Epoch, len(v2.Nodes))
+	}
+	if _, err := With(v, "n0", "x"); err == nil {
+		t.Error("With accepted a duplicate id")
+	}
+	v3, err := Without(v2, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Epoch != 3 || len(v3.Nodes) != 2 {
+		t.Errorf("Without: epoch %d nodes %d", v3.Epoch, len(v3.Nodes))
+	}
+	if _, ok := v3.Node("n1"); ok {
+		t.Error("removed node still present")
+	}
+	if _, err := Without(v, "ghost"); err == nil {
+		t.Error("Without accepted an unknown id")
+	}
+	solo := Bootstrap(view(0, "n0"))
+	if _, err := Without(solo, "n0"); err == nil {
+		t.Error("Without emptied the cluster")
+	}
+	// Edits are copies: the original view is untouched.
+	if len(v.Nodes) != 2 || v.Epoch != 1 {
+		t.Errorf("original view mutated: %+v", v)
+	}
+}

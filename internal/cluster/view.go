@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/server/wire"
+)
+
+// This file is the static-config side of membership: a human-writable
+// spec string ("n0=127.0.0.1:4980,n1=127.0.0.1:4981") parsed into a
+// bootstrap view, and the epoch-bumping edits a rebalance is built from.
+//
+// A parsed spec carries epoch 0 on purpose: spec files are bootstrap
+// hints, not authority. Servers hold epoch >= 1 views, so the first MOVED
+// redirect (or explicit refresh) a spec-configured client sees replaces
+// the hint with the cluster's real, newer view.
+
+// ParseSpec parses "id=addr,id=addr,..." into a bootstrap (epoch 0 by
+// wire convention — see Bootstrap for installing it into a server) set of
+// nodes. IDs must be unique and non-empty; addresses non-empty.
+func ParseSpec(spec string) (wire.View, error) {
+	var nodes []wire.NodeAddr
+	seen := make(map[string]struct{})
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return wire.View{}, fmt.Errorf("cluster: bad spec entry %q (want id=addr)", part)
+		}
+		if _, dup := seen[id]; dup {
+			return wire.View{}, fmt.Errorf("cluster: duplicate node id %q in spec", id)
+		}
+		seen[id] = struct{}{}
+		nodes = append(nodes, wire.NodeAddr{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return wire.View{}, fmt.Errorf("cluster: empty spec %q", spec)
+	}
+	return wire.View{Epoch: 0, Nodes: nodes}, nil
+}
+
+// FormatSpec renders a view back into the spec syntax.
+func FormatSpec(v wire.View) string {
+	parts := make([]string, len(v.Nodes))
+	for i, n := range v.Nodes {
+		parts[i] = n.ID + "=" + n.Addr
+	}
+	return strings.Join(parts, ",")
+}
+
+// Bootstrap stamps a bootstrap (epoch-0) view as the cluster's first real
+// view. Installing it into a freshly booted server makes that server
+// authoritative over spec-configured clients.
+func Bootstrap(v wire.View) wire.View {
+	v2 := cloneView(v)
+	v2.Epoch = 1
+	return v2
+}
+
+// Without returns a copy of the view with one node removed and the epoch
+// bumped — the target view of a node-removal rebalance.
+func Without(v wire.View, id string) (wire.View, error) {
+	if _, ok := v.Node(id); !ok {
+		return wire.View{}, fmt.Errorf("cluster: node %q not in view (epoch %d)", id, v.Epoch)
+	}
+	if len(v.Nodes) == 1 {
+		return wire.View{}, fmt.Errorf("cluster: removing %q would empty the cluster", id)
+	}
+	v2 := wire.View{Epoch: v.Epoch + 1, Nodes: make([]wire.NodeAddr, 0, len(v.Nodes)-1)}
+	for _, n := range v.Nodes {
+		if n.ID != id {
+			v2.Nodes = append(v2.Nodes, n)
+		}
+	}
+	return v2, nil
+}
+
+// With returns a copy of the view with one node added and the epoch
+// bumped — the target view of a node-join rebalance.
+func With(v wire.View, id, addr string) (wire.View, error) {
+	if id == "" || addr == "" {
+		return wire.View{}, fmt.Errorf("cluster: joining node needs id and addr")
+	}
+	if _, ok := v.Node(id); ok {
+		return wire.View{}, fmt.Errorf("cluster: node %q already in view (epoch %d)", id, v.Epoch)
+	}
+	v2 := cloneView(v)
+	v2.Epoch = v.Epoch + 1
+	v2.Nodes = append(v2.Nodes, wire.NodeAddr{ID: id, Addr: addr})
+	return v2, nil
+}
+
+func cloneView(v wire.View) wire.View {
+	nodes := make([]wire.NodeAddr, len(v.Nodes))
+	copy(nodes, v.Nodes)
+	return wire.View{Epoch: v.Epoch, Nodes: nodes}
+}

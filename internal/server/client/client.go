@@ -24,6 +24,18 @@ import (
 // *Error whose Is method matches the corresponding sentinel; StatusDeadline
 // additionally matches context.DeadlineExceeded, so the caller's usual
 // deadline handling just works.
+//
+// The sentinels split along the axis a retry policy branches on:
+//
+//   - ErrBusy / ErrUnavailable: the server refused work but the
+//     connection is healthy and the reply was cheap — back off and retry
+//     (in a cluster: back off that node, not the ring).
+//   - ErrTransport: the connection itself failed and is poisoned — the
+//     stream may be desynchronised, so discard the client and redial.
+//   - ErrMoved: this node does not own the key; the *Error's MovedView
+//     carries who does.
+//   - Everything else (not found, bad request, internal): the request is
+//     the problem, and retrying anywhere is pointless.
 var (
 	ErrBusy        = errors.New("client: server busy (load shed)")
 	ErrUnavailable = errors.New("client: disk unavailable (server circuit breaker open)")
@@ -31,12 +43,39 @@ var (
 	ErrShutdown    = errors.New("client: server shutting down")
 	ErrBadRequest  = errors.New("client: server rejected request as malformed")
 	ErrRemote      = errors.New("client: server internal error")
+	ErrMoved       = errors.New("client: key owned by another node")
+	// ErrTransport matches any dial, write, read, or response-framing
+	// failure — the cases where the connection is (or is being) poisoned,
+	// as opposed to a typed refusal delivered over a healthy connection.
+	ErrTransport = errors.New("client: transport failure")
 )
+
+// TransportError is a connection-level failure: dialing, writing the
+// request, or reading/decoding the reply frame. It matches ErrTransport
+// with errors.Is and unwraps to the underlying cause.
+type TransportError struct {
+	// Stage names where the exchange broke: "dial", "write", "read",
+	// "decode".
+	Stage string
+	Err   error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("client: %s: %v", e.Stage, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Is matches the ErrTransport sentinel.
+func (e *TransportError) Is(target error) bool { return target == ErrTransport }
 
 // Error is a non-OK reply from the server.
 type Error struct {
 	Status wire.Status
 	Msg    string
+	// Body is the raw reply body; for StatusMoved it is the JSON redirect
+	// MovedView decodes.
+	Body []byte
 }
 
 // Error renders the status and the server's message.
@@ -62,8 +101,24 @@ func (e *Error) Is(target error) bool {
 		return target == ErrBadRequest
 	case wire.StatusInternal:
 		return target == ErrRemote
+	case wire.StatusMoved:
+		return target == ErrMoved
 	}
 	return false
+}
+
+// MovedView decodes a StatusMoved reply's redirect: the owning node and
+// the replier's membership view. ok is false for any other status or a
+// malformed body.
+func (e *Error) MovedView() (wire.Moved, bool) {
+	if e.Status != wire.StatusMoved {
+		return wire.Moved{}, false
+	}
+	m, err := wire.DecodeMoved(e.Body)
+	if err != nil {
+		return wire.Moved{}, false
+	}
+	return m, true
 }
 
 // writeSlack is how long past the request's own deadline the client keeps
@@ -113,7 +168,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		return nil, &TransportError{Stage: "dial " + addr, Err: err}
 	}
 	return &Client{
 		opts: opts,
@@ -167,7 +222,7 @@ func (c *Client) do(ctx context.Context, req wire.Request) (wire.Response, error
 		return wire.Response{}, c.poison("decode", err)
 	}
 	if resp.Status != wire.StatusOK {
-		return resp, &Error{Status: resp.Status, Msg: string(resp.Body)}
+		return resp, &Error{Status: resp.Status, Msg: string(resp.Body), Body: resp.Body}
 	}
 	return resp, nil
 }
@@ -175,10 +230,10 @@ func (c *Client) do(ctx context.Context, req wire.Request) (wire.Response, error
 // poison records a transport failure and fails the client permanently;
 // callers should reconnect.
 func (c *Client) poison(stage string, err error) error {
-	err = fmt.Errorf("client: %s: %w", stage, err)
-	c.dead = err
+	terr := &TransportError{Stage: stage, Err: err}
+	c.dead = terr
 	_ = c.conn.Close()
-	return err
+	return terr
 }
 
 // Get fetches customer custID's record.
@@ -225,6 +280,65 @@ func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
 func (c *Client) Flush(ctx context.Context) error {
 	_, err := c.do(ctx, wire.Request{Op: wire.OpFlush})
 	return err
+}
+
+// ViewGet fetches the server's current membership view (epoch 0 when the
+// node is standalone).
+func (c *Client) ViewGet(ctx context.Context) (wire.View, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpViewGet})
+	if err != nil {
+		return wire.View{}, err
+	}
+	v, err := wire.DecodeView(resp.Body)
+	if err != nil {
+		return wire.View{}, c.failf("view reply: %v", err)
+	}
+	return v, nil
+}
+
+// ViewSet proposes a membership view; the server adopts it only if its
+// epoch exceeds the currently held one. The returned epoch is whatever
+// the server holds afterwards — equal to v.Epoch on adoption, higher if
+// the server already knew a newer view.
+func (c *Client) ViewSet(ctx context.Context, v wire.View) (uint64, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpViewSet, View: wire.EncodeView(v)})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Body) != 8 {
+		return 0, c.failf("view set reply body %d bytes, want 8", len(resp.Body))
+	}
+	return binary.BigEndian.Uint64(resp.Body), nil
+}
+
+// RangeRead streams the server's key state for the window [lo, hi):
+// every existing key with its current fill byte. The window must stay
+// within wire.MaxRangeEntries keys. Admin-plane: never ownership-checked.
+func (c *Client) RangeRead(ctx context.Context, lo, hi int64) ([]wire.RangeEntry, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpRangeRead, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	entries, err := wire.DecodeRangeEntries(resp.Body)
+	if err != nil {
+		return nil, c.failf("range read reply: %v", err)
+	}
+	return entries, nil
+}
+
+// RangeWrite applies a batch of key fills on the server, returning how
+// many were applied. Admin-plane: never ownership-checked, which is what
+// lets a rebalance copy keys into a node before clients are told it owns
+// them.
+func (c *Client) RangeWrite(ctx context.Context, entries []wire.RangeEntry) (uint64, error) {
+	resp, err := c.do(ctx, wire.Request{Op: wire.OpRangeWrite, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Body) != 8 {
+		return 0, c.failf("range write reply body %d bytes, want 8", len(resp.Body))
+	}
+	return binary.BigEndian.Uint64(resp.Body), nil
 }
 
 // failf reports a malformed OK reply (a server bug, not a transport

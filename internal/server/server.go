@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/bufferpool"
+	"repro/internal/cluster"
 	"repro/internal/db"
 	"repro/internal/obs"
 	"repro/internal/server/wire"
@@ -81,6 +82,16 @@ type Config struct {
 	// summaries ride on every STATS reply. Nil leaves the request path
 	// uninstrumented.
 	Obs *obs.Registry
+	// NodeID is this server's identity in a cluster membership view.
+	// Required when View is set (or when a view is installed later over
+	// the wire); empty means the node never checks ownership.
+	NodeID string
+	// View is the initial membership view. With a view installed, GET and
+	// UPDATE requests for keys the consistent-hash ring assigns to another
+	// node are refused with StatusMoved naming the owner; admin-plane ops
+	// (view, range, stats, flush, scan) are never ownership-checked. Nil
+	// boots the node standalone — a view can still arrive via VIEW_SET.
+	View *wire.View
 }
 
 func (c Config) withDefaults() Config {
@@ -149,11 +160,25 @@ type Server struct {
 	shed          atomic.Uint64
 	statusCounts  [wire.NumStatuses]atomic.Uint64
 
+	// viewState is the node's current membership view plus the ring built
+	// from it; nil until a view is installed. Swapped atomically by
+	// VIEW_SET so the hot path reads it without a lock.
+	viewState atomic.Pointer[ringView]
+	// rangeKeysOut / rangeKeysIn count keys streamed by handoff range ops.
+	rangeKeysOut atomic.Uint64
+	rangeKeysIn  atomic.Uint64
+
 	// reg is the optional metrics registry; opLatency (indexed by wire.Op)
 	// and queueWait are nil without it, disabling their timings.
 	reg       *obs.Registry
 	opLatency [wire.NumOps + 1]*obs.Histogram
 	queueWait *obs.Histogram
+}
+
+// ringView pairs a membership view with the ring derived from it.
+type ringView struct {
+	view wire.View
+	ring *cluster.Ring
 }
 
 // New returns an unstarted server over database.
@@ -163,6 +188,9 @@ func New(database *db.DB, cfg Config) *Server {
 		db:    database,
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
+	}
+	if v := s.cfg.View; v != nil {
+		s.viewState.Store(&ringView{view: *v, ring: cluster.NewRing(*v)})
 	}
 	if r := s.cfg.Obs; r != nil {
 		s.registerObs(r)
@@ -197,12 +225,28 @@ func (s *Server) registerObs(r *obs.Registry) {
 			obs.Labels{"status": st.String()},
 			func() float64 { return float64(s.statusCounts[idx].Load()) })
 	}
+	r.CounterFunc("lruk_server_handoff_keys_total", "Keys streamed by handoff range ops, by direction.",
+		obs.Labels{"direction": "out"},
+		func() float64 { return float64(s.rangeKeysOut.Load()) })
+	r.CounterFunc("lruk_server_handoff_keys_total", "Keys streamed by handoff range ops, by direction.",
+		obs.Labels{"direction": "in"},
+		func() float64 { return float64(s.rangeKeysIn.Load()) })
+	r.GaugeFunc("lruk_server_view_epoch", "Epoch of the membership view this node holds (0 = standalone).", nil,
+		func() float64 {
+			if rv := s.viewState.Load(); rv != nil {
+				return float64(rv.view.Epoch)
+			}
+			return 0
+		})
 }
 
 // Start binds the listener and launches the worker pool and accept loop.
 func (s *Server) Start() error {
 	if s.ln != nil {
 		return errors.New("server: already started")
+	}
+	if s.viewState.Load() != nil && s.cfg.NodeID == "" {
+		return errors.New("server: a membership view requires a NodeID")
 	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -292,6 +336,11 @@ func (s *Server) Stats() wire.ServerStats {
 			st.Statuses[wire.Status(i).String()] = n
 		}
 	}
+	if rv := s.viewState.Load(); rv != nil {
+		st.ViewEpoch = rv.view.Epoch
+	}
+	st.RangeKeysOut = s.rangeKeysOut.Load()
+	st.RangeKeysIn = s.rangeKeysIn.Load()
 	return st
 }
 
@@ -433,6 +482,9 @@ func (s *Server) execute(req wire.Request) wire.Response {
 
 	switch req.Op {
 	case wire.OpGet:
+		if resp, moved := s.checkOwner(req.CustID); moved {
+			return resp
+		}
 		s.flushGate.RLock()
 		rec, err := s.db.LookupCtx(ctx, req.CustID)
 		s.flushGate.RUnlock()
@@ -451,6 +503,9 @@ func (s *Server) execute(req wire.Request) wire.Response {
 		binary.BigEndian.PutUint64(body[:], uint64(n))
 		return wire.Response{Status: wire.StatusOK, Body: body[:]}
 	case wire.OpUpdate:
+		if resp, moved := s.checkOwner(req.CustID); moved {
+			return resp
+		}
 		s.flushGate.RLock()
 		err := s.db.UpdateCustomerCtx(ctx, req.CustID, req.Fill)
 		s.flushGate.RUnlock()
@@ -476,8 +531,118 @@ func (s *Server) execute(req wire.Request) wire.Response {
 			return errResponse(err)
 		}
 		return wire.Response{Status: wire.StatusOK}
+	case wire.OpViewGet:
+		v := wire.View{}
+		if rv := s.viewState.Load(); rv != nil {
+			v = rv.view
+		}
+		return wire.Response{Status: wire.StatusOK, Body: wire.EncodeView(v)}
+	case wire.OpViewSet:
+		v, err := wire.DecodeView(req.View)
+		if err != nil {
+			return wire.Response{Status: wire.StatusBadRequest, Body: []byte(err.Error())}
+		}
+		if v.Epoch == 0 {
+			return wire.Response{Status: wire.StatusBadRequest, Body: []byte("view set: epoch must be >= 1")}
+		}
+		if s.cfg.NodeID == "" {
+			return wire.Response{Status: wire.StatusBadRequest, Body: []byte("view set: server has no node id")}
+		}
+		epoch := s.applyView(v)
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], epoch)
+		return wire.Response{Status: wire.StatusOK, Body: body[:]}
+	case wire.OpRangeRead:
+		return s.executeRangeRead(ctx, req.Lo, req.Hi)
+	case wire.OpRangeWrite:
+		return s.executeRangeWrite(ctx, req.Entries)
 	}
 	return wire.Response{Status: wire.StatusBadRequest, Body: []byte(fmt.Sprintf("unknown op %d", req.Op))}
+}
+
+// checkOwner is the cluster tier's routing guard: with a membership view
+// installed, a record request for a key the ring assigns elsewhere is
+// answered MOVED — carrying the owner and this node's whole view, so one
+// redirect is enough for a stale client to catch up. Without a view the
+// node is standalone and serves everything.
+func (s *Server) checkOwner(custID int64) (wire.Response, bool) {
+	rv := s.viewState.Load()
+	if rv == nil {
+		return wire.Response{}, false
+	}
+	owner := rv.ring.Owner(custID)
+	if owner == s.cfg.NodeID {
+		return wire.Response{}, false
+	}
+	body := wire.EncodeMoved(wire.Moved{Owner: owner, View: rv.view})
+	return wire.Response{Status: wire.StatusMoved, Body: body}, true
+}
+
+// applyView installs v if it is newer than the held view (epochs totally
+// order views) and returns the epoch held afterwards. Last-writer-wins
+// CAS keeps concurrent VIEW_SETs linearizable without a lock on the read
+// path.
+func (s *Server) applyView(v wire.View) uint64 {
+	next := &ringView{view: v, ring: cluster.NewRing(v)}
+	for {
+		cur := s.viewState.Load()
+		if cur != nil && cur.view.Epoch >= v.Epoch {
+			return cur.view.Epoch
+		}
+		if s.viewState.CompareAndSwap(cur, next) {
+			return v.Epoch
+		}
+	}
+}
+
+// executeRangeRead streams the current fill byte of every existing key in
+// [lo, hi): the transferable state of a key window during handoff. The
+// flush gate is taken per key, not across the batch, so a concurrent
+// FLUSH barrier is never starved by a long read.
+func (s *Server) executeRangeRead(ctx context.Context, lo, hi int64) wire.Response {
+	if hi-lo > wire.MaxRangeEntries {
+		return wire.Response{Status: wire.StatusBadRequest,
+			Body: []byte(fmt.Sprintf("range read window %d keys exceeds %d", hi-lo, wire.MaxRangeEntries))}
+	}
+	entries := make([]wire.RangeEntry, 0, hi-lo)
+	for key := lo; key < hi; key++ {
+		s.flushGate.RLock()
+		rec, err := s.db.LookupCtx(ctx, key)
+		s.flushGate.RUnlock()
+		switch {
+		case errors.Is(err, db.ErrNotFound):
+			continue
+		case err != nil:
+			return errResponse(err)
+		case len(rec) <= 8:
+			return wire.Response{Status: wire.StatusInternal,
+				Body: []byte(fmt.Sprintf("range read: key %d record only %d bytes", key, len(rec)))}
+		}
+		entries = append(entries, wire.RangeEntry{Key: key, Fill: rec[8]})
+	}
+	s.rangeKeysOut.Add(uint64(len(entries)))
+	return wire.Response{Status: wire.StatusOK, Body: wire.AppendRangeEntries(make([]byte, 0, 4+9*len(entries)), entries)}
+}
+
+// executeRangeWrite applies a handoff batch. Application is sequential
+// and stops at the first error; the coordinator's retry re-applies the
+// whole batch, which is safe because entries are absolute states, not
+// deltas.
+func (s *Server) executeRangeWrite(ctx context.Context, entries []wire.RangeEntry) wire.Response {
+	var applied uint64
+	for _, e := range entries {
+		s.flushGate.RLock()
+		err := s.db.UpdateCustomerCtx(ctx, e.Key, e.Fill)
+		s.flushGate.RUnlock()
+		if err != nil {
+			return errResponse(fmt.Errorf("range write: key %d after %d applied: %w", e.Key, applied, err))
+		}
+		applied++
+	}
+	s.rangeKeysIn.Add(applied)
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], applied)
+	return wire.Response{Status: wire.StatusOK, Body: body[:]}
 }
 
 // errResponse maps a storage-layer error onto its wire status. Order

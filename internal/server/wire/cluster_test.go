@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func testView() View {
+	return View{Epoch: 7, Nodes: []NodeAddr{
+		{ID: "n0", Addr: "127.0.0.1:4980"},
+		{ID: "n1", Addr: "127.0.0.1:4981"},
+		{ID: "n2", Addr: "127.0.0.1:4982"},
+	}}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	for _, want := range []View{{}, testView()} {
+		got, err := DecodeView(EncodeView(want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if n, ok := testView().Node("n1"); !ok || n.Addr != "127.0.0.1:4981" {
+		t.Errorf("Node(n1) = %+v, %v", n, ok)
+	}
+	if _, ok := testView().Node("nope"); ok {
+		t.Error("Node(nope) found a member")
+	}
+}
+
+func TestDecodeViewRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"not json":        []byte("{"),
+		"epoch 0 + nodes": EncodeView(View{Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}}}),
+		"no nodes":        []byte(`{"epoch":3,"nodes":[]}`),
+		"empty id":        []byte(`{"epoch":3,"nodes":[{"id":"","addr":"h:1"}]}`),
+		"empty addr":      []byte(`{"epoch":3,"nodes":[{"id":"a","addr":""}]}`),
+		"duplicate id":    []byte(`{"epoch":3,"nodes":[{"id":"a","addr":"h:1"},{"id":"a","addr":"h:2"}]}`),
+	}
+	for name, p := range cases {
+		if _, err := DecodeView(p); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+}
+
+func TestMovedRoundTrip(t *testing.T) {
+	want := Moved{Owner: "n2", View: testView()}
+	got, err := DecodeMoved(EncodeMoved(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestDecodeMovedRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"not json":         []byte("x"),
+		"empty view":       EncodeMoved(Moved{Owner: "a"}),
+		"owner not member": EncodeMoved(Moved{Owner: "ghost", View: testView()}),
+		"invalid view":     []byte(`{"owner":"a","view":{"epoch":1,"nodes":[{"id":"a","addr":""}]}}`),
+	}
+	for name, p := range cases {
+		if _, err := DecodeMoved(p); !errors.Is(err, ErrBadResponse) {
+			t.Errorf("%s: err = %v, want ErrBadResponse", name, err)
+		}
+	}
+}
+
+func TestRangeEntriesRoundTrip(t *testing.T) {
+	for _, want := range [][]RangeEntry{
+		nil,
+		{{Key: 0, Fill: 0}},
+		{{Key: 1, Fill: 0xAA}, {Key: -1, Fill: 0x55}, {Key: 1 << 40, Fill: 1}},
+	} {
+		got, err := DecodeRangeEntries(AppendRangeEntries(nil, want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeRangeEntriesRejects(t *testing.T) {
+	huge := AppendRangeEntries(nil, make([]RangeEntry, 2))
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff // hostile count
+	cases := map[string][]byte{
+		"short":          {0, 0},
+		"count short":    {0, 0, 0, 1, 9},
+		"count trailing": append(AppendRangeEntries(nil, []RangeEntry{{Key: 1}}), 0xEE),
+		"hostile count":  huge,
+	}
+	for name, p := range cases {
+		if _, err := DecodeRangeEntries(p); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+}
+
+func TestMaxRangeEntriesFitsDefaultFrame(t *testing.T) {
+	// The largest range block (with a status byte in front of it, as a
+	// RANGE_READ reply carries) must fit the default frame guard, or a
+	// handoff would be unable to stream against a default-configured peer.
+	entries := make([]RangeEntry, MaxRangeEntries)
+	if n := 1 + len(AppendRangeEntries(nil, entries)); n > MaxFrameDefault {
+		t.Fatalf("max range reply is %d bytes, past the %d default frame guard", n, MaxFrameDefault)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -16,6 +17,12 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpScan}))
 	f.Add(EncodeRequest(Request{Op: OpStats}))
 	f.Add(EncodeRequest(Request{Op: OpFlush, Timeout: 30 * time.Second}))
+	f.Add(EncodeRequest(Request{Op: OpViewGet}))
+	f.Add(EncodeRequest(Request{Op: OpViewSet,
+		View: EncodeView(View{Epoch: 2, Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}}})}))
+	f.Add(EncodeRequest(Request{Op: OpRangeRead, Lo: 0, Hi: 4096, Timeout: time.Second}))
+	f.Add(EncodeRequest(Request{Op: OpRangeWrite,
+		Entries: []RangeEntry{{Key: 1, Fill: 0xAA}, {Key: -7, Fill: 0}}}))
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpGet)})
 	f.Add(bytes.Repeat([]byte{0xFF}, 18))
@@ -27,6 +34,76 @@ func FuzzDecodeRequest(f *testing.F) {
 		again := EncodeRequest(req)
 		if !bytes.Equal(again, data) {
 			t.Fatalf("decode(%x) = %+v, but re-encode = %x", data, req, again)
+		}
+	})
+}
+
+// FuzzDecodeView: arbitrary bytes must never panic the view decoder, and
+// any body that decodes must survive a canonical re-encode/decode cycle
+// unchanged (JSON is not byte-canonical, so the invariant is semantic, not
+// byte-identity as for the binary bodies).
+func FuzzDecodeView(f *testing.F) {
+	f.Add(EncodeView(View{}))
+	f.Add(EncodeView(View{Epoch: 1, Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}}}))
+	f.Add(EncodeView(View{Epoch: 9, Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}, {ID: "b", Addr: "h:2"}}}))
+	f.Add([]byte(`{"epoch":0,"nodes":[{"id":"a","addr":"h:1"}]}`))
+	f.Add([]byte("{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeView(EncodeView(v))
+		if err != nil {
+			t.Fatalf("canonical re-encode of %+v failed to decode: %v", v, err)
+		}
+		if !reflect.DeepEqual(again, v) {
+			t.Fatalf("view not a fixed point: %+v vs %+v", v, again)
+		}
+	})
+}
+
+// FuzzDecodeMoved: same contract as FuzzDecodeView for the MOVED redirect
+// body.
+func FuzzDecodeMoved(f *testing.F) {
+	f.Add(EncodeMoved(Moved{Owner: "a", View: View{Epoch: 1, Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}}}}))
+	f.Add([]byte(`{"owner":"ghost","view":{"epoch":1,"nodes":[{"id":"a","addr":"h:1"}]}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMoved(data)
+		if err != nil {
+			return
+		}
+		if _, ok := m.View.Node(m.Owner); !ok {
+			t.Fatalf("decoder accepted owner %q outside the view", m.Owner)
+		}
+		again, err := DecodeMoved(EncodeMoved(m))
+		if err != nil {
+			t.Fatalf("canonical re-encode of %+v failed to decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(again, m) {
+			t.Fatalf("moved not a fixed point: %+v vs %+v", m, again)
+		}
+	})
+}
+
+// FuzzDecodeRangeEntries: arbitrary bytes must never panic the range-block
+// decoder or make it allocate past MaxRangeEntries; a decoded block must
+// re-encode byte-identically.
+func FuzzDecodeRangeEntries(f *testing.F) {
+	f.Add(AppendRangeEntries(nil, nil))
+	f.Add(AppendRangeEntries(nil, []RangeEntry{{Key: 1, Fill: 0xAA}, {Key: -7, Fill: 0}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeRangeEntries(data)
+		if err != nil {
+			return
+		}
+		if len(entries) > MaxRangeEntries {
+			t.Fatalf("decoder returned %d entries past the %d cap", len(entries), MaxRangeEntries)
+		}
+		if again := AppendRangeEntries(nil, entries); !bytes.Equal(again, data) {
+			t.Fatalf("decode(%x) re-encoded as %x", data, again)
 		}
 	})
 }

@@ -13,28 +13,45 @@
 //
 // Request payload:
 //
-//	byte  0     op (OpGet, OpScan, OpUpdate, OpStats, OpFlush)
+//	byte  0     op (OpGet ... OpRangeWrite)
 //	bytes 1-8   per-request time budget in milliseconds, big-endian uint64
 //	            (0 = none; the server caps it and runs the operation under
 //	            a context with that deadline)
 //	bytes 9...  op-specific body:
-//	              GET    8-byte big-endian uint64 customer id
-//	              UPDATE 8-byte big-endian uint64 customer id + 1 fill byte
-//	              SCAN, STATS, FLUSH  empty
+//	              GET         8-byte big-endian uint64 customer id
+//	              UPDATE      8-byte big-endian uint64 customer id + 1 fill byte
+//	              SCAN, STATS, FLUSH, VIEW_GET  empty
+//	              VIEW_SET    JSON View (the proposed membership view)
+//	              RANGE_READ  8-byte lo + 8-byte hi key (big-endian, [lo,hi))
+//	              RANGE_WRITE range-entry block (see AppendRangeEntries)
 //
 // Response payload:
 //
-//	byte  0     status (StatusOK ... StatusInternal)
+//	byte  0     status (StatusOK ... StatusMoved)
 //	bytes 1...  body: on StatusOK the op's result (GET record bytes, SCAN
-//	            8-byte big-endian count, STATS JSON StatsReply, UPDATE and
-//	            FLUSH empty); on any other status a UTF-8 error message.
+//	            8-byte big-endian count, STATS JSON StatsReply, VIEW_GET
+//	            JSON View, VIEW_SET 8-byte current epoch, RANGE_READ a
+//	            range-entry block, RANGE_WRITE 8-byte applied count, UPDATE
+//	            and FLUSH empty); on StatusMoved a JSON Moved naming the
+//	            key's owner and carrying the replier's membership view; on
+//	            any other status a UTF-8 error message.
+//
+// The VIEW_*/RANGE_* operations and StatusMoved are the cluster tier
+// (DESIGN.md §16): views make a node refuse keys it does not own, MOVED
+// tells the client who does, and the range ops stream key fills between
+// nodes during a membership handoff. Range and view ops are admin-plane:
+// they are never ownership-checked, so a rebalance coordinator can copy
+// data into a node before the cluster's clients are told it owns it.
 //
 // Decoding is strict: unknown ops, short bodies, and trailing bytes are
-// errors, never panics — FuzzDecodeRequest holds the codec to that.
+// errors, never panics — FuzzDecodeRequest holds the codec to that. The
+// JSON view/moved bodies have their own strict decoders (DecodeView,
+// DecodeMoved) with their own fuzz targets.
 package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -54,11 +71,15 @@ const (
 	OpUpdate
 	OpStats
 	OpFlush
+	OpViewGet
+	OpViewSet
+	OpRangeRead
+	OpRangeWrite
 )
 
 // NumOps is the count of defined operations; op values run 1..NumOps, so
 // per-op tables are sized NumOps+1 and indexed by the op directly.
-const NumOps = int(OpFlush)
+const NumOps = int(OpRangeWrite)
 
 // String names the op for diagnostics.
 func (o Op) String() string {
@@ -73,6 +94,14 @@ func (o Op) String() string {
 		return "STATS"
 	case OpFlush:
 		return "FLUSH"
+	case OpViewGet:
+		return "VIEW_GET"
+	case OpViewSet:
+		return "VIEW_SET"
+	case OpRangeRead:
+		return "RANGE_READ"
+	case OpRangeWrite:
+		return "RANGE_WRITE"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -94,7 +123,8 @@ const (
 	StatusShutdown    Status = 5 // server draining or database closed
 	StatusBadRequest  Status = 6 // malformed frame or unknown op
 	StatusInternal    Status = 7 // anything else
-	numStatuses              = 8
+	StatusMoved       Status = 8 // key owned by another node; body is a JSON Moved
+	numStatuses              = 9
 )
 
 // NumStatuses is the count of defined status codes (for per-status
@@ -120,6 +150,8 @@ func (s Status) String() string {
 		return "bad_request"
 	case StatusInternal:
 		return "internal"
+	case StatusMoved:
+		return "moved"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -186,6 +218,14 @@ type Request struct {
 	CustID int64
 	// Fill is the filler byte for OpUpdate.
 	Fill byte
+	// Lo and Hi bound OpRangeRead's key window [Lo, Hi).
+	Lo, Hi int64
+	// Entries is OpRangeWrite's batch of key fills.
+	Entries []RangeEntry
+	// View is OpViewSet's proposed membership view as raw JSON. The binary
+	// codec carries it opaquely (so frames round-trip byte-identically);
+	// DecodeView applies the strict JSON layer.
+	View []byte
 }
 
 // AppendRequest appends the encoded request payload to dst.
@@ -205,6 +245,13 @@ func AppendRequest(dst []byte, req Request) []byte {
 	case OpUpdate:
 		dst = binary.BigEndian.AppendUint64(dst, uint64(req.CustID))
 		dst = append(dst, req.Fill)
+	case OpViewSet:
+		dst = append(dst, req.View...)
+	case OpRangeRead:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.Lo))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.Hi))
+	case OpRangeWrite:
+		dst = AppendRangeEntries(dst, req.Entries)
 	}
 	return dst
 }
@@ -238,10 +285,30 @@ func DecodeRequest(p []byte) (Request, error) {
 		}
 		req.CustID = int64(binary.BigEndian.Uint64(body[:8]))
 		req.Fill = body[8]
-	case OpScan, OpStats, OpFlush:
+	case OpScan, OpStats, OpFlush, OpViewGet:
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("%w: %v body %d bytes, want 0", ErrBadRequest, req.Op, len(body))
 		}
+	case OpViewSet:
+		if len(body) == 0 {
+			return Request{}, fmt.Errorf("%w: VIEW_SET with empty body", ErrBadRequest)
+		}
+		req.View = body
+	case OpRangeRead:
+		if len(body) != 16 {
+			return Request{}, fmt.Errorf("%w: RANGE_READ body %d bytes, want 16", ErrBadRequest, len(body))
+		}
+		req.Lo = int64(binary.BigEndian.Uint64(body[:8]))
+		req.Hi = int64(binary.BigEndian.Uint64(body[8:]))
+		if req.Hi < req.Lo {
+			return Request{}, fmt.Errorf("%w: RANGE_READ window [%d,%d) inverted", ErrBadRequest, req.Lo, req.Hi)
+		}
+	case OpRangeWrite:
+		entries, err := DecodeRangeEntries(body)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Entries = entries
 	default:
 		return Request{}, fmt.Errorf("%w: unknown op %d", ErrBadRequest, p[0])
 	}
@@ -275,6 +342,174 @@ func DecodeResponse(p []byte) (Response, error) {
 	return Response{Status: Status(p[0]), Body: p[1:]}, nil
 }
 
+// NodeAddr is one cluster member: a stable identity plus its current
+// dialable address. Identity, not address, is what the consistent-hash
+// ring is built from, so a node can move hosts without moving keys.
+type NodeAddr struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// View is a membership view: the set of nodes forming the cluster, stamped
+// with a monotonically increasing epoch. Views are totally ordered by
+// epoch; every participant (server or client) adopts a view only when its
+// epoch exceeds the one it holds, which is what keeps a rebalance's
+// MOVED ping-pong convergent. Epoch 0 is the "no view" / bootstrap value
+// and must carry no nodes on the wire.
+type View struct {
+	Epoch uint64     `json:"epoch"`
+	Nodes []NodeAddr `json:"nodes"`
+}
+
+// Node returns the member with the given id, reporting whether it exists.
+func (v View) Node(id string) (NodeAddr, bool) {
+	for _, n := range v.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeAddr{}, false
+}
+
+// EncodeView encodes the view as its canonical JSON body.
+func EncodeView(v View) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Only unmarshalable values can fail here, and View has none.
+		panic(err)
+	}
+	return raw
+}
+
+// DecodeView decodes and validates a JSON view body: an epoch-0 view must
+// be empty, any real view needs at least one node, and every node needs a
+// unique non-empty id and a non-empty address.
+func DecodeView(p []byte) (View, error) {
+	var v View
+	if err := json.Unmarshal(p, &v); err != nil {
+		return View{}, fmt.Errorf("%w: view: %v", ErrBadRequest, err)
+	}
+	if err := v.validate(); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+func (v View) validate() error {
+	if v.Epoch == 0 {
+		if len(v.Nodes) != 0 {
+			return fmt.Errorf("%w: view: epoch 0 with %d nodes", ErrBadRequest, len(v.Nodes))
+		}
+		return nil
+	}
+	if len(v.Nodes) == 0 {
+		return fmt.Errorf("%w: view: epoch %d with no nodes", ErrBadRequest, v.Epoch)
+	}
+	seen := make(map[string]struct{}, len(v.Nodes))
+	for _, n := range v.Nodes {
+		if n.ID == "" || n.Addr == "" {
+			return fmt.Errorf("%w: view: node %+v needs id and addr", ErrBadRequest, n)
+		}
+		if _, dup := seen[n.ID]; dup {
+			return fmt.Errorf("%w: view: duplicate node id %q", ErrBadRequest, n.ID)
+		}
+		seen[n.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Moved is the StatusMoved body: the node that owns the requested key
+// under the replier's membership view, plus that whole view so a stale
+// client can patch its ring in one round trip instead of discovering the
+// topology key by key.
+type Moved struct {
+	Owner string `json:"owner"`
+	View  View   `json:"view"`
+}
+
+// EncodeMoved encodes the redirect as its JSON body.
+func EncodeMoved(m Moved) []byte {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// DecodeMoved decodes and validates a JSON MOVED body: the view must be a
+// real (epoch > 0) valid view and the owner must be one of its members.
+func DecodeMoved(p []byte) (Moved, error) {
+	var m Moved
+	if err := json.Unmarshal(p, &m); err != nil {
+		return Moved{}, fmt.Errorf("%w: moved: %v", ErrBadResponse, err)
+	}
+	if m.View.Epoch == 0 {
+		return Moved{}, fmt.Errorf("%w: moved: epoch-0 view", ErrBadResponse)
+	}
+	if err := m.View.validate(); err != nil {
+		return Moved{}, fmt.Errorf("%w: moved: %v", ErrBadResponse, err)
+	}
+	if _, ok := m.View.Node(m.Owner); !ok {
+		return Moved{}, fmt.Errorf("%w: moved: owner %q not in view", ErrBadResponse, m.Owner)
+	}
+	return m, nil
+}
+
+// RangeEntry is one key's state in a handoff stream: the customer key and
+// its current fill byte. A record is fully determined by (key, fill), so
+// this is the whole transferable state of a key.
+type RangeEntry struct {
+	Key  int64
+	Fill byte
+}
+
+const rangeEntrySize = 9 // key(8) + fill(1)
+
+// MaxRangeEntries bounds one range block. It keeps the largest
+// RANGE_READ reply and RANGE_WRITE request comfortably inside
+// MaxFrameDefault, and caps what a hostile count prefix can make the
+// decoder allocate.
+const MaxRangeEntries = 4096
+
+// AppendRangeEntries appends the canonical range block: a big-endian
+// uint32 entry count followed by count (key, fill) records.
+func AppendRangeEntries(dst []byte, entries []RangeEntry) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Key))
+		dst = append(dst, e.Fill)
+	}
+	return dst
+}
+
+// DecodeRangeEntries decodes a range block. The count prefix must match
+// the body length exactly and stay within MaxRangeEntries; the length
+// check runs before any allocation.
+func DecodeRangeEntries(p []byte) ([]RangeEntry, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: range block %d bytes, want >= 4", ErrBadRequest, len(p))
+	}
+	count := binary.BigEndian.Uint32(p[:4])
+	if count > MaxRangeEntries {
+		return nil, fmt.Errorf("%w: range block count %d exceeds %d", ErrBadRequest, count, MaxRangeEntries)
+	}
+	if want := 4 + int(count)*rangeEntrySize; len(p) != want {
+		return nil, fmt.Errorf("%w: range block %d bytes, count %d wants %d", ErrBadRequest, len(p), count, want)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	entries := make([]RangeEntry, count)
+	for i := range entries {
+		off := 4 + i*rangeEntrySize
+		entries[i] = RangeEntry{
+			Key:  int64(binary.BigEndian.Uint64(p[off : off+8])),
+			Fill: p[off+8],
+		}
+	}
+	return entries, nil
+}
+
 // ServerStats is the network layer's own counter block, reported next to
 // the database's snapshot in a StatsReply.
 type ServerStats struct {
@@ -287,6 +522,13 @@ type ServerStats struct {
 	Shed uint64 `json:"shed"`
 	// Statuses counts replies by status name.
 	Statuses map[string]uint64 `json:"statuses"`
+	// ViewEpoch is the epoch of the membership view this node holds
+	// (0 = standalone, no cluster view installed).
+	ViewEpoch uint64 `json:"view_epoch,omitempty"`
+	// RangeKeysOut / RangeKeysIn count keys streamed out of / into this
+	// node by handoff RANGE_READ / RANGE_WRITE operations.
+	RangeKeysOut uint64 `json:"range_keys_out,omitempty"`
+	RangeKeysIn  uint64 `json:"range_keys_in,omitempty"`
 }
 
 // StatsReply is the STATS op's JSON body: the server's counters plus the

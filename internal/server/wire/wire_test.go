@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -17,13 +18,18 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpScan},
 		{Op: OpStats, Timeout: 30 * time.Second},
 		{Op: OpFlush},
+		{Op: OpViewGet},
+		{Op: OpViewSet, View: EncodeView(View{Epoch: 3, Nodes: []NodeAddr{{ID: "a", Addr: "h:1"}}})},
+		{Op: OpRangeRead, Lo: -5, Hi: 100, Timeout: time.Second},
+		{Op: OpRangeWrite, Entries: []RangeEntry{{Key: 9, Fill: 0xEE}, {Key: -2, Fill: 0}}},
+		{Op: OpRangeWrite},
 	}
 	for _, want := range cases {
 		got, err := DecodeRequest(EncodeRequest(want))
 		if err != nil {
 			t.Fatalf("%v: decode: %v", want.Op, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip %v: got %+v, want %+v", want.Op, got, want)
 		}
 	}
@@ -52,6 +58,15 @@ func TestDecodeRequestRejects(t *testing.T) {
 		"SCAN trailing":      append([]byte{byte(OpScan)}, make([]byte, 8+1)...),
 		"FLUSH trailing":     append([]byte{byte(OpFlush)}, make([]byte, 8+2)...),
 		"overflowing budget": {byte(OpScan), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"VIEW_GET trailing":  append([]byte{byte(OpViewGet)}, make([]byte, 8+1)...),
+		"VIEW_SET empty":     append([]byte{byte(OpViewSet)}, make([]byte, 8)...),
+		"RANGE_READ short":   append([]byte{byte(OpRangeRead)}, make([]byte, 8+15)...),
+		"RANGE_READ inverted": append([]byte{byte(OpRangeRead)},
+			0, 0, 0, 0, 0, 0, 0, 0, // budget
+			0, 0, 0, 0, 0, 0, 0, 9, // lo = 9
+			0, 0, 0, 0, 0, 0, 0, 1), // hi = 1
+		"RANGE_WRITE short":     append([]byte{byte(OpRangeWrite)}, make([]byte, 8+3)...),
+		"RANGE_WRITE count lie": append([]byte{byte(OpRangeWrite)}, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 1, 2, 3, 4, 5, 6, 7, 8, 9),
 	}
 	for name, p := range cases {
 		if _, err := DecodeRequest(p); !errors.Is(err, ErrBadRequest) {
