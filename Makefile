@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke check
+.PHONY: all build test race vet fmt-check bench bench-pool bench-hit bench-obs bench-save tables chaos serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke trace-smoke check
 
 all: check
 
@@ -92,6 +92,13 @@ corrupt-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
+## trace-smoke: boot a 3-node traced cluster, gate startup on /healthz,
+## drive a traced load, reassemble the slowest trace across every node's
+## /spans ring with `lrukcluster trace`, check /metrics exemplars, and
+## reassemble a traced rebalance's cluster-wide trace (DESIGN.md §17).
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 ## bench-save: run the tracked benchmark suites (storage backends,
 ## pool hit path) and snapshot them into BENCH_storage.json and
 ## BENCH_hotpath.json, filing dated copies under BENCH_history/ and
@@ -99,4 +106,4 @@ cluster-smoke:
 bench-save:
 	sh scripts/bench_save.sh
 
-check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke
+check: fmt-check build vet test race bench-hit serve-smoke obs-smoke crash-smoke corrupt-smoke cluster-smoke trace-smoke

@@ -34,7 +34,11 @@
 //	lrukd: observability on <host:port>
 //
 // and serves /metrics (Prometheus text), /trace (the eviction trace ring
-// as JSON) and /debug/pprof/* on that second listener;
+// as JSON), /healthz (readiness: 503 until serving, 503 again once
+// draining) and /debug/pprof/* on that second listener; with -trace-spans
+// it also serves /spans (the distributed-tracing span ring, ?trace=<hex>
+// filters one trace). -trace-sample head-samples that fraction of
+// requests; -trace-slow tail-samples any request at least that slow.
 // -obs-log-interval adds a periodic structured stats line on stderr. On a
 // clean exit it prints "lrukd: clean shutdown" and exits 0; any drain
 // failure or leaked goroutine exits 1.
@@ -51,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -91,6 +96,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		obsAddr   = fs.String("obs-addr", "", "observability HTTP address serving /metrics, /trace and /debug/pprof (empty = off)")
 		obsLog    = fs.Duration("obs-log-interval", 0, "period between structured stats log lines on stderr (0 = off; needs -obs-addr)")
 		traceSize = fs.Int("trace-size", 512, "eviction trace ring capacity in records (with -obs-addr)")
+		spanCap   = fs.Int("trace-spans", 0, "distributed-tracing span ring capacity (0 = tracing off)")
+		sampleFr  = fs.Float64("trace-sample", 0, "fraction of requests to head-sample into traces (0..1)")
+		slowThr   = fs.Duration("trace-slow", 0, "tail-sample any request at least this slow (0 = off)")
 		scrubIval = fs.Duration("scrub-interval", 0, "period between background integrity scrub sweeps (0 = off)")
 		verify    = fs.Bool("verify-reads", true, "verify per-page checksum trailers on every read (-backend=file)")
 		maxWAL    = fs.Int64("max-wal-bytes", 0, "force a checkpoint when the WAL exceeds this size (-backend=file; 0 = no cap)")
@@ -132,6 +140,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *obsAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	// The span recorder exists independently of the obs listener (spans are
+	// recorded either way; /spans just needs -obs-addr to be readable). Its
+	// ids are salted by the node identity so two nodes never mint colliding
+	// span ids within one trace.
+	var spanRec *obs.SpanRecorder
+	if *spanCap > 0 {
+		spanRec = obs.NewSpanRecorder(*nodeID, *spanCap)
+	}
 
 	// Backend selection: the default simulated disk, or the durable
 	// file-backed store. The database owns whichever backend it is handed
@@ -151,6 +167,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		s, err := file.OpenConfig(*dataDir, file.Config{
 			VerifyReads: *verify,
 			MaxWALBytes: *maxWAL,
+			Spans:       spanRec,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "lrukd:", err)
@@ -171,6 +188,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Obs:               reg,
 		EvictionTraceSize: *traceSize,
 		ScrubInterval:     *scrubIval,
+		Spans:             spanRec,
 		// Production-shaped fault posture: bounded transient retry and a
 		// per-stripe circuit breaker, the PR 3 machinery the server maps
 		// onto wire statuses.
@@ -228,12 +246,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Obs:               reg,
 		NodeID:            *nodeID,
 		View:              view,
+		Spans:             spanRec,
+		Sampler: obs.Sampler{
+			Fraction:      *sampleFr,
+			Seed:          uint64(os.Getpid()),
+			SlowThreshold: *slowThr,
+		},
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(stderr, "lrukd:", err)
 		database.Close()
 		return 1
 	}
+	var serving atomic.Bool
+	serving.Store(true)
 	cfg := srv.Addr()
 	node := ""
 	if *nodeID != "" {
@@ -248,7 +274,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var obsSrv *http.Server
 	var stopLogger func()
 	if reg != nil {
-		mux := obs.Handler(reg)
+		opts := []obs.HandlerOption{obs.WithHealth(func() obs.Health {
+			return obs.Health{
+				Serving:      serving.Load(),
+				ViewEpoch:    srv.Stats().ViewEpoch,
+				RecoveryDone: true, // db.Open returned: any WAL replay is behind us
+				Node:         *nodeID,
+			}
+		})}
+		if spanRec != nil {
+			opts = append(opts, obs.WithSpans(spanRec))
+		}
+		mux := obs.Handler(reg, opts...)
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(database.EvictionTrace())
@@ -269,6 +306,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	<-ctx.Done()
+	serving.Store(false) // /healthz flips to 503 before the drain begins
 	fmt.Fprintln(stdout, "lrukd: draining")
 
 	code := 0

@@ -109,6 +109,10 @@ type tally struct {
 	transportN uint64
 	transport  []error
 	lat        [numLoadOps]*obs.Histogram
+	// slowTrace/slowDur remember the client's slowest traced operation, so
+	// the summary can print a trace id worth feeding to `lrukcluster trace`.
+	slowTrace uint64
+	slowDur   time.Duration
 }
 
 // maxTransportSamples caps the retained (and printed) transport errors.
@@ -149,6 +153,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dataDir    = fs.String("data-dir", "", "data directory for -corrupt-pages")
 		clusterFl  = fs.String("cluster", "", "cluster spec \"id=addr,...\": drive the whole cluster through the ring-aware client instead of -addr")
 		maxSkew    = fs.Float64("max-skew", 0, "fail if the per-node request-share max/min ratio exceeds this (cluster mode; 0 disables)")
+		traceFr    = fs.Float64("trace-sample", 0, "fraction of requests to send under a sampled trace context (0..1; needs the server's -trace-spans)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -232,7 +237,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tallies[i] = drive(ctx, conn, end, *keys, *getW, *updateW, totalW, *seed+uint64(i), *reqTimeout, byte(i))
+			tallies[i] = drive(ctx, conn, end, *keys, *getW, *updateW, totalW, *seed+uint64(i), *reqTimeout, byte(i), *traceFr)
 		}(i)
 	}
 	wg.Wait()
@@ -259,6 +264,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			s := tl.lat[i].Snapshot()
 			perOp[i].Merge(s)
 			overall.Merge(s)
+		}
+		if tl.slowTrace != 0 && tl.slowDur > sum.slowDur {
+			sum.slowTrace, sum.slowDur = tl.slowTrace, tl.slowDur
 		}
 	}
 	ops := sum.ok + sum.busy + sum.unavailable + sum.deadline + sum.notFound + sum.remote
@@ -287,6 +295,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		printLatencyRow(stdout, "total", overall.Count,
 			nsToMillis(overall.Quantile(0.50)), nsToMillis(overall.Quantile(0.95)),
 			nsToMillis(overall.Quantile(0.99)), nsToMillis(float64(overall.Max)))
+	}
+	if sum.slowTrace != 0 {
+		// The trace id most worth looking at: feed it to
+		// `lrukcluster trace` against the nodes' obs addresses.
+		fmt.Fprintf(stdout, "lrukload: slowest trace=%016x latency=%v\n", sum.slowTrace, sum.slowDur)
 	}
 	for _, err := range sum.transport {
 		fmt.Fprintln(stderr, "lrukload: transport:", err)
@@ -491,7 +504,7 @@ func printServerSummaries(w io.Writer, summaries map[string]obs.HistSummary) {
 // the connection's whole share of the load. A resilient connector (the
 // cluster client) needs no reconnect: its per-node pools self-heal, so
 // the loop records the failure and keeps going.
-func drive(ctx context.Context, conn connector, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte) tally {
+func drive(ctx context.Context, conn connector, end time.Time, keys, getW, updateW, totalW int, seed uint64, reqTimeout time.Duration, fill byte, traceFr float64) tally {
 	tl := newTally()
 	rng := stats.NewRNG(seed)
 	cl, closeCl, err := conn.dial()
@@ -503,6 +516,17 @@ func drive(ctx context.Context, conn connector, end time.Time, keys, getW, updat
 	for time.Now().Before(end) && ctx.Err() == nil {
 		key := int64(rng.Intn(keys))
 		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+		// A sampled fraction of requests carry a trace context: the seeded
+		// stream makes the choice (and the ids) reproducible per client.
+		var traceID uint64
+		if traceFr > 0 && rng.Float64() < traceFr {
+			for traceID == 0 {
+				traceID = rng.Uint64()
+			}
+			rctx = obs.ContextWithTrace(rctx, obs.TraceContext{
+				TraceID: traceID, SpanID: rng.Uint64(), Sampled: true,
+			})
+		}
 		began := time.Now()
 		var err error
 		var op int
@@ -551,7 +575,11 @@ func drive(ctx context.Context, conn connector, end time.Time, keys, getW, updat
 			}
 			continue
 		}
-		tl.lat[op].ObserveSince(began)
+		dur := time.Since(began)
+		tl.lat[op].Observe(dur.Nanoseconds())
+		if traceID != 0 && dur > tl.slowDur {
+			tl.slowTrace, tl.slowDur = traceID, dur
+		}
 	}
 	return tl
 }

@@ -419,6 +419,19 @@ type Config struct {
 	// runs on the detecting goroutine (a fetch's miss path or the
 	// scrubber) and must not call back into the pool.
 	CorruptionHook func(p policy.PageID, kind storage.CorruptKind, repaired bool)
+	// Spans, when non-nil, arms fetch tracing: sampled fetches (a sampled
+	// obs.TraceContext on ctx) record pool_fetch / pool_miss /
+	// pool_coalesce spans plus retry-wait and breaker-reject events here.
+	// Nil keeps every fetch free of tracing work; the latch-free hit probe
+	// is untouched either way.
+	Spans *obs.SpanRecorder
+	// EvictionStamp, when set together with Spans, is called with the
+	// victim page and the active trace id whenever a sampled operation's
+	// eviction sweep evicts a page — the hook that lets the db layer stamp
+	// its eviction-trace ring with the evicting trace. It runs under no
+	// pool latch but on the fetching goroutine; it must not call back into
+	// the pool.
+	EvictionStamp func(victim policy.PageID, traceID uint64)
 }
 
 // Metrics are the pool's optional observability instruments. Counters are
@@ -512,6 +525,8 @@ type Pool struct {
 	scrubInterval  time.Duration
 	scrubBatch     int
 	corruptionHook func(policy.PageID, storage.CorruptKind, bool)
+	spans          *obs.SpanRecorder
+	evictionStamp  func(policy.PageID, uint64)
 
 	// closed gates every public operation after Close; in-flight operations
 	// complete normally.
@@ -583,6 +598,8 @@ func NewWithConfig(b storage.Backend, numFrames int, r Replacer, cfg Config) *Po
 		scrubInterval:  cfg.ScrubInterval,
 		scrubBatch:     cfg.ScrubBatch,
 		corruptionHook: cfg.CorruptionHook,
+		spans:          cfg.Spans,
+		evictionStamp:  cfg.EvictionStamp,
 		writerStop:     make(chan struct{}),
 		writerDone:     make(chan struct{}),
 		writerKick:     make(chan struct{}, 1),
@@ -818,8 +835,29 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 	}
 	sh := p.shardOf(id)
 	if pg := p.fetchFast(sh, id); pg != nil {
+		// A lock-free hit deliberately records no span even when sampled:
+		// the probe path stays untouched by tracing, and a sub-microsecond
+		// hit adds nothing to a waterfall.
 		return pg, nil
 	}
+	if p.spans != nil {
+		// One ctx.Value probe per slow-path fetch, only with tracing armed.
+		// Sampled fetches get a pool_fetch span; everything beneath (miss,
+		// coalesce, disk, WAL) parents to it via the re-wrapped context.
+		if tc := obs.TraceFrom(ctx); tc.Sampled {
+			span := p.spans.Start(tc, obs.SpanPoolFetch)
+			pg, err := p.fetchSlow(obs.ContextWithTrace(ctx, span.Context()), sh, id, span.Context())
+			span.Finish(int64(id))
+			return pg, err
+		}
+	}
+	return p.fetchSlow(ctx, sh, id, obs.TraceContext{})
+}
+
+// fetchSlow is the latched fetch loop: table lookup, miss protocol,
+// coalesce wait, or latched hit. tc is the enclosing pool_fetch span's
+// context (zero when the fetch is unsampled).
+func (p *Pool) fetchSlow(ctx context.Context, sh *shard, id policy.PageID, tc obs.TraceContext) (*Page, error) {
 	for {
 		sh.mu.RLock()
 		f := sh.table[id]
@@ -829,7 +867,7 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 			if p.metrics.MissLatency != nil {
 				missStart = time.Now()
 			}
-			pg, retry, err := p.fetchMiss(ctx, sh, id)
+			pg, retry, err := p.fetchMiss(ctx, sh, id, tc)
 			if retry {
 				continue
 			}
@@ -860,12 +898,15 @@ func (p *Pool) fetchCtx(ctx context.Context, id policy.PageID) (*Page, error) {
 			if p.metrics.CoalesceWait != nil {
 				waitStart = time.Now()
 			}
+			coSpan := p.spans.Start(tc, obs.SpanPoolCoalesce)
 			select {
 			case <-ready:
+				coSpan.Finish(int64(id))
 				if p.metrics.CoalesceWait != nil {
 					p.metrics.CoalesceWait.ObserveSince(waitStart)
 				}
 			case <-ctx.Done():
+				coSpan.Finish(int64(id))
 				// Abandon the load: it was joined (a miss, coalesced), and
 				// the loader finishes it on our behalf — abandonPin settles
 				// the frame whichever way the load ends.
@@ -982,7 +1023,14 @@ func (p *Pool) abandonPin(sh *shard, id policy.PageID, f *frame) {
 // install it as the in-flight holder for id, then read from disk outside
 // every latch and publish. retry is true when another goroutine installed
 // the page first and the caller must re-run the fetch.
-func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *Page, retry bool, err error) {
+func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID, tc obs.TraceContext) (pg *Page, retry bool, err error) {
+	// A sampled miss gets its own span; disk reads, victim write-backs, and
+	// retry sleeps beneath it parent to the miss via the re-wrapped context.
+	missSpan := p.spans.Start(tc, obs.SpanPoolMiss)
+	if missSpan.ID() != 0 {
+		ctx = obs.ContextWithTrace(ctx, missSpan.Context())
+		defer missSpan.Finish(int64(id))
+	}
 	p.notePage(id)
 	if kind, bad := p.poisonedKind(id); bad {
 		// The page is known unrepairable-corrupt: fail fast with the
@@ -997,9 +1045,14 @@ func (p *Pool) fetchMiss(ctx context.Context, sh *shard, id policy.PageID) (pg *
 		// Fail fast while the stripe's circuit is open: no frame is
 		// claimed, no victim written back, no waiters queued behind a disk
 		// that is not answering. Still a miss — the page was not resident —
-		// but no storage attempt is made.
+		// but no storage attempt is made. A sampled fetch leaves a
+		// zero-duration breaker_reject event marking the refusal.
 		sh.misses.Add(1)
 		sh.readsRejected.Add(1)
+		if missSpan.ID() != 0 {
+			p.spans.Emit(tc.TraceID, p.spans.NewSpanID(), missSpan.ID(),
+				obs.SpanBreakerReject, time.Now(), 0, int64(id))
+		}
 		return nil, false, fmt.Errorf("fetching page %d: %w", id, ErrDiskUnavailable)
 	}
 	f, err := p.obtainFrame(ctx)
@@ -1166,6 +1219,7 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 			f.state.Store(frameFree)
 			sh.mu.Unlock()
 			sh.evictions.Add(1)
+			p.stampEviction(ctx, victim)
 			return f, nil
 		}
 		// Dirty victim: transition to frameWriting so the entry stays
@@ -1203,7 +1257,21 @@ func (p *Pool) obtainFrame(ctx context.Context) (*frame, error) {
 		p.quarantineRemove(victim)
 		sh.writeBacks.Add(1)
 		sh.evictions.Add(1)
+		p.stampEviction(ctx, victim)
 		return f, nil
+	}
+}
+
+// stampEviction reports an eviction performed on behalf of a traced
+// operation to the EvictionStamp hook, linking eviction-trace records to
+// the trace that caused them. No-op without the hook or without a trace
+// on ctx.
+func (p *Pool) stampEviction(ctx context.Context, victim policy.PageID) {
+	if p.evictionStamp == nil {
+		return
+	}
+	if tc := obs.TraceFrom(ctx); tc.TraceID != 0 {
+		p.evictionStamp(victim, tc.TraceID)
 	}
 }
 

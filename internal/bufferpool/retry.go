@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -84,14 +85,23 @@ func (r *retrier) backoff(attempt int) time.Duration {
 }
 
 // retrySleep parks for the attempt's backoff, charged against ctx: an
-// expiring context aborts the sleep (and with it the retry ladder).
+// expiring context aborts the sleep (and with it the retry ladder). A
+// sampled operation records the sleep as a retry_wait span (annot = the
+// failed attempt number), so a waterfall shows where a slow miss sat in
+// backoff rather than on the disk.
 func (p *Pool) retrySleep(ctx context.Context, attempt int) error {
+	var span obs.Span
+	if p.spans != nil {
+		span = p.spans.Start(obs.TraceFrom(ctx), obs.SpanRetryWait)
+	}
 	t := time.NewTimer(p.retry.backoff(attempt))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		span.Finish(int64(attempt))
 		return ctx.Err()
 	case <-t.C:
+		span.Finish(int64(attempt))
 		return nil
 	}
 }

@@ -93,6 +93,11 @@ type node struct {
 	fails   int
 	nextTry time.Time
 
+	// noTrace remembers that this node rejected the trace-context wire
+	// extension (an old server); every future connection to it dials
+	// downgraded so the rejection happens at most once per node.
+	noTrace atomic.Bool
+
 	ok, busy, unavailable, moved, transport, errs atomic.Uint64
 }
 
@@ -125,7 +130,11 @@ func (n *node) acquire(opts client.Options) (*client.Client, error) {
 	}
 	addr := n.addr
 	n.mu.Unlock()
-	return client.DialOptions(addr, opts)
+	c, err := client.DialOptions(addr, opts)
+	if err == nil && n.noTrace.Load() {
+		c.DisableTrace()
+	}
+	return c, err
 }
 
 // release returns a healthy connection to the pool (closing it if the
@@ -383,6 +392,15 @@ func (c *Client) doKey(ctx context.Context, key int64, fn func(*client.Client) e
 				refreshed = true
 				c.refreshFrom(ctx, n.id)
 			}
+		case errors.Is(err, client.ErrTraceDowngrade):
+			// The node runs an old server that rejects the trace extension
+			// (and closes the connection after answering). Remember the
+			// downgrade so every future dial to it skips the extension, and
+			// retry the operation untraced on a fresh connection — no
+			// penalty, the node is healthy, it just predates tracing.
+			n.noTrace.Store(true)
+			_ = conn.Close()
+			lastErr = err
 		case ctx.Err() != nil:
 			_ = conn.Close()
 			return ctx.Err()
@@ -539,6 +557,10 @@ func (c *Client) Scan(ctx context.Context) (int, error) {
 			n.transport.Add(1)
 			_ = conn.Close()
 			n.penalize(c.cfg.BusyBackoff, c.cfg.MaxBackoff)
+			lastErr = err
+		case errors.Is(err, client.ErrTraceDowngrade):
+			n.noTrace.Store(true)
+			_ = conn.Close()
 			lastErr = err
 		case ctx.Err() != nil:
 			_ = conn.Close()

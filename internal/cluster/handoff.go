@@ -3,7 +3,9 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server/client"
 	"repro/internal/server/wire"
 )
@@ -54,6 +56,19 @@ type RebalanceConfig struct {
 	Client client.Options
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+	// Obs, when non-nil, records the coordinator's phase timings and copy
+	// volume: lruk_cluster_rebalance_phase_seconds{phase=...} per phase,
+	// plus keys-moved and ranges-copied counters.
+	Obs *obs.Registry
+	// Spans, when non-nil together with a sampled Trace, records one
+	// rebalance_phase span per coordinator phase (annot = the index into
+	// the flip_sources/copy/flush_dests/flip_rest sequence).
+	Spans *obs.SpanRecorder
+	// Trace, when sampled, is the trace context every admin request of the
+	// run is issued under: each node records the ViewSet/Flush/RangeWrite
+	// it served as request spans of this one trace, so `lrukcluster trace`
+	// reassembles the whole handoff across the cluster.
+	Trace obs.TraceContext
 }
 
 func (c RebalanceConfig) withDefaults() RebalanceConfig {
@@ -70,6 +85,45 @@ func (c RebalanceConfig) logf(format string, args ...any) {
 	if c.Log != nil {
 		c.Log(format, args...)
 	}
+}
+
+// rebalancePhases names the coordinator's phases in execution order; a
+// phase span's annot is the index into this sequence.
+var rebalancePhases = [...]string{"flip_sources", "copy", "flush_dests", "flip_rest"}
+
+// RebalancePhaseName maps a rebalance_phase span's annot index back to the
+// phase name; out-of-range indices report "unknown".
+func RebalancePhaseName(idx int) string {
+	if idx < 0 || idx >= len(rebalancePhases) {
+		return "unknown"
+	}
+	return rebalancePhases[idx]
+}
+
+// observePhase files one completed phase: a latency observation under the
+// phase label, and (under a sampled trace) a rebalance_phase span parented
+// on the run's root span.
+func (c RebalanceConfig) observePhase(idx int, start time.Time) {
+	dur := time.Since(start)
+	if c.Obs != nil {
+		c.Obs.LatencyHistogram("lruk_cluster_rebalance_phase_seconds",
+			"Wall-clock time of each rebalance coordinator phase.",
+			obs.Labels{"phase": rebalancePhases[idx]}).Observe(dur.Nanoseconds())
+	}
+	if c.Spans != nil && c.Trace.Sampled {
+		c.Spans.Emit(c.Trace.TraceID, c.Spans.NewSpanID(), c.Trace.SpanID,
+			obs.SpanRebalancePhase, start, dur, int64(idx))
+	}
+}
+
+func (c RebalanceConfig) countMoved(keys, ranges int) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Counter("lruk_cluster_rebalance_keys_moved_total",
+		"Customer keys copied to a new owner by the rebalance coordinator.", nil).Add(uint64(keys))
+	c.Obs.Counter("lruk_cluster_rebalance_ranges_copied_total",
+		"RangeWrite batches shipped by the rebalance coordinator.", nil).Add(uint64(ranges))
 }
 
 // Rebalance drives the handoff from oldView to newView. Every node in
@@ -135,7 +189,15 @@ func Rebalance(ctx context.Context, oldView, newView wire.View, cfg RebalanceCon
 		return c, nil
 	}
 
+	// Under a sampled trace every admin request below carries the trace
+	// context on the wire, so the nodes' request spans stitch into one
+	// cluster-wide handoff trace.
+	if cfg.Trace.Sampled {
+		ctx = obs.ContextWithTrace(ctx, cfg.Trace)
+	}
+
 	// (1) Flip and drain every source before any copying starts.
+	phaseStart := time.Now()
 	for _, n := range oldView.Nodes {
 		if !sources[n.ID] {
 			continue
@@ -151,8 +213,10 @@ func Rebalance(ctx context.Context, oldView, newView wire.View, cfg RebalanceCon
 			return fmt.Errorf("cluster: rebalance: flush source %s: %w", n.ID, err)
 		}
 	}
+	cfg.observePhase(0, phaseStart)
 
 	// (2) Copy each source's moved keys to their new owners.
+	phaseStart = time.Now()
 	for _, n := range oldView.Nodes {
 		if !sources[n.ID] {
 			continue
@@ -161,8 +225,10 @@ func Rebalance(ctx context.Context, oldView, newView wire.View, cfg RebalanceCon
 			return err
 		}
 	}
+	cfg.observePhase(1, phaseStart)
 
 	// (3) Durability on the receiving side before anyone reads from it.
+	phaseStart = time.Now()
 	for _, n := range newView.Nodes {
 		if !dests[n.ID] {
 			continue
@@ -175,8 +241,10 @@ func Rebalance(ctx context.Context, oldView, newView wire.View, cfg RebalanceCon
 			return fmt.Errorf("cluster: rebalance: flush destination %s: %w", n.ID, err)
 		}
 	}
+	cfg.observePhase(2, phaseStart)
 
 	// (4) Final flip: everyone not already on the new view adopts it.
+	phaseStart = time.Now()
 	for _, n := range newView.Nodes {
 		if sources[n.ID] {
 			continue
@@ -191,6 +259,7 @@ func Rebalance(ctx context.Context, oldView, newView wire.View, cfg RebalanceCon
 		}
 		cfg.logf("rebalance: node %s now at epoch %d", n.ID, epoch)
 	}
+	cfg.observePhase(3, phaseStart)
 	return nil
 }
 
@@ -203,6 +272,7 @@ func copySource(ctx context.Context, srcID string, oldRing, newRing *Ring,
 	}
 	batches := make(map[string][]wire.RangeEntry)
 	shipped := 0
+	ranges := 0
 	destN := make(map[string]bool)
 	ship := func(destID string) error {
 		batch := batches[destID]
@@ -221,6 +291,7 @@ func copySource(ctx context.Context, srcID string, oldRing, newRing *Ring,
 			return fmt.Errorf("cluster: rebalance: %s applied %d of %d entries", destID, applied, len(batch))
 		}
 		shipped += len(batch)
+		ranges++
 		destN[destID] = true
 		batches[destID] = batch[:0]
 		return nil
@@ -255,6 +326,7 @@ func copySource(ctx context.Context, srcID string, oldRing, newRing *Ring,
 			return err
 		}
 	}
+	cfg.countMoved(shipped, ranges)
 	cfg.logf("rebalance: source %s shipped %d keys to %d destinations", srcID, shipped, len(destN))
 	return nil
 }

@@ -1,0 +1,77 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestRebalanceObservability runs a node removal with the coordinator's
+// instrumentation armed and checks the run left the promised artifacts: a
+// latency observation for each of the four phases, keys-moved and
+// ranges-copied counters covering the shipped population, and one
+// rebalance_phase span per phase, all under the configured trace and in
+// execution order.
+func TestRebalanceObservability(t *testing.T) {
+	leakcheck.Check(t)
+	const customers = 400
+	_, view := startNodes(t, 3, customers, db.Config{Frames: 64}, server.Config{})
+	shrunk, err := cluster.Without(view, "n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder("coordinator", 64)
+	trace := obs.TraceContext{TraceID: rec.NewTraceID(), SpanID: rec.NewSpanID(), Sampled: true}
+	err = cluster.Rebalance(context.Background(), view, shrunk, cluster.RebalanceConfig{
+		Keys:      customers,
+		BatchSize: 64,
+		Obs:       reg,
+		Spans:     rec,
+		Trace:     trace,
+	})
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+
+	summaries := reg.HistogramSummaries()
+	for _, phase := range []string{"flip_sources", "copy", "flush_dests", "flip_rest"} {
+		key := fmt.Sprintf(`lruk_cluster_rebalance_phase_seconds{phase=%q}`, phase)
+		sum, ok := summaries[key]
+		if !ok || sum.Count != 1 {
+			t.Errorf("phase %s: want one observation, got %+v (present=%v)", phase, sum, ok)
+		}
+	}
+
+	keysMoved := reg.Counter("lruk_cluster_rebalance_keys_moved_total", "", nil).Value()
+	ranges := reg.Counter("lruk_cluster_rebalance_ranges_copied_total", "", nil).Value()
+	if keysMoved == 0 || keysMoved > customers {
+		t.Errorf("keys moved = %d, want in (0, %d]", keysMoved, customers)
+	}
+	if ranges == 0 {
+		t.Errorf("ranges copied = %d, want > 0", ranges)
+	}
+
+	spans := rec.TraceSpans(trace.TraceID)
+	if len(spans) != 4 {
+		t.Fatalf("trace holds %d spans, want 4 phase spans: %+v", len(spans), spans)
+	}
+	for i, s := range spans {
+		if s.Kind != obs.SpanRebalancePhase {
+			t.Errorf("span %d kind = %v, want rebalance_phase", i, s.Kind)
+		}
+		if got := cluster.RebalancePhaseName(int(s.Annot)); int(s.Annot) != i {
+			t.Errorf("span %d annot = %d (%s), want phase index %d", i, s.Annot, got, i)
+		}
+		if s.Parent != obs.Hex64(trace.SpanID) {
+			t.Errorf("span %d parent = %s, want the run's root span %016x", i, s.Parent, trace.SpanID)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server/wire"
+)
+
+// TestClusterClientTraceDowngrade drives a traced operation at a fake
+// pre-tracing node: the first attempt draws the old server's BadRequest
+// and connection close, the cluster client remembers the node as
+// untraceable, and the in-flight operation retries untraced and succeeds.
+// Later operations dial downgraded from the start.
+func TestClusterClientTraceDowngrade(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	tracedFrames := make(chan struct{}, 16)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					payload, err := wire.ReadFrame(br, wire.MaxFrameDefault)
+					if err != nil {
+						return
+					}
+					if len(payload) > 0 && payload[0]&0x80 != 0 {
+						tracedFrames <- struct{}{}
+						_ = wire.WriteFrame(c, wire.AppendResponse(nil,
+							wire.Response{Status: wire.StatusBadRequest, Body: []byte("unknown op")}))
+						return
+					}
+					_ = wire.WriteFrame(c, wire.AppendResponse(nil,
+						wire.Response{Status: wire.StatusOK, Body: []byte("record")}))
+				}
+			}(c)
+		}
+	}()
+
+	cc, err := New(Config{View: wire.View{
+		Epoch: 1,
+		Nodes: []wire.NodeAddr{{ID: "n0", Addr: ln.Addr().String()}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	ctx := obs.ContextWithTrace(context.Background(),
+		obs.TraceContext{TraceID: 0xfeed, SpanID: 0xbeef, Sampled: true})
+	if _, err := cc.Get(ctx, 1); err != nil {
+		t.Fatalf("traced GET through downgrade: %v", err)
+	}
+	if got := len(tracedFrames); got != 1 {
+		t.Fatalf("old server saw %d traced frames, want exactly 1", got)
+	}
+	// A second traced call must go straight through: the node is remembered
+	// as untraceable, so no further flagged frame reaches it.
+	if _, err := cc.Get(ctx, 2); err != nil {
+		t.Fatalf("second GET: %v", err)
+	}
+	if got := len(tracedFrames); got != 1 {
+		t.Fatalf("old server saw %d traced frames after second call, want still 1", got)
+	}
+	counters := cc.Counters()["n0"]
+	if counters.Err != 0 {
+		t.Fatalf("downgrade counted as a terminal error: %+v", counters)
+	}
+	if counters.OK != 2 {
+		t.Fatalf("ok count = %d, want 2", counters.OK)
+	}
+}

@@ -121,6 +121,16 @@ type Config struct {
 	// CRP collapses, RIP purges). Zero selects 512. Only used when Obs is
 	// set.
 	EvictionTraceSize int
+	// Spans, when non-nil, arms distributed-tracing span recording through
+	// the stack: sampled operations leave pool_fetch / pool_miss /
+	// pool_coalesce / retry_wait / breaker_reject spans from the pool and
+	// disk_read / disk_write spans from the storage wrapper in this
+	// recorder, and (with Obs set) evictions performed under a sampled
+	// trace stamp the policy trace ring with the trace id. The unsampled
+	// path stays within the pool's hit-latency budget. WAL spans
+	// (wal_append, wal_fsync) come from the file backend's own
+	// file.Config.Spans, which the caller wires when building the backend.
+	Spans *obs.SpanRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -225,13 +235,15 @@ func Open(cfg Config) (*DB, error) {
 	var poolMetrics bufferpool.Metrics
 	var evTrace *obs.EvictionTrace
 	var corruptionHook func(policy.PageID, storage.CorruptKind, bool)
+	var instrumented *storage.Instrumented
 	if cfg.Obs != nil {
 		// Latency instruments must exist before the pool and backend serve
 		// their first operation; scrape-time collectors are registered
 		// after assembly (registerObs below). The trace ring likewise: the
 		// pool's corruption hook records into it from the first fetch on.
 		poolMetrics = newPoolMetrics(cfg.Obs)
-		backend = storage.WithMetrics(backend, newBackendMetrics(cfg.Obs, backend.NumStripes()))
+		instrumented = storage.WithMetrics(backend, newBackendMetrics(cfg.Obs, backend.NumStripes()))
+		backend = instrumented
 		size := cfg.EvictionTraceSize
 		if size <= 0 {
 			size = 512
@@ -247,6 +259,23 @@ func Open(cfg Config) (*DB, error) {
 			evTrace.Record(obs.TraceRecord{Kind: obs.TraceCorrupt, Page: int64(p), Clock: int64(kind), KDist: rep})
 		}
 	}
+	var evictionStamp func(policy.PageID, uint64)
+	if cfg.Spans != nil {
+		// Span recording rides the same wrapper as latency metrics; without
+		// Obs the wrapper carries spans alone (nil histograms keep the
+		// metric side's fast path).
+		if instrumented == nil {
+			instrumented = storage.WithMetrics(backend, storage.Metrics{})
+			backend = instrumented
+		}
+		instrumented.WithSpans(cfg.Spans)
+		if evTrace != nil {
+			stamped := evTrace
+			evictionStamp = func(victim policy.PageID, traceID uint64) {
+				stamped.StampTrace(int64(victim), traceID)
+			}
+		}
+	}
 	pool := bufferpool.NewWithConfig(backend, cfg.Frames, poolReplacer,
 		bufferpool.Config{
 			Shards:         cfg.PoolShards,
@@ -256,6 +285,8 @@ func Open(cfg Config) (*DB, error) {
 			Metrics:        poolMetrics,
 			ScrubInterval:  cfg.ScrubInterval,
 			CorruptionHook: corruptionHook,
+			Spans:          cfg.Spans,
+			EvictionStamp:  evictionStamp,
 		})
 	db := &DB{
 		cfg:       cfg,

@@ -1,0 +1,63 @@
+package obs
+
+// Exemplars link aggregate histograms to concrete traces: alongside its
+// buckets, each histogram retains one (value, trace id) pair per latency
+// quartile of the bucket range, preferring the slowest traced
+// observation seen. Scraping /metrics then answers "which request was
+// that p99?" with a trace id the span assembler can expand — the classic
+// OpenMetrics exemplar idea, rendered in the 0.0.4 text format as an
+// auxiliary `<family>_exemplar{slot=...,trace_id=...}` sample
+// (DESIGN.md §17).
+
+// exemplarSlots is the number of retained exemplars per histogram; the
+// bucket range is divided into this many equal spans of buckets, so the
+// top slot always covers the tail the p99 quantile lives in.
+const exemplarSlots = 4
+
+// Exemplar is one retained traced observation.
+type Exemplar struct {
+	// Value is the raw observed value (the histogram's unit).
+	Value int64
+	// TraceID identifies the trace that produced it.
+	TraceID uint64
+}
+
+// exemplarSlot maps a value's bucket to its exemplar slot.
+func exemplarSlot(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bucketOf(uint64(v)) * exemplarSlots / numBuckets
+}
+
+// ObserveTraced is Observe plus exemplar retention: when traceID is
+// non-zero the observation competes for its slot's exemplar, winning if
+// the slot is empty or it is at least as slow as the incumbent. The
+// replacement races benignly (a lost CAS keeps a comparably slow
+// exemplar); the allocation happens only for winning traced
+// observations, never on the untraced path.
+func (h *Histogram) ObserveTraced(v int64, traceID uint64) {
+	h.Observe(v)
+	if h == nil || traceID == 0 {
+		return
+	}
+	slot := &h.ex[exemplarSlot(v)]
+	cur := slot.Load()
+	if cur != nil && cur.Value > v {
+		return
+	}
+	slot.CompareAndSwap(cur, &Exemplar{Value: v, TraceID: traceID})
+}
+
+// Exemplars returns the histogram's retained exemplars, indexed by slot;
+// nil entries are slots no traced observation has reached.
+func (h *Histogram) Exemplars() [exemplarSlots]*Exemplar {
+	var out [exemplarSlots]*Exemplar
+	if h == nil {
+		return out
+	}
+	for i := range h.ex {
+		out[i] = h.ex[i].Load()
+	}
+	return out
+}

@@ -61,6 +61,9 @@ type Histogram struct {
 	count  atomic.Uint64
 	sum    atomic.Int64
 	max    atomic.Int64
+	// ex retains one traced observation per latency quartile — see
+	// exemplar.go. Untraced observations never touch it.
+	ex [exemplarSlots]atomic.Pointer[Exemplar]
 	// scale is applied at exposition only (set by the registry; 0 = 1).
 	scale float64
 }

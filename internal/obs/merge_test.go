@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Merging an empty snapshot must be the identity, in both directions.
+func TestHistSnapshotMergeEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 5, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	base := h.Snapshot()
+
+	got := base
+	got.Merge(HistSnapshot{})
+	if got != base {
+		t.Fatal("merging an empty snapshot changed the base")
+	}
+
+	var empty HistSnapshot
+	empty.Merge(base)
+	if empty != base {
+		t.Fatal("merging into an empty snapshot did not copy the source")
+	}
+
+	var both HistSnapshot
+	both.Merge(HistSnapshot{})
+	if both != (HistSnapshot{}) {
+		t.Fatal("empty∪empty must stay empty")
+	}
+	if q := both.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// Max must be the max, not the sum, and must survive asymmetric merges.
+func TestHistSnapshotMergeMax(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(100)
+	b.Observe(7)
+	sa, sb := a.Snapshot(), b.Snapshot()
+
+	m := sa
+	m.Merge(sb)
+	if m.Max != 100 {
+		t.Fatalf("max after merge = %d, want 100", m.Max)
+	}
+	m2 := sb
+	m2.Merge(sa)
+	if m2.Max != 100 {
+		t.Fatalf("max after reverse merge = %d, want 100", m2.Max)
+	}
+	if m.Count != 2 || m.Sum != 107 {
+		t.Fatalf("count/sum after merge = %d/%d, want 2/107", m.Count, m.Sum)
+	}
+}
+
+// A snapshot taken during concurrent Observe calls can hold a Count that
+// disagrees with the bucket total (the fields are individually atomic,
+// not mutually). Merge must neither panic nor lose buckets, and Quantile
+// must terminate and answer from the buckets it actually holds.
+func TestHistSnapshotMergeConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const writers, perWriter = 4, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*1000 + i%997))
+			}
+		}(w)
+	}
+	var merged HistSnapshot
+	snaps := 0
+	for {
+		s := h.Snapshot()
+		var bucketTotal uint64
+		for _, c := range s.Counts {
+			bucketTotal += c
+		}
+		// The mismatch window is real but transient; whichever way this
+		// snapshot landed, merging it must be safe.
+		merged = HistSnapshot{}
+		merged.Merge(s)
+		if merged.Quantile(0.5) < 0 {
+			t.Fatal("quantile went negative")
+		}
+		snaps++
+		if bucketTotal == uint64(writers*perWriter) {
+			break
+		}
+	}
+	wg.Wait()
+
+	final := h.Snapshot()
+	merged = HistSnapshot{}
+	merged.Merge(final)
+	merged.Merge(HistSnapshot{}) // still the identity afterwards
+	if merged.Count != writers*perWriter {
+		t.Fatalf("final merged count = %d, want %d (snapshots taken mid-run: %d)",
+			merged.Count, writers*perWriter, snaps)
+	}
+	var total uint64
+	for _, c := range merged.Counts {
+		total += c
+	}
+	if total != merged.Count {
+		t.Fatalf("quiescent bucket total %d != count %d", total, merged.Count)
+	}
+}
+
+func TestObserveTracedExemplars(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveTraced(10, 0) // untraced: counts, no exemplar
+	if ex := h.Exemplars(); ex[exemplarSlot(10)] != nil {
+		t.Fatal("untraced observation retained an exemplar")
+	}
+	h.ObserveTraced(10, 0xaaa)
+	h.ObserveTraced(20, 0xbbb) // same slot, slower: must win
+	h.ObserveTraced(5, 0xccc)  // same slot, faster: must lose
+	ex := h.Exemplars()
+	e := ex[exemplarSlot(10)]
+	if e == nil || e.TraceID != 0xbbb || e.Value != 20 {
+		t.Fatalf("slot exemplar = %+v, want value 20 / trace bbb", e)
+	}
+	// A much larger value lands in a higher band, leaving the first
+	// exemplar in place.
+	h.ObserveTraced(1<<40, 0xddd)
+	if e := h.Exemplars()[exemplarSlot(1<<40)]; e == nil || e.TraceID != 0xddd {
+		t.Fatalf("tail exemplar = %+v, want trace ddd", e)
+	}
+	if exemplarSlot(1<<40) == exemplarSlot(10) {
+		t.Fatal("test values must land in distinct bands")
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (ObserveTraced must still observe)", h.Count())
+	}
+	// Nil receiver stays a no-op.
+	var nilH *Histogram
+	nilH.ObserveTraced(1, 1)
+	_ = nilH.Exemplars()
+}
+
+// The text exposition renders occupied exemplar slots as auxiliary
+// samples carrying the trace id.
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("lruk_test_seconds", "test family.", Labels{"op": "get"})
+	h.ObserveTraced(1500000000, 0xdeadbeef) // 1.5 seconds
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := fmt.Sprintf(`lruk_test_seconds_exemplar{op="get",slot="%d",trace_id="00000000deadbeef"} 1.5`,
+		exemplarSlot(1500000000))
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition lacks exemplar line %q:\n%s", want, out)
+	}
+}

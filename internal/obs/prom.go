@@ -92,7 +92,22 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		if err := writeSample(w, f.name+"_sum", s.labels, "", float64(snap.Sum)*scale); err != nil {
 			return err
 		}
-		return writeSample(w, f.name+"_count", s.labels, "", float64(snap.Count))
+		if err := writeSample(w, f.name+"_count", s.labels, "", float64(snap.Count)); err != nil {
+			return err
+		}
+		// Exemplars ride as an auxiliary sample per occupied slot, linking
+		// the family's latency quartiles to concrete trace ids
+		// (exemplar.go; slot 3 covers the p99 tail).
+		for i, e := range s.hist.Exemplars() {
+			if e == nil {
+				continue
+			}
+			extra := fmt.Sprintf(`slot="%d",trace_id="%016x"`, i, e.TraceID)
+			if err := writeSample(w, f.name+"_exemplar", s.labels, extra, float64(e.Value)*scale); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return nil
 }

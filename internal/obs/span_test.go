@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanOverheadGuard enforces the unsampled-tracing budget from the
+// acceptance bar: a Start/Finish pair on an unsampled context must cost
+// at most 5 ns and zero allocations — the recorder early-returns before
+// reading the clock, so the whole disabled cost is two branches per
+// probe site. Guarded like TestObsOverheadGuard: skipped under -race
+// (the detector multiplies every cost) and in -short mode.
+func TestSpanOverheadGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("overhead guard is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping overhead guard in short mode")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		rec := NewSpanRecorder("guard", 64)
+		tc := TraceContext{} // unsampled: the fleet-wide default
+		for i := 0; i < b.N; i++ {
+			s := rec.Start(tc, SpanPoolFetch)
+			s.Finish(int64(i))
+		}
+	})
+	const ceilingNs = 5
+	if got := res.NsPerOp(); got > ceilingNs {
+		t.Fatalf("unsampled span start+finish costs %d ns/op, ceiling %d ns", got, ceilingNs)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("unsampled span path allocates %d objects/op, must be 0", res.AllocsPerOp())
+	}
+	// A nil recorder (tracing not armed at all) must hold the same budget.
+	res = testing.Benchmark(func(b *testing.B) {
+		var rec *SpanRecorder
+		tc := TraceContext{TraceID: 1, SpanID: 2, Sampled: true}
+		for i := 0; i < b.N; i++ {
+			s := rec.Start(tc, SpanPoolFetch)
+			s.Finish(int64(i))
+		}
+	})
+	if got := res.NsPerOp(); got > ceilingNs {
+		t.Fatalf("nil-recorder span start+finish costs %d ns/op, ceiling %d ns", got, ceilingNs)
+	}
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("nil-recorder span path allocates %d objects/op, must be 0", res.AllocsPerOp())
+	}
+}
+
+func TestSpanRecorderRoundTrip(t *testing.T) {
+	rec := NewSpanRecorder("n0", 16)
+	trace := rec.NewTraceID()
+	tc := TraceContext{TraceID: trace, SpanID: 0, Sampled: true}
+
+	root := rec.Start(tc, SpanRequest)
+	child := rec.Start(root.Context(), SpanPoolFetch)
+	child.Finish(42)
+	root.Finish(3)
+
+	spans := rec.TraceSpans(trace)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ring order is finish order: the child finished first.
+	if spans[0].Kind != SpanPoolFetch || spans[1].Kind != SpanRequest {
+		t.Fatalf("unexpected kinds: %v, %v", spans[0].Kind, spans[1].Kind)
+	}
+	if spans[0].Parent != spans[1].Span {
+		t.Fatalf("child parent %s != root span %s", spans[0].Parent, spans[1].Span)
+	}
+	if spans[0].Trace != Hex64(trace) || spans[1].Trace != Hex64(trace) {
+		t.Fatalf("trace ids not propagated: %s %s", spans[0].Trace, spans[1].Trace)
+	}
+	if spans[0].Annot != 42 {
+		t.Fatalf("child annot = %d, want 42", spans[0].Annot)
+	}
+	if spans[0].Node != "n0" {
+		t.Fatalf("node = %q, want n0", spans[0].Node)
+	}
+	if spans[0].Dur < 0 || spans[1].Dur < spans[0].Dur {
+		t.Fatalf("child dur %d must nest within root dur %d", spans[0].Dur, spans[1].Dur)
+	}
+}
+
+func TestSpanRecorderRingOverwrite(t *testing.T) {
+	rec := NewSpanRecorder("n0", 4)
+	for i := 0; i < 10; i++ {
+		rec.Emit(uint64(i+1), uint64(100+i), 0, SpanDiskRead, time.Unix(0, int64(i)), time.Duration(i), 0)
+	}
+	got := rec.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("got %d spans, want ring capacity 4", len(got))
+	}
+	for i, s := range got {
+		if want := Hex64(7 + i); s.Trace != want {
+			t.Fatalf("span %d trace = %s, want %s (oldest-first after overwrite)", i, s.Trace, want)
+		}
+	}
+}
+
+func TestSpanRecordJSONRoundTrip(t *testing.T) {
+	in := SpanRecord{
+		Trace:  Hex64(0xdeadbeefcafe0001),
+		Span:   Hex64(2),
+		Parent: Hex64(3),
+		Kind:   SpanWALFsync,
+		Start:  123456789,
+		Dur:    42,
+		Annot:  -7,
+		Node:   "n1",
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SpanRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	// Hex ids must survive as fixed-width strings, not JSON numbers.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := raw["trace"].(string); !ok || s != "deadbeefcafe0001" {
+		t.Fatalf("trace id encodes as %v, want \"deadbeefcafe0001\"", raw["trace"])
+	}
+}
+
+func TestParseHex64(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Hex64
+		ok   bool
+	}{
+		{"deadbeefcafe0001", 0xdeadbeefcafe0001, true},
+		{"0000000000000001", 1, true},
+		{"1", 1, true},
+		{"DEADBEEF", 0xdeadbeef, true},
+		{"", 0, false},
+		{"deadbeefcafe00012", 0, false}, // 17 digits
+		{"xyz", 0, false},
+	} {
+		got, err := ParseHex64(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseHex64(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseHex64(%q) = %x, want %x", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpanKindJSON(t *testing.T) {
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SpanKind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-trips to %v", k, back)
+		}
+	}
+	var k SpanKind
+	if err := json.Unmarshal([]byte(`"no_such_kind"`), &k); err == nil {
+		t.Fatal("unknown kind name must not decode")
+	}
+}
+
+func TestContextTrace(t *testing.T) {
+	ctx := context.Background()
+	if tc := TraceFrom(ctx); tc != (TraceContext{}) {
+		t.Fatalf("empty context yields %+v", tc)
+	}
+	in := TraceContext{TraceID: 7, SpanID: 9, Sampled: true}
+	if got := TraceFrom(ContextWithTrace(ctx, in)); got != in {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+	// Unsampled contexts are deliberately not attached.
+	unsampled := TraceContext{TraceID: 7, SpanID: 9}
+	if got := TraceFrom(ContextWithTrace(ctx, unsampled)); got != (TraceContext{}) {
+		t.Fatalf("unsampled context attached: %+v", got)
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	s := Sampler{Fraction: 0.25, Seed: 42}
+	sampled := 0
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		a, b := s.Sample(i), s.Sample(i)
+		if a != b {
+			t.Fatalf("sampling of id %d is not deterministic", i)
+		}
+		if a {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("sampled fraction %.4f, want ~0.25", frac)
+	}
+	if (Sampler{Fraction: 1}).Sample(1) != true {
+		t.Fatal("fraction 1 must sample everything")
+	}
+	if (Sampler{Fraction: 0}).Sample(1) != false {
+		t.Fatal("fraction 0 must sample nothing")
+	}
+	if (Sampler{Fraction: 1}).Sample(0) != false {
+		t.Fatal("trace id 0 must never sample")
+	}
+}
+
+func TestSamplerShouldTail(t *testing.T) {
+	s := Sampler{SlowThreshold: 10 * time.Millisecond}
+	if !s.ShouldTail(11*time.Millisecond, false) {
+		t.Fatal("slow request must tail-sample")
+	}
+	if s.ShouldTail(time.Millisecond, false) {
+		t.Fatal("fast clean request must not tail-sample")
+	}
+	if !s.ShouldTail(0, true) {
+		t.Fatal("failed request must tail-sample")
+	}
+	if (Sampler{}).ShouldTail(time.Hour, false) {
+		t.Fatal("zero threshold disables the slow rule")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder("n0", 128)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tc := TraceContext{TraceID: uint64(g + 1), Sampled: true}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := rec.Start(tc, SpanDiskRead)
+				s.Finish(int64(i))
+			}
+		}(g)
+	}
+	deadline := time.After(50 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			for _, s := range rec.Snapshot() {
+				if s.Trace == 0 || s.Span == 0 {
+					t.Error("snapshot surfaced an unpublished record")
+					done = true
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEvictionTraceStamp(t *testing.T) {
+	tr := NewEvictionTrace(8)
+	tr.Record(TraceRecord{Kind: TraceEvict, Page: 7, Clock: 1})
+	tr.Record(TraceRecord{Kind: TraceCollapse, Page: 7, Clock: 2})
+	tr.StampTrace(7, 0xabc)
+	recs := tr.Snapshot()
+	if recs[0].Trace != Hex64(0xabc).String() {
+		t.Fatalf("evict record trace = %q, want stamped id", recs[0].Trace)
+	}
+	if recs[1].Trace != "" {
+		t.Fatalf("collapse record must stay unstamped, got %q", recs[1].Trace)
+	}
+	// Stamping an absent page or a zero id is a no-op, nil receiver safe.
+	tr.StampTrace(99, 0xdef)
+	tr.StampTrace(7, 0)
+	var nilTr *EvictionTrace
+	nilTr.StampTrace(7, 1)
+}

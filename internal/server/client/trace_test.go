@@ -1,0 +1,116 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server/wire"
+)
+
+// oldServer mimics a pre-tracing server: it decodes no trace extension, so
+// a flagged op byte looks like an unknown op — it answers StatusBadRequest
+// and closes the connection, exactly like the real server's desync
+// handling. Untraced requests get a canned OK.
+func oldServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					payload, err := wire.ReadFrame(br, wire.MaxFrameDefault)
+					if err != nil {
+						return
+					}
+					if len(payload) > 0 && payload[0]&0x80 != 0 {
+						_ = wire.WriteFrame(c, wire.AppendResponse(nil,
+							wire.Response{Status: wire.StatusBadRequest, Body: []byte("unknown op 129")}))
+						return // old servers close after a bad request
+					}
+					if _, err := wire.DecodeRequest(payload); err != nil {
+						_ = wire.WriteFrame(c, wire.AppendResponse(nil,
+							wire.Response{Status: wire.StatusBadRequest, Body: []byte(err.Error())}))
+						return
+					}
+					_ = wire.WriteFrame(c, wire.AppendResponse(nil,
+						wire.Response{Status: wire.StatusOK, Body: []byte("record")}))
+				}
+			}(c)
+		}
+	}()
+	return ln
+}
+
+// A traced request against an old server must come back as
+// ErrTraceDowngrade (not a generic bad-request), flip the client to
+// untraced, and a downgraded connection must then work with the same
+// traced context on it.
+func TestTraceDowngradeAgainstOldServer(t *testing.T) {
+	ln := oldServer(t)
+	defer ln.Close()
+
+	ctx := obs.ContextWithTrace(context.Background(),
+		obs.TraceContext{TraceID: 7, SpanID: 8, Sampled: true})
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Get(ctx, 1); !errors.Is(err, ErrTraceDowngrade) {
+		t.Fatalf("traced GET err = %v, want ErrTraceDowngrade", err)
+	}
+	if errors.Is(err, ErrBadRequest) {
+		t.Fatal("downgrade must not read as a caller mistake")
+	}
+	if !c.TraceDisabled() {
+		t.Fatal("client did not record the downgrade")
+	}
+
+	// The old server closed the connection; a fresh downgraded client
+	// carries the same sampled context without tripping it.
+	c2, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.DisableTrace()
+	body, err := c2.Get(ctx, 1)
+	if err != nil {
+		t.Fatalf("downgraded GET: %v", err)
+	}
+	if string(body) != "record" {
+		t.Fatalf("downgraded GET body = %q", body)
+	}
+}
+
+// An untraced context must produce byte-old frames: the old server accepts
+// them without any downgrade dance.
+func TestUntracedContextAgainstOldServer(t *testing.T) {
+	ln := oldServer(t)
+	defer ln.Close()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Get(context.Background(), 1); err != nil {
+		t.Fatalf("untraced GET: %v", err)
+	}
+	if c.TraceDisabled() {
+		t.Fatal("no rejection happened, client must not be downgraded")
+	}
+}

@@ -92,6 +92,17 @@ type Config struct {
 	// (view, range, stats, flush, scan) are never ownership-checked. Nil
 	// boots the node standalone — a view can still arrive via VIEW_SET.
 	View *wire.View
+	// Spans, when non-nil, arms request tracing: sampled requests get a
+	// request span plus a queue-wait child recorded here, their trace
+	// context is threaded through the database layers, and op-latency
+	// exemplars carry their trace ids. Nil keeps the request path free of
+	// tracing work beyond a flag check.
+	Spans *obs.SpanRecorder
+	// Sampler decides which requests are traced beyond what the client
+	// already sampled on the wire: head sampling by trace id, plus tail
+	// bias for slow, failed, or shed requests (their spans are emitted
+	// retrospectively). Only consulted when Spans is set.
+	Sampler obs.Sampler
 }
 
 func (c Config) withDefaults() Config {
@@ -421,6 +432,16 @@ func (s *Server) handleConn(c net.Conn) {
 				// whole point of bounding the queue — the reply path does
 				// no database work, so overload cannot snowball.
 				s.shed.Add(1)
+				if rec := s.cfg.Spans; rec != nil && s.cfg.Sampler.ShouldTail(0, true) {
+					// Sheds are always tail-worthy: a zero-duration request
+					// span marks where the cluster turned the request away.
+					traceID := req.Trace.TraceID
+					if traceID == 0 {
+						traceID = rec.NewTraceID()
+					}
+					rec.Emit(traceID, rec.NewSpanID(), req.Trace.SpanID,
+						obs.SpanRequest, time.Now(), 0, int64(req.Op))
+				}
 				resp = wire.Response{Status: wire.StatusBusy, Body: []byte("server busy: admission queue full")}
 			}
 		}
@@ -444,20 +465,74 @@ func (s *Server) reply(c net.Conn, bw *bufio.Writer, resp wire.Response) error {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.queue {
+		picked := time.Now()
 		if !t.enqueued.IsZero() {
 			s.queueWait.ObserveSince(t.enqueued)
 		}
-		var start time.Time
-		hist := s.histFor(t.req.Op)
-		if hist != nil {
-			start = time.Now()
-		}
-		resp := s.execute(t.req)
-		if hist != nil {
-			hist.ObserveSince(start)
-		}
-		t.reply <- resp
+		t.reply <- s.serve(t, picked)
 	}
+}
+
+// serve runs one admitted request with its tracing envelope: the request
+// span (parented to the client's wire span), a queue-wait child, the
+// MOVED point event, a latency exemplar carrying the trace id, and the
+// tail-sampling pass for slow or failed requests the head draw skipped.
+func (s *Server) serve(t *task, picked time.Time) wire.Response {
+	rec := s.cfg.Spans
+	wtc := t.req.Trace
+	sampled := rec != nil && wtc.TraceID != 0 &&
+		(wtc.Sampled || s.cfg.Sampler.Sample(wtc.TraceID))
+	enqueued := t.enqueued
+	if enqueued.IsZero() {
+		enqueued = picked
+	}
+	var reqSpan obs.Span
+	if sampled {
+		reqSpan = rec.StartAt(obs.TraceContext{TraceID: wtc.TraceID, SpanID: wtc.SpanID, Sampled: true},
+			obs.SpanRequest, enqueued)
+		rec.Emit(wtc.TraceID, rec.NewSpanID(), reqSpan.ID(),
+			obs.SpanQueueWait, enqueued, picked.Sub(enqueued), 0)
+	}
+
+	resp := s.execute(t.req, reqSpan.Context())
+	dur := time.Since(picked)
+
+	exemplarTrace := uint64(0)
+	if sampled {
+		exemplarTrace = wtc.TraceID
+		if resp.Status == wire.StatusMoved {
+			rec.Emit(wtc.TraceID, rec.NewSpanID(), reqSpan.ID(),
+				obs.SpanMoved, picked, 0, int64(t.req.Op))
+		}
+		reqSpan.Finish(int64(t.req.Op))
+	} else if rec != nil && s.cfg.Sampler.ShouldTail(dur, failedStatus(resp.Status)) {
+		// Tail bias: the head draw said no, but the request turned out slow
+		// or broken. Reconstruct a minimal two-span trace after the fact so
+		// the outliers are always explorable.
+		traceID := wtc.TraceID
+		if traceID == 0 {
+			traceID = rec.NewTraceID()
+		}
+		root := rec.NewSpanID()
+		rec.Emit(traceID, root, wtc.SpanID, obs.SpanRequest, enqueued, time.Since(enqueued), int64(t.req.Op))
+		rec.Emit(traceID, rec.NewSpanID(), root, obs.SpanQueueWait, enqueued, picked.Sub(enqueued), 0)
+		exemplarTrace = traceID
+	}
+	if hist := s.histFor(t.req.Op); hist != nil {
+		hist.ObserveTraced(dur.Nanoseconds(), exemplarTrace)
+	}
+	return resp
+}
+
+// failedStatus reports whether a status counts as a failure for tail
+// sampling: server-side trouble worth a trace, not client mistakes or
+// routine misses.
+func failedStatus(st wire.Status) bool {
+	switch st {
+	case wire.StatusInternal, wire.StatusUnavailable, wire.StatusDeadline, wire.StatusShutdown:
+		return true
+	}
+	return false
 }
 
 // histFor returns the op's latency histogram, nil when uninstrumented or
@@ -471,14 +546,17 @@ func (s *Server) histFor(op wire.Op) *obs.Histogram {
 }
 
 // execute runs one admitted request against the database under its
-// deadline and maps the outcome onto the wire.
-func (s *Server) execute(req wire.Request) wire.Response {
+// deadline and maps the outcome onto the wire. tc is the request span's
+// context (the zero value when unsampled); attached to ctx, it parents
+// the pool, disk, and WAL spans the layers below record.
+func (s *Server) execute(req wire.Request, tc obs.TraceContext) wire.Response {
 	budget := req.Timeout
 	if budget <= 0 || budget > s.cfg.MaxRequestTimeout {
 		budget = s.cfg.MaxRequestTimeout
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
+	ctx = obs.ContextWithTrace(ctx, tc)
 
 	switch req.Op {
 	case wire.OpGet:

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FuzzDecodeRequest: arbitrary bytes must never panic the decoder; any
@@ -23,9 +25,16 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(Request{Op: OpRangeRead, Lo: 0, Hi: 4096, Timeout: time.Second}))
 	f.Add(EncodeRequest(Request{Op: OpRangeWrite,
 		Entries: []RangeEntry{{Key: 1, Fill: 0xAA}, {Key: -7, Fill: 0}}}))
+	f.Add(EncodeRequest(Request{Op: OpGet, CustID: 12345,
+		Trace: obs.TraceContext{TraceID: 0xdeadbeef, SpanID: 0xcafe, Sampled: true}}))
+	f.Add(EncodeRequest(Request{Op: OpRangeWrite, Entries: []RangeEntry{{Key: 1, Fill: 0xAA}},
+		Trace: obs.TraceContext{TraceID: 1}}))
+	f.Add(EncodeRequest(Request{Op: OpScan, Trace: obs.TraceContext{TraceID: ^uint64(0), Sampled: true}}))
 	f.Add([]byte{})
 	f.Add([]byte{byte(OpGet)})
+	f.Add([]byte{byte(OpGet) | 0x80, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(bytes.Repeat([]byte{0xFF}, 18))
+	f.Add(bytes.Repeat([]byte{0xFF}, 34))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := DecodeRequest(data)
 		if err != nil {

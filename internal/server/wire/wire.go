@@ -13,10 +13,18 @@
 //
 // Request payload:
 //
-//	byte  0     op (OpGet ... OpRangeWrite)
+//	byte  0     op (OpGet ... OpRangeWrite); bit 7 (0x80) flags a trace
+//	            context extension between the header and the body
 //	bytes 1-8   per-request time budget in milliseconds, big-endian uint64
 //	            (0 = none; the server caps it and runs the operation under
 //	            a context with that deadline)
+//	            — with bit 7 set, 17 further bytes follow the header:
+//	            8-byte big-endian trace id (must be non-zero), 8-byte
+//	            big-endian parent span id, 1 flags byte (bit 0 = sampled,
+//	            the rest must be zero) — see DESIGN.md §17; an old server
+//	            sees the flagged op byte as an unknown op and answers
+//	            StatusBadRequest, which the client takes as its cue to
+//	            retry without the extension (downgrade)
 //	bytes 9...  op-specific body:
 //	              GET         8-byte big-endian uint64 customer id
 //	              UPDATE      8-byte big-endian uint64 customer id + 1 fill byte
@@ -175,6 +183,18 @@ var (
 const (
 	frameHeader = 4
 	reqHeader   = 1 + 8 // op + millis budget
+
+	// opTraceFlag marks a request frame carrying the trace-context
+	// extension; the op itself lives in the remaining 7 bits. New flag
+	// bits cannot be minted the same way — 0x80 is the op byte's only
+	// spare bit — so any further extension must ride inside this one.
+	opTraceFlag = 0x80
+	// traceExtSize is the extension's length: trace id (8) + parent span
+	// id (8) + flags (1).
+	traceExtSize = 17
+	// traceFlagSampled is the extension's only defined flag bit; the
+	// other seven must be zero.
+	traceFlagSampled = 0x01
 )
 
 // WriteFrame writes one length-prefixed frame. Callers typically pass a
@@ -226,6 +246,10 @@ type Request struct {
 	// codec carries it opaquely (so frames round-trip byte-identically);
 	// DecodeView applies the strict JSON layer.
 	View []byte
+	// Trace is the request's trace context. A zero TraceID encodes no
+	// extension at all — the frame is byte-identical to the pre-tracing
+	// format — so untraced traffic and old peers are unaffected.
+	Trace obs.TraceContext
 }
 
 // AppendRequest appends the encoded request payload to dst.
@@ -237,8 +261,21 @@ func AppendRequest(dst []byte, req Request) []byte {
 			millis = 1 // a positive sub-millisecond budget must not decay to "none"
 		}
 	}
-	dst = append(dst, byte(req.Op))
+	op := byte(req.Op)
+	if req.Trace.TraceID != 0 {
+		op |= opTraceFlag
+	}
+	dst = append(dst, op)
 	dst = binary.BigEndian.AppendUint64(dst, millis)
+	if req.Trace.TraceID != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, req.Trace.SpanID)
+		flags := byte(0)
+		if req.Trace.Sampled {
+			flags |= traceFlagSampled
+		}
+		dst = append(dst, flags)
+	}
 	switch req.Op {
 	case OpGet:
 		dst = binary.BigEndian.AppendUint64(dst, uint64(req.CustID))
@@ -265,7 +302,7 @@ func DecodeRequest(p []byte) (Request, error) {
 	if len(p) < reqHeader {
 		return Request{}, fmt.Errorf("%w: %d-byte payload, want >= %d", ErrBadRequest, len(p), reqHeader)
 	}
-	req := Request{Op: Op(p[0])}
+	req := Request{Op: Op(p[0] &^ opTraceFlag)}
 	millis := binary.BigEndian.Uint64(p[1:9])
 	const maxMillis = uint64(1<<63-1) / uint64(time.Millisecond)
 	if millis > maxMillis {
@@ -273,6 +310,22 @@ func DecodeRequest(p []byte) (Request, error) {
 	}
 	req.Timeout = time.Duration(millis) * time.Millisecond
 	body := p[reqHeader:]
+	if p[0]&opTraceFlag != 0 {
+		if len(body) < traceExtSize {
+			return Request{}, fmt.Errorf("%w: trace extension %d bytes, want >= %d", ErrBadRequest, len(body), traceExtSize)
+		}
+		req.Trace.TraceID = binary.BigEndian.Uint64(body[:8])
+		req.Trace.SpanID = binary.BigEndian.Uint64(body[8:16])
+		flags := body[16]
+		if req.Trace.TraceID == 0 {
+			return Request{}, fmt.Errorf("%w: trace extension with zero trace id", ErrBadRequest)
+		}
+		if flags&^traceFlagSampled != 0 {
+			return Request{}, fmt.Errorf("%w: trace extension flags %#02x unknown", ErrBadRequest, flags)
+		}
+		req.Trace.Sampled = flags&traceFlagSampled != 0
+		body = body[traceExtSize:]
+	}
 	switch req.Op {
 	case OpGet:
 		if len(body) != 8 {

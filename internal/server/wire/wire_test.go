@@ -2,12 +2,15 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -31,6 +34,96 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip %v: got %+v, want %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestRequestTraceRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpGet, CustID: 42, Trace: obs.TraceContext{TraceID: 0xdeadbeef, SpanID: 0xcafe, Sampled: true}},
+		{Op: OpGet, CustID: 42, Trace: obs.TraceContext{TraceID: 1}}, // unsampled but traced
+		{Op: OpUpdate, CustID: 7, Fill: 0xAB, Timeout: time.Second,
+			Trace: obs.TraceContext{TraceID: ^uint64(0), SpanID: ^uint64(0), Sampled: true}},
+		{Op: OpScan, Trace: obs.TraceContext{TraceID: 5, Sampled: true}},
+		{Op: OpRangeWrite, Entries: []RangeEntry{{Key: 9, Fill: 0xEE}},
+			Trace: obs.TraceContext{TraceID: 3, SpanID: 4, Sampled: true}},
+	}
+	for _, want := range cases {
+		p := EncodeRequest(want)
+		if p[0]&0x80 == 0 {
+			t.Fatalf("%v: traced frame lacks the 0x80 op flag", want.Op)
+		}
+		got, err := DecodeRequest(p)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Op, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("traced round trip %v: got %+v, want %+v", want.Op, got, want)
+		}
+	}
+}
+
+// A request without a trace id must encode byte-identically to the
+// pre-tracing format, so old peers keep decoding untraced traffic.
+func TestUntracedFrameBackwardCompatible(t *testing.T) {
+	req := Request{Op: OpGet, CustID: 42, Timeout: time.Second}
+	got := EncodeRequest(req)
+	want := append([]byte{byte(OpGet), 0, 0, 0, 0, 0, 0, 0x03, 0xe8}, // 1000 ms
+		0, 0, 0, 0, 0, 0, 0, 42) // cust-id
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced frame changed layout:\n got %x\nwant %x", got, want)
+	}
+	if got[0]&0x80 != 0 {
+		t.Fatal("untraced frame must not set the trace flag")
+	}
+}
+
+// The extension's exact layout is part of the protocol: 8-byte trace id,
+// 8-byte parent span id, 1 flags byte, all between the header and body.
+func TestTracedFrameLayout(t *testing.T) {
+	req := Request{Op: OpGet, CustID: 42,
+		Trace: obs.TraceContext{TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff00, Sampled: true}}
+	p := EncodeRequest(req)
+	if p[0] != byte(OpGet)|0x80 {
+		t.Fatalf("op byte = %#02x, want OpGet|0x80", p[0])
+	}
+	if id := binary.BigEndian.Uint64(p[9:17]); id != 0x1122334455667788 {
+		t.Fatalf("trace id bytes = %#x", id)
+	}
+	if id := binary.BigEndian.Uint64(p[17:25]); id != 0x99aabbccddeeff00 {
+		t.Fatalf("parent span id bytes = %#x", id)
+	}
+	if p[25] != 0x01 {
+		t.Fatalf("flags byte = %#02x, want 0x01 (sampled)", p[25])
+	}
+	// The body follows the extension unchanged.
+	if id := binary.BigEndian.Uint64(p[26:34]); int64(id) != 42 {
+		t.Fatalf("cust-id after extension = %d, want 42", id)
+	}
+}
+
+func TestDecodeRequestRejectsBadTrace(t *testing.T) {
+	good := EncodeRequest(Request{Op: OpGet, CustID: 1,
+		Trace: obs.TraceContext{TraceID: 7, SpanID: 8, Sampled: true}})
+	cases := map[string][]byte{
+		"short extension": good[:reqHeader+5],
+		"zero trace id": func() []byte {
+			p := append([]byte(nil), good...)
+			for i := 9; i < 17; i++ {
+				p[i] = 0
+			}
+			return p
+		}(),
+		"unknown flag bits": func() []byte {
+			p := append([]byte(nil), good...)
+			p[25] = 0x03
+			return p
+		}(),
+		"extension without body": good[:reqHeader+17],
+	}
+	for name, p := range cases {
+		if _, err := DecodeRequest(p); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/storage"
 )
@@ -77,6 +78,10 @@ type Config struct {
 	// meaningful on trailer-format stores; the scrubber and RepairPage
 	// verify regardless.
 	VerifyReads bool
+	// Spans, when non-nil, records wal_append and wal_fsync spans for
+	// writes running under a sampled trace context, splitting a slow write
+	// into latch-held log time versus group-commit wait.
+	Spans *obs.SpanRecorder
 }
 
 // DefaultConfig returns the production defaults: reads verified, WAL
@@ -450,10 +455,16 @@ func (s *Store) write(ctx context.Context, p policy.PageID, buf []byte) error {
 	}
 	s.ckpt.RLock()
 	defer s.ckpt.RUnlock()
+	var tc obs.TraceContext
+	if s.cfg.Spans != nil {
+		tc = obs.TraceFrom(ctx)
+	}
 	frame := encodePageRecord(p, buf)
 	lk := s.stripe(p)
 	lk.Lock()
+	appendSpan := s.cfg.Spans.Start(tc, obs.SpanWALAppend)
 	lsn, err := s.wal.append(frame)
+	appendSpan.Finish(int64(p))
 	if err != nil {
 		lk.Unlock()
 		return err
@@ -463,7 +474,10 @@ func (s *Store) write(ctx context.Context, p policy.PageID, buf []byte) error {
 	if werr != nil {
 		return fmt.Errorf("file: writing page %d: %w", p, werr)
 	}
-	if err := s.wal.sync(lsn); err != nil {
+	syncSpan := s.cfg.Spans.Start(tc, obs.SpanWALFsync)
+	err = s.wal.sync(lsn)
+	syncSpan.Finish(int64(p))
+	if err != nil {
 		return err
 	}
 	s.writes.Add(1)

@@ -20,11 +20,14 @@ type Metrics struct {
 }
 
 // Instrumented is a Backend wrapper recording per-stripe read/write latency
-// histograms. Faulted operations are recorded too (stack it outside
-// WithFaults): an error return still occupied the caller for that long.
+// histograms, and — when a span recorder is attached — disk_read /
+// disk_write spans for operations running under a sampled trace context.
+// Faulted operations are recorded too (stack it outside WithFaults): an
+// error return still occupied the caller for that long.
 type Instrumented struct {
 	inner Backend
 	m     Metrics
+	spans *obs.SpanRecorder
 }
 
 // WithMetrics wraps inner with latency instrumentation. A nil histogram
@@ -33,28 +36,44 @@ func WithMetrics(inner Backend, m Metrics) *Instrumented {
 	return &Instrumented{inner: inner, m: m}
 }
 
+// WithSpans arms the wrapper's span recording: sampled reads and writes
+// leave disk_read / disk_write spans (annot = page id) in rec. Returns
+// the receiver for chaining.
+func (in *Instrumented) WithSpans(rec *obs.SpanRecorder) *Instrumented {
+	in.spans = rec
+	return in
+}
+
 // Inner returns the wrapped backend.
 func (in *Instrumented) Inner() Backend { return in.inner }
 
 // Read implements Backend.
 func (in *Instrumented) Read(ctx context.Context, p policy.PageID, buf []byte) error {
-	if in.m.ReadLatency == nil {
+	if in.m.ReadLatency == nil && in.spans == nil {
 		return in.inner.Read(ctx, p, buf)
 	}
+	span := in.spans.Start(obs.TraceFrom(ctx), obs.SpanDiskRead)
 	start := time.Now()
 	err := in.inner.Read(ctx, p, buf)
-	in.m.ReadLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	if in.m.ReadLatency != nil {
+		in.m.ReadLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	}
+	span.Finish(int64(p))
 	return err
 }
 
 // Write implements Backend.
 func (in *Instrumented) Write(ctx context.Context, p policy.PageID, buf []byte) error {
-	if in.m.WriteLatency == nil {
+	if in.m.WriteLatency == nil && in.spans == nil {
 		return in.inner.Write(ctx, p, buf)
 	}
+	span := in.spans.Start(obs.TraceFrom(ctx), obs.SpanDiskWrite)
 	start := time.Now()
 	err := in.inner.Write(ctx, p, buf)
-	in.m.WriteLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	if in.m.WriteLatency != nil {
+		in.m.WriteLatency[in.inner.StripeOf(p)].ObserveSince(start)
+	}
+	span.Finish(int64(p))
 	return err
 }
 
